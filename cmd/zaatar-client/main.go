@@ -1,0 +1,104 @@
+// Command zaatar-client is the verifier end of the TCP deployment: it ships
+// a computation and a batch of inputs to a zaatar-server prover, runs the
+// argument protocol, and reports which instances verified.
+//
+// Usage:
+//
+//	zaatar-client -connect localhost:7001 -src prog.zr -inputs "10; 20"
+//
+// Several provers can share one batch (the paper's distributed prover):
+//
+//	zaatar-client -connect host1:7001,host2:7001 -src prog.zr -inputs "10; 20; 30; 40"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"strings"
+
+	"zaatar/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("connect", "localhost:7001", "prover address(es), comma-separated for a distributed batch")
+		srcPath  = flag.String("src", "", "path to the mini-SFDL source file")
+		inputs   = flag.String("inputs", "", "instance inputs: comma-separated ints; ';' separates instances")
+		rhoLin   = flag.Int("rholin", 20, "linearity test iterations")
+		rho      = flag.Int("rho", 8, "PCP repetitions")
+		f220     = flag.Bool("f220", false, "use the 220-bit field")
+		ginger   = flag.Bool("ginger", false, "use the Ginger baseline encoding")
+		noCrypto = flag.Bool("nocrypto", false, "skip the ElGamal commitment")
+	)
+	flag.Parse()
+	if *srcPath == "" || *inputs == "" {
+		fmt.Fprintln(os.Stderr, "usage: zaatar-client -connect host:port -src prog.zr -inputs \"1,2; 3,4\"")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*srcPath)
+	check(err)
+	batch, err := parseBatch(*inputs)
+	check(err)
+
+	var conns []net.Conn
+	for _, a := range strings.Split(*addr, ",") {
+		conn, err := net.Dial("tcp", strings.TrimSpace(a))
+		check(err)
+		defer conn.Close()
+		conns = append(conns, conn)
+	}
+
+	hello := transport.Hello{
+		Source:       string(src),
+		Field220:     *f220,
+		Ginger:       *ginger,
+		RhoLin:       *rhoLin,
+		Rho:          *rho,
+		NoCommitment: *noCrypto,
+	}
+	res, err := transport.RunSessionDistributed(conns, hello, transport.ClientOptions{}, batch)
+	check(err)
+
+	allOK := true
+	for i := range batch {
+		if res.Accepted[i] {
+			fmt.Printf("instance %d: ACCEPTED, outputs %v\n", i, res.Outputs[i])
+		} else {
+			fmt.Printf("instance %d: REJECTED (%s)\n", i, res.Reasons[i])
+			allOK = false
+		}
+	}
+	if !allOK {
+		os.Exit(1)
+	}
+}
+
+func parseBatch(s string) ([][]*big.Int, error) {
+	var batch [][]*big.Int
+	for _, inst := range strings.Split(s, ";") {
+		var in []*big.Int
+		for _, tok := range strings.Split(inst, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			v, ok := new(big.Int).SetString(tok, 10)
+			if !ok {
+				return nil, fmt.Errorf("bad input %q", tok)
+			}
+			in = append(in, v)
+		}
+		batch = append(batch, in)
+	}
+	return batch, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zaatar-client:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+// Command zaatar-run compiles a mini-SFDL program and drives the full
+// verified-computation protocol end to end in one process: the verifier
+// outsources each instance to the prover, checks the argument, and prints
+// the verified outputs.
+//
+// Usage:
+//
+//	zaatar-run -src prog.zr -inputs "10"            # one instance
+//	zaatar-run -src prog.zr -inputs "10; 20; 30"    # a batch of three
+//	zaatar-run -src prog.zr -inputs "1,2,3" -quick  # reduced PCP repetitions
+//
+// Inputs are comma-separated integers, one group per instance separated by
+// semicolons, in the order the program declares them (arrays flattened
+// row-major).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+
+	"zaatar"
+)
+
+func main() {
+	var (
+		srcPath  = flag.String("src", "", "path to the mini-SFDL source file")
+		inputs   = flag.String("inputs", "", "instance inputs: comma-separated ints; ';' separates instances")
+		quick    = flag.Bool("quick", false, "use reduced PCP repetitions (2, 2) instead of the paper's (20, 8)")
+		f220     = flag.Bool("f220", false, "use the 220-bit field")
+		noCrypto = flag.Bool("nocrypto", false, "skip the ElGamal commitment (PCP only)")
+		workers  = flag.Int("workers", 1, "prover worker pool size")
+		ginger   = flag.Bool("ginger", false, "use the Ginger baseline encoding (small computations only)")
+		stats    = flag.Bool("stats", false, "print encoding statistics and timing decomposition")
+	)
+	flag.Parse()
+	if *srcPath == "" || *inputs == "" {
+		fmt.Fprintln(os.Stderr, "usage: zaatar-run -src prog.zr -inputs \"1,2,3; 4,5,6\"")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*srcPath)
+	check(err)
+
+	var opts []zaatar.Option
+	if *f220 {
+		opts = append(opts, zaatar.WithField220())
+	}
+	if *quick {
+		opts = append(opts, zaatar.WithParams(2, 2))
+	}
+	if *noCrypto {
+		opts = append(opts, zaatar.WithoutCommitment())
+	}
+	if *ginger {
+		opts = append(opts, zaatar.WithGingerProtocol())
+	}
+	opts = append(opts, zaatar.WithWorkers(*workers))
+
+	prog, err := zaatar.Compile(string(src), opts...)
+	check(err)
+
+	batch, err := parseBatch(*inputs, prog.NumInputs())
+	check(err)
+
+	res, err := zaatar.Run(prog, batch, opts...)
+	check(err)
+
+	for i := range batch {
+		status := "ACCEPTED"
+		if !res.Accepted[i] {
+			status = "REJECTED: " + res.Reasons[i]
+		}
+		fmt.Printf("instance %d: %s\n", i, status)
+		for j, name := range prog.OutputNames {
+			fmt.Printf("  %s = %v\n", name, res.Outputs[i][j])
+		}
+	}
+	if *stats {
+		st := prog.Stats()
+		fmt.Printf("\nencoding: |Z_ginger|=%d |C_ginger|=%d |Z_zaatar|=%d |C_zaatar|=%d K=%d K2=%d |u_ginger|=%d |u_zaatar|=%d\n",
+			st.GingerVars, st.GingerConstraints, st.ZaatarVars, st.ZaatarConstraints,
+			st.K, st.K2, st.UGinger, st.UZaatar)
+		fmt.Printf("verifier: setup %v, verification %v\n", res.VerifierSetup, res.VerifierPerInstance)
+		for i, pt := range res.ProverTimes {
+			fmt.Printf("prover instance %d: solve %v, construct u %v, crypto %v, answer %v (e2e %v)\n",
+				i, pt.Solve, pt.ConstructU, pt.Crypto, pt.Answer, pt.E2E())
+		}
+	}
+	if !res.AllAccepted() {
+		os.Exit(1)
+	}
+}
+
+func parseBatch(s string, want int) ([][]*big.Int, error) {
+	var batch [][]*big.Int
+	for _, inst := range strings.Split(s, ";") {
+		var in []*big.Int
+		for _, tok := range strings.Split(inst, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			v, ok := new(big.Int).SetString(tok, 10)
+			if !ok {
+				return nil, fmt.Errorf("bad input %q", tok)
+			}
+			in = append(in, v)
+		}
+		if len(in) != want {
+			return nil, fmt.Errorf("instance has %d inputs, program wants %d", len(in), want)
+		}
+		batch = append(batch, in)
+	}
+	return batch, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zaatar-run:", err)
+		os.Exit(1)
+	}
+}

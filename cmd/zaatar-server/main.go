@@ -1,0 +1,48 @@
+// Command zaatar-server runs a prover that accepts verifier sessions over
+// TCP: each session receives a computation and a batch of inputs, executes
+// them, and produces the verified-computation argument.
+//
+// Usage:
+//
+//	zaatar-server -listen :7001 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"runtime"
+
+	"zaatar/internal/transport"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7001", "address to listen on")
+		workers  = flag.Int("workers", runtime.NumCPU(), "prover worker pool size per session")
+		maxBatch = flag.Int("maxbatch", 4096, "maximum batch size per session")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("zaatar-server: %v", err)
+	}
+	fmt.Printf("zaatar-server: proving on %s (%d workers)\n", ln.Addr(), *workers)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("zaatar-server: accept: %v", err)
+			continue
+		}
+		go func(c net.Conn) {
+			log.Printf("zaatar-server: session from %s", c.RemoteAddr())
+			if err := transport.ServeConn(c, transport.ServerOptions{Workers: *workers, MaxBatch: *maxBatch}); err != nil {
+				log.Printf("zaatar-server: session from %s failed: %v", c.RemoteAddr(), err)
+				return
+			}
+			log.Printf("zaatar-server: session from %s complete", c.RemoteAddr())
+		}(conn)
+	}
+}

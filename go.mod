@@ -1,0 +1,3 @@
+module zaatar
+
+go 1.22

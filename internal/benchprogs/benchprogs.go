@@ -1,0 +1,510 @@
+// Package benchprogs provides the paper's five benchmark computations
+// (§5.1) as mini-SFDL source generators, together with input generators and
+// native Go reference implementations used to cross-check the compiler and
+// to measure the "local computation" baseline of Figures 5 and 7:
+//
+//	(a) PAM clustering (Partitioning Around Medoids, 2 clusters)
+//	(b) root finding via bisection
+//	(c) Floyd-Warshall all-pairs shortest paths
+//	(d) the Fannkuch benchmark (pancake flipping)
+//	(e) longest common subsequence (LCS)
+//
+// The paper runs (b) and (c) on rational inputs; this reproduction uses
+// integer variants (see DESIGN.md's substitution table): the constraint
+// counts — the quantity every experiment depends on — have the same shape.
+// Sizes default to scaled-down values so experiments finish on one machine;
+// the paper's sizes are reachable through the same constructors.
+package benchprogs
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"zaatar/internal/field"
+)
+
+// Benchmark bundles a generated program with its workload.
+type Benchmark struct {
+	// Name identifies the computation, e.g. "pam-clustering".
+	Name string
+	// Label is the display name used in figures, e.g. "PAM clustering".
+	Label string
+	// Params records the instance size (m, d, L, ...).
+	Params map[string]int
+	// Field is the modulus the paper uses for this computation (§5.1).
+	Field *field.Field
+	// Source is the mini-SFDL program text.
+	Source string
+	// OClass is the asymptotic running time reported in Figure 9.
+	OClass string
+	// GenInputs draws one instance's inputs.
+	GenInputs func(rng *rand.Rand) []*big.Int
+	// Reference computes the expected outputs natively.
+	Reference func(in []*big.Int) []*big.Int
+}
+
+func ints(vs ...int64) []*big.Int {
+	out := make([]*big.Int, len(vs))
+	for i, v := range vs {
+		out[i] = big.NewInt(v)
+	}
+	return out
+}
+
+func toI64(in []*big.Int) []int64 {
+	out := make([]int64, len(in))
+	for i, v := range in {
+		out[i] = v.Int64()
+	}
+	return out
+}
+
+// PAM builds Partitioning Around Medoids clustering of m points with d
+// dimensions into two groups, with iters refinement iterations (the paper
+// runs m=20, d=128). Points are int16; distances are squared Euclidean.
+func PAM(m, d, iters int) *Benchmark {
+	if m < 2 {
+		panic("benchprogs: PAM needs m >= 2")
+	}
+	big0 := int64(1) << 50
+	src := fmt.Sprintf(`
+const M = %d;
+const D = %d;
+const BIG = %d;
+input x[M][D] : int16;
+output med0[D] : int64;
+output med1[D] : int64;
+var m0[D], m1[D], b0[D], b1[D] : int64;
+var c[M] : bool;
+var d0, d1, dist, best0, best1, cost0, cost1 : int64;
+for k = 0 to D-1 { m0[k] = x[0][k]; m1[k] = x[1][k]; }
+for it = 1 to %d {
+	for i = 0 to M-1 {
+		d0 = 0; d1 = 0;
+		for k = 0 to D-1 {
+			d0 = d0 + (x[i][k] - m0[k]) * (x[i][k] - m0[k]);
+			d1 = d1 + (x[i][k] - m1[k]) * (x[i][k] - m1[k]);
+		}
+		c[i] = d1 < d0;
+	}
+	best0 = BIG; best1 = BIG;
+	for j = 0 to M-1 {
+		cost0 = 0; cost1 = 0;
+		for i = 0 to M-1 {
+			dist = 0;
+			for k = 0 to D-1 {
+				dist = dist + (x[j][k] - x[i][k]) * (x[j][k] - x[i][k]);
+			}
+			if (c[i]) { cost1 = cost1 + dist; } else { cost0 = cost0 + dist; }
+		}
+		if (!c[j]) {
+			if (cost0 < best0) {
+				best0 = cost0;
+				for k = 0 to D-1 { b0[k] = x[j][k]; }
+			}
+		}
+		if (c[j]) {
+			if (cost1 < best1) {
+				best1 = cost1;
+				for k = 0 to D-1 { b1[k] = x[j][k]; }
+			}
+		}
+	}
+	for k = 0 to D-1 { m0[k] = b0[k]; m1[k] = b1[k]; }
+}
+for k = 0 to D-1 { med0[k] = m0[k]; med1[k] = m1[k]; }
+`, m, d, big0, iters)
+
+	return &Benchmark{
+		Name:   "pam-clustering",
+		Label:  "PAM clustering",
+		Params: map[string]int{"m": m, "d": d, "L": iters},
+		Field:  field.F128(),
+		Source: src,
+		OClass: "O(m²d)",
+		GenInputs: func(rng *rand.Rand) []*big.Int {
+			in := make([]*big.Int, m*d)
+			for i := range in {
+				// Two gaussian-ish blobs so the clustering is non-trivial.
+				center := int64(-500)
+				if i/d >= m/2 {
+					center = 500
+				}
+				in[i] = big.NewInt(center + int64(rng.Intn(400)) - 200)
+			}
+			return in
+		},
+		Reference: func(in []*big.Int) []*big.Int {
+			x := toI64(in)
+			pt := func(i, k int) int64 { return x[i*d+k] }
+			m0 := make([]int64, d)
+			m1 := make([]int64, d)
+			for k := 0; k < d; k++ {
+				m0[k], m1[k] = pt(0, k), pt(1, k)
+			}
+			c := make([]bool, m)
+			distTo := func(i int, med []int64) int64 {
+				var s int64
+				for k := 0; k < d; k++ {
+					df := pt(i, k) - med[k]
+					s += df * df
+				}
+				return s
+			}
+			distPts := func(j, i int) int64 {
+				var s int64
+				for k := 0; k < d; k++ {
+					df := pt(j, k) - pt(i, k)
+					s += df * df
+				}
+				return s
+			}
+			for it := 0; it < iters; it++ {
+				for i := 0; i < m; i++ {
+					c[i] = distTo(i, m1) < distTo(i, m0)
+				}
+				best0, best1 := big0, big0
+				b0 := make([]int64, d)
+				b1 := make([]int64, d)
+				for j := 0; j < m; j++ {
+					var cost0, cost1 int64
+					for i := 0; i < m; i++ {
+						dd := distPts(j, i)
+						if c[i] {
+							cost1 += dd
+						} else {
+							cost0 += dd
+						}
+					}
+					if !c[j] && cost0 < best0 {
+						best0 = cost0
+						for k := 0; k < d; k++ {
+							b0[k] = pt(j, k)
+						}
+					}
+					if c[j] && cost1 < best1 {
+						best1 = cost1
+						for k := 0; k < d; k++ {
+							b1[k] = pt(j, k)
+						}
+					}
+				}
+				copy(m0, b0)
+				copy(m1, b1)
+			}
+			out := make([]*big.Int, 0, 2*d)
+			for k := 0; k < d; k++ {
+				out = append(out, big.NewInt(m0[k]))
+			}
+			for k := 0; k < d; k++ {
+				out = append(out, big.NewInt(m1[k]))
+			}
+			return out
+		},
+	}
+}
+
+// Bisection builds root finding via bisection for m quadratics over L
+// iterations (the paper runs m=256, L=8 on rationals at a 220-bit modulus;
+// the integer variant works in units of 1/2^L over [lo, lo+2^L]). The inner
+// loop is unrolled by the generator because the halving step size 2^(L-1-t)
+// must be a compile-time constant.
+func Bisection(m, l int) *Benchmark {
+	width := int64(1) << uint(l)
+	var steps strings.Builder
+	for t := 0; t < l; t++ {
+		half := width >> uint(t+1)
+		fmt.Fprintf(&steps, `
+	mid = lo2 + %d;
+	pm = a[i]*mid*mid + b[i]*mid + c[i];
+	if (pm < 0) { lo2 = mid; }`, half)
+	}
+	src := fmt.Sprintf(`
+const M = %d;
+input a[M], b[M], c[M] : int16;
+input lo[M] : int16;
+output root[M] : int64;
+var lo2, mid, pm : int64;
+for i = 0 to M-1 {
+	lo2 = lo[i];
+%s
+	root[i] = lo2;
+}
+`, m, steps.String())
+
+	return &Benchmark{
+		Name:   "root-finding",
+		Label:  "root finding by bisection",
+		Params: map[string]int{"m": m, "L": l},
+		Field:  field.F220(),
+		Source: src,
+		OClass: "O(mL)",
+		GenInputs: func(rng *rand.Rand) []*big.Int {
+			in := make([]*big.Int, 4*m)
+			for i := 0; i < m; i++ {
+				// p(x) = a x² + b x + c with p(lo) < 0 < p(lo + 2^L):
+				// a=0, b>0 guarantees monotone increasing with a root inside
+				// when c is chosen so p(lo) < 0; quadratics with small a keep
+				// the sign change.
+				a := int64(rng.Intn(3)) // 0..2
+				bb := int64(1 + rng.Intn(20))
+				lo := int64(rng.Intn(100)) - 50
+				// choose c so that p(lo) < 0 and p(lo+width) > 0
+				plo := a*lo*lo + bb*lo
+				cc := -plo - int64(1+rng.Intn(int(bb*width/2)))
+				in[i] = big.NewInt(a)
+				in[m+i] = big.NewInt(bb)
+				in[2*m+i] = big.NewInt(cc)
+				in[3*m+i] = big.NewInt(lo)
+			}
+			return in
+		},
+		Reference: func(in []*big.Int) []*big.Int {
+			v := toI64(in)
+			out := make([]*big.Int, m)
+			for i := 0; i < m; i++ {
+				a, bb, cc, lo := v[i], v[m+i], v[2*m+i], v[3*m+i]
+				lo2 := lo
+				for t := 0; t < l; t++ {
+					mid := lo2 + (width >> uint(t+1))
+					if a*mid*mid+bb*mid+cc < 0 {
+						lo2 = mid
+					}
+				}
+				out[i] = big.NewInt(lo2)
+			}
+			return out
+		},
+	}
+}
+
+// FloydWarshall builds all-pairs shortest paths on m nodes (the paper runs
+// m=25 on rational edge weights; this variant uses integer weights with a
+// large sentinel for missing edges).
+func FloydWarshall(m int) *Benchmark {
+	const inf = 1 << 20
+	src := fmt.Sprintf(`
+const M = %d;
+const INF = %d;
+input e[M][M] : int32;
+output dist[M][M] : int32;
+var d[M][M] : int32;
+var alt : int32;
+for i = 0 to M-1 {
+	for j = 0 to M-1 { d[i][j] = e[i][j]; }
+}
+for k = 0 to M-1 {
+	for i = 0 to M-1 {
+		for j = 0 to M-1 {
+			alt = d[i][k] + d[k][j];
+			if (alt < d[i][j]) { d[i][j] = alt; }
+		}
+	}
+}
+for i = 0 to M-1 {
+	for j = 0 to M-1 { dist[i][j] = d[i][j]; }
+}
+`, m, inf)
+
+	return &Benchmark{
+		Name:   "all-pairs-shortest-path",
+		Label:  "all-pairs shortest path",
+		Params: map[string]int{"m": m},
+		Field:  field.F128(),
+		Source: src,
+		OClass: "O(m³)",
+		GenInputs: func(rng *rand.Rand) []*big.Int {
+			in := make([]*big.Int, m*m)
+			for i := 0; i < m; i++ {
+				for j := 0; j < m; j++ {
+					switch {
+					case i == j:
+						in[i*m+j] = big.NewInt(0)
+					case rng.Intn(3) == 0: // sparse-ish graph
+						in[i*m+j] = big.NewInt(int64(1 + rng.Intn(100)))
+					default:
+						in[i*m+j] = big.NewInt(inf)
+					}
+				}
+			}
+			return in
+		},
+		Reference: func(in []*big.Int) []*big.Int {
+			d := toI64(in)
+			for k := 0; k < m; k++ {
+				for i := 0; i < m; i++ {
+					for j := 0; j < m; j++ {
+						if alt := d[i*m+k] + d[k*m+j]; alt < d[i*m+j] {
+							d[i*m+j] = alt
+						}
+					}
+				}
+			}
+			out := make([]*big.Int, m*m)
+			for i := range d {
+				out[i] = big.NewInt(d[i])
+			}
+			return out
+		},
+	}
+}
+
+// Fannkuch builds the pancake-flipping benchmark: m permutations of
+// {1..n}, each flipped until the first element is 1, bounded by maxFlips
+// iterations (the paper runs m=100 permutations of {1..13}). The prefix
+// reversal uses data-dependent indices, exercising the compiler's
+// mux-expansion of indirect memory access (§5.4).
+func Fannkuch(m, n, maxFlips int) *Benchmark {
+	src := fmt.Sprintf(`
+const M = %d;
+const N = %d;
+const MAXF = %d;
+input perm[M][N] : int8;
+output flips[M] : int32;
+var a[N], b[N] : int32;
+var cnt, k : int32;
+for i = 0 to M-1 {
+	for j = 0 to N-1 { a[j] = perm[i][j]; }
+	cnt = 0;
+	for it = 1 to MAXF {
+		k = a[0];
+		if (k != 1) {
+			for j = 0 to N-1 { b[j] = a[j]; }
+			for j = 0 to N-1 {
+				if (j < k) { a[j] = b[k - 1 - j]; }
+			}
+			cnt = cnt + 1;
+		}
+	}
+	flips[i] = cnt;
+}
+`, m, n, maxFlips)
+
+	return &Benchmark{
+		Name:   "fannkuch",
+		Label:  "Fannkuch benchmark",
+		Params: map[string]int{"m": m, "n": n, "maxFlips": maxFlips},
+		Field:  field.F128(),
+		Source: src,
+		OClass: "O(m)",
+		GenInputs: func(rng *rand.Rand) []*big.Int {
+			in := make([]*big.Int, m*n)
+			for i := 0; i < m; i++ {
+				p := rng.Perm(n)
+				for j := 0; j < n; j++ {
+					in[i*n+j] = big.NewInt(int64(p[j] + 1))
+				}
+			}
+			return in
+		},
+		Reference: func(in []*big.Int) []*big.Int {
+			v := toI64(in)
+			out := make([]*big.Int, m)
+			for i := 0; i < m; i++ {
+				a := make([]int64, n)
+				copy(a, v[i*n:(i+1)*n])
+				cnt := int64(0)
+				for it := 0; it < maxFlips; it++ {
+					k := a[0]
+					if k == 1 {
+						continue
+					}
+					for l, r := int64(0), k-1; l < r; l, r = l+1, r-1 {
+						a[l], a[r] = a[r], a[l]
+					}
+					cnt++
+				}
+				out[i] = big.NewInt(cnt)
+			}
+			return out
+		},
+	}
+}
+
+// LCS builds the longest-common-subsequence length of two strings of
+// length m over a 4-symbol alphabet (the paper runs m=300).
+func LCS(m int) *Benchmark {
+	src := fmt.Sprintf(`
+const M = %d;
+input s[M] : int8;
+input t[M] : int8;
+output len : int32;
+var dp[M][M] : int32;
+var up, left, diag : int32;
+for i = 0 to M-1 {
+	for j = 0 to M-1 {
+		if (i == 0) { diag = 0; } else { if (j == 0) { diag = 0; } else { diag = dp[i-1][j-1]; } }
+		if (i == 0) { up = 0; } else { up = dp[i-1][j]; }
+		if (j == 0) { left = 0; } else { left = dp[i][j-1]; }
+		if (s[i] == t[j]) {
+			dp[i][j] = diag + 1;
+		} else {
+			if (up < left) { dp[i][j] = left; } else { dp[i][j] = up; }
+		}
+	}
+}
+len = dp[M-1][M-1];
+`, m)
+
+	return &Benchmark{
+		Name:   "longest-common-subsequence",
+		Label:  "longest common subsequence",
+		Params: map[string]int{"m": m},
+		Field:  field.F128(),
+		Source: src,
+		OClass: "O(m²)",
+		GenInputs: func(rng *rand.Rand) []*big.Int {
+			in := make([]*big.Int, 2*m)
+			for i := range in {
+				in[i] = big.NewInt(int64(rng.Intn(4)))
+			}
+			return in
+		},
+		Reference: func(in []*big.Int) []*big.Int {
+			v := toI64(in)
+			s, t := v[:m], v[m:]
+			dp := make([][]int64, m+1)
+			for i := range dp {
+				dp[i] = make([]int64, m+1)
+			}
+			for i := 1; i <= m; i++ {
+				for j := 1; j <= m; j++ {
+					if s[i-1] == t[j-1] {
+						dp[i][j] = dp[i-1][j-1] + 1
+					} else if dp[i-1][j] >= dp[i][j-1] {
+						dp[i][j] = dp[i-1][j]
+					} else {
+						dp[i][j] = dp[i][j-1]
+					}
+				}
+			}
+			return ints(dp[m][m])
+		},
+	}
+}
+
+// Small returns the five benchmarks at test-friendly sizes.
+func Small() []*Benchmark {
+	return []*Benchmark{
+		PAM(6, 4, 1),
+		Bisection(8, 6),
+		FloydWarshall(6),
+		Fannkuch(3, 5, 8),
+		LCS(10),
+	}
+}
+
+// Default returns the five benchmarks at the harness's default (scaled-down)
+// evaluation sizes; the paper's sizes are PAM(20,128,1), Bisection(256,8),
+// FloydWarshall(25), Fannkuch(100,13,·), LCS(300).
+func Default() []*Benchmark {
+	return []*Benchmark{
+		PAM(10, 16, 1),
+		Bisection(64, 8),
+		FloydWarshall(10),
+		Fannkuch(8, 6, 10),
+		LCS(40),
+	}
+}

@@ -1,0 +1,121 @@
+package benchprogs
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"zaatar/internal/field"
+)
+
+// BisectionRational is the paper-faithful variant of benchmark (b): root
+// finding via bisection over *rational* inputs (§5.1: "computation (b) uses
+// rational number inputs ... and a field modulus of 220 bits"). Each of the
+// m quadratics has rational coefficients; the interval midpoint is computed
+// exactly as (l + w·(1/2)), so denominators grow with every iteration —
+// the reason this configuration needs the 220-bit modulus (the compiler's
+// range analysis enforces it).
+//
+// Inputs per instance: a[i], b[i], c[i] as (num, den) pairs, then lo[i]
+// pairs, then the constant width0 = w and half = 1/2 pairs. Outputs: one
+// (num, den) pair per root.
+func BisectionRational(m, l int) *Benchmark {
+	src := fmt.Sprintf(`
+const M = %d;
+const L = %d;
+input a[M], b[M], c[M] : rat16x2;
+input lo[M] : rat8x1;
+input width0 : rat8x1;
+input half : rat8x2;
+output root[M] : rat64x64;
+var lcur, w, mid, pm : rat64x64;
+for i = 0 to M-1 {
+	lcur = lo[i];
+	w = width0;
+	for t = 1 to L {
+		w = w * half;
+		mid = lcur + w;
+		pm = a[i]*mid*mid + b[i]*mid + c[i];
+		if (pm < 0) { lcur = mid; }
+	}
+	root[i] = lcur;
+}
+`, m, l)
+
+	type ratPair struct{ n, d int64 }
+	genPairs := func(rng *rand.Rand) []ratPair {
+		// 3m coefficients + m left endpoints + width + half.
+		out := make([]ratPair, 0, 4*m+2)
+		for i := 0; i < m; i++ {
+			out = append(out, ratPair{int64(rng.Intn(5)), 1})                           // a ∈ [0,4]
+			out = append(out, ratPair{int64(1 + rng.Intn(30)), int64(1 + rng.Intn(2))}) // b > 0
+			out = append(out, ratPair{int64(rng.Intn(100) - 120), 1})                   // c < 0 mostly
+		}
+		for i := 0; i < m; i++ {
+			out = append(out, ratPair{int64(rng.Intn(16) - 8), 1})
+		}
+		out = append(out, ratPair{64, 1}) // width0
+		out = append(out, ratPair{1, 2})  // half
+		return out
+	}
+	flatten := func(pairs []ratPair) []*big.Int {
+		out := make([]*big.Int, 0, 2*len(pairs))
+		for _, p := range pairs {
+			out = append(out, big.NewInt(p.n), big.NewInt(p.d))
+		}
+		return out
+	}
+
+	return &Benchmark{
+		Name:   "root-finding-rational",
+		Label:  "root finding by bisection (rational)",
+		Params: map[string]int{"m": m, "L": l},
+		Field:  field.F220(),
+		Source: src,
+		OClass: "O(mL)",
+		GenInputs: func(rng *rand.Rand) []*big.Int {
+			return flatten(genPairs(rng))
+		},
+		Reference: func(in []*big.Int) []*big.Int {
+			// Inputs arrive flattened as (num, den) pairs in declaration
+			// order: a[0..m), b interleaved... — note the declaration
+			// `input a[M], b[M], c[M]` lays out all of a, then b, then c.
+			rat := func(k int) *big.Rat {
+				return new(big.Rat).SetFrac(in[2*k], in[2*k+1])
+			}
+			// Wire order: a[0..m), b[0..m), c[0..m), lo[0..m), width0, half.
+			a := make([]*big.Rat, m)
+			b := make([]*big.Rat, m)
+			c := make([]*big.Rat, m)
+			lo := make([]*big.Rat, m)
+			for i := 0; i < m; i++ {
+				a[i] = rat(i)
+				b[i] = rat(m + i)
+				c[i] = rat(2*m + i)
+				lo[i] = rat(3*m + i)
+			}
+			width0 := rat(4 * m)
+			half := rat(4*m + 1)
+
+			out := make([]*big.Int, 0, 2*m)
+			for i := 0; i < m; i++ {
+				lcur := new(big.Rat).Set(lo[i])
+				w := new(big.Rat).Set(width0)
+				for t := 0; t < l; t++ {
+					w = new(big.Rat).Mul(w, half)
+					mid := new(big.Rat).Add(lcur, w)
+					pm := new(big.Rat).Mul(a[i], new(big.Rat).Mul(mid, mid))
+					pm.Add(pm, new(big.Rat).Mul(b[i], mid))
+					pm.Add(pm, c[i])
+					if pm.Sign() < 0 {
+						lcur = mid
+					}
+				}
+				// Outputs are exact rationals; the reference normalizes,
+				// the circuit does not — compare as rationals.
+				out = append(out, new(big.Int).Set(lcur.Num()), new(big.Int).Set(lcur.Denom()))
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package compiler
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Type describes a declared variable type.
+type Type struct {
+	Bool bool
+	Bits int // for integer types: 8, 16, 32 or 64 (signed)
+	// RatNum/RatDen, when non-zero, make this a rational type ratNxM with
+	// an N-bit signed numerator and an M-bit positive denominator.
+	RatNum, RatDen int
+}
+
+// IsRat reports whether this is a rational type.
+func (t Type) IsRat() bool { return t.RatNum > 0 }
+
+func (t Type) String() string {
+	if t.Bool {
+		return "bool"
+	}
+	if t.IsRat() {
+		return fmt.Sprintf("rat%dx%d", t.RatNum, t.RatDen)
+	}
+	switch t.Bits {
+	case 8:
+		return "int8"
+	case 16:
+		return "int16"
+	case 32:
+		return "int32"
+	case 64:
+		return "int64"
+	}
+	return "int?"
+}
+
+// Decl is a const/input/output/var declaration.
+type Decl struct {
+	Kind string // "const", "input", "output", "var"
+	Name string
+	Dims []Expr // array dimensions (const expressions), empty for scalars
+	Typ  Type
+	Init Expr // for const declarations
+	Tok  token
+}
+
+// Expr is an expression node.
+type Expr interface{ exprTok() token }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val *big.Int
+	Tok token
+}
+
+// BoolExpr is a true/false literal.
+type BoolExpr struct {
+	Val bool
+	Tok token
+}
+
+// VarExpr references a scalar variable or an array element.
+type VarExpr struct {
+	Name  string
+	Index []Expr // one expression per dimension; empty for scalars
+	Tok   token
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   string // + - * < <= > >= == != && ||
+	L, R Expr
+	Tok  token
+}
+
+// UnExpr is unary negation or logical not.
+type UnExpr struct {
+	Op  string // - !
+	X   Expr
+	Tok token
+}
+
+func (e *NumExpr) exprTok() token  { return e.Tok }
+func (e *BoolExpr) exprTok() token { return e.Tok }
+func (e *VarExpr) exprTok() token  { return e.Tok }
+func (e *BinExpr) exprTok() token  { return e.Tok }
+func (e *UnExpr) exprTok() token   { return e.Tok }
+
+// Stmt is a statement node.
+type Stmt interface{ stmtTok() token }
+
+// AssignStmt assigns expr to a (possibly indexed) variable.
+type AssignStmt struct {
+	Target *VarExpr
+	Value  Expr
+	Tok    token
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Tok  token
+}
+
+// ForStmt is a bounded loop: for i = lo to hi { body }, bounds inclusive
+// and compile-time constant.
+type ForStmt struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+	Tok    token
+}
+
+func (s *AssignStmt) stmtTok() token { return s.Tok }
+func (s *IfStmt) stmtTok() token     { return s.Tok }
+func (s *ForStmt) stmtTok() token    { return s.Tok }
+
+// File is a parsed program.
+type File struct {
+	Decls []*Decl
+	Stmts []Stmt
+}

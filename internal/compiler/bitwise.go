@@ -1,0 +1,163 @@
+package compiler
+
+import (
+	"math/big"
+
+	"zaatar/internal/constraint"
+)
+
+// Bitwise operators (&, |, ^, <<, >>) are a compiler extension covering
+// another §5.4 gap ("bitwise operations are supported elsewhere [45]").
+// Both operands are bit-decomposed — the same O(bit width) pseudoconstraint
+// machinery comparisons use — and combined bit-wise with the boolean
+// identities
+//
+//	a AND b = a·b,  a OR b = a+b-ab,  a XOR b = a+b-2ab,
+//
+// then recomposed with one linear constraint. Operands must be provably
+// non-negative (two's-complement semantics for negative values would need a
+// declared width to be meaningful; the range analysis works on values, not
+// declarations). Shifts take constant shift amounts: << k multiplies by
+// 2^k, >> k is floor division by 2^k.
+
+// decomposeBits range-proves o ∈ [0, 2^n) and returns the n bit operands
+// (little-endian), each a proven boolean wire.
+func (g *codegen) decomposeBits(o operand, n int) []operand {
+	bits := make([]int, n)
+	out := make([]operand, n)
+	var sum constraint.GingerConstraint
+	for i := range bits {
+		bits[i] = g.newWire()
+		bOp := operand{wire: bits[i]}
+		g.addCons(constraint.GingerConstraint{
+			g.termMul(bigOne, bOp, bOp),
+			{Coeff: g.f.Neg(g.f.One()), A: bits[i]},
+		})
+		sum = append(sum, constraint.Term{Coeff: g.elem(new(big.Int).Lsh(bigOne, uint(i))), A: bits[i]})
+		out[i] = operand{wire: bits[i], lo: big.NewInt(0), hi: big.NewInt(1), isBool: true}
+	}
+	sum = append(sum, g.term(bigNegOne, o))
+	g.addCons(sum)
+	g.instrs = append(g.instrs, instr{op: iDecomposeRaw, aux: bits, a: refOf(o), n: n})
+	return out
+}
+
+// linearCombine materializes w = Σ coeffs[i]·ops[i] with one constraint and
+// one solver instruction. The caller supplies the value range.
+func (g *codegen) linearCombine(coeffs []*big.Int, ops []operand, lo, hi *big.Int) operand {
+	w := g.newWire()
+	cons := make(constraint.GingerConstraint, 0, len(ops)+1)
+	srcs := make([]ref, len(ops))
+	for i := range ops {
+		cons = append(cons, g.term(coeffs[i], ops[i]))
+		srcs[i] = refOf(ops[i])
+	}
+	cons = append(cons, constraint.Term{Coeff: g.f.Neg(g.f.One()), A: w})
+	g.addCons(cons)
+	g.instrs = append(g.instrs, instr{op: iLinComb, dst: w, srcs: srcs, coeffs: coeffs})
+	return operand{wire: w, lo: lo, hi: hi}
+}
+
+// opBitwise compiles a & b, a | b, a ^ b.
+func (g *codegen) opBitwise(tok token, op string, a, b operand) (operand, error) {
+	if a.isConst && b.isConst {
+		switch op {
+		case "&":
+			return constOp(new(big.Int).And(a.c, b.c)), nil
+		case "|":
+			return constOp(new(big.Int).Or(a.c, b.c)), nil
+		default:
+			return constOp(new(big.Int).Xor(a.c, b.c)), nil
+		}
+	}
+	if a.lo.Sign() < 0 || b.lo.Sign() < 0 {
+		return operand{}, errAt(tok, "bitwise operators require provably non-negative operands")
+	}
+	// & and | and ^ are symmetric; canonicalize for CSE.
+	ka, kb := opKey(a), opKey(b)
+	if ka > kb {
+		a, b = b, a
+		ka, kb = kb, ka
+	}
+	key := cseKey{op: op, a: ka, b: kb}
+	if r, ok := g.cse[key]; ok {
+		return r, nil
+	}
+	n := a.hi.BitLen()
+	if bn := b.hi.BitLen(); bn > n {
+		n = bn
+	}
+	if n == 0 {
+		n = 1
+	}
+	if n+1 > g.maxMagBits {
+		return operand{}, errAt(tok, "bitwise operands too wide for the field")
+	}
+	abits := g.decomposeBits(a, n)
+	bbits := g.decomposeBits(b, n)
+	resBits := make([]operand, n)
+	for i := 0; i < n; i++ {
+		prod, err := g.opMul(tok, abits[i], bbits[i])
+		if err != nil {
+			return operand{}, err
+		}
+		switch op {
+		case "&":
+			resBits[i] = prod
+		case "|":
+			// a + b - ab
+			s, err := g.opAdd(tok, abits[i], bbits[i])
+			if err != nil {
+				return operand{}, err
+			}
+			if resBits[i], err = g.opSub(tok, s, prod); err != nil {
+				return operand{}, err
+			}
+			resBits[i].isBool = true
+		default: // "^": a + b - 2ab
+			s, err := g.opAdd(tok, abits[i], bbits[i])
+			if err != nil {
+				return operand{}, err
+			}
+			two, err := g.opMul(tok, constOp(big.NewInt(2)), prod)
+			if err != nil {
+				return operand{}, err
+			}
+			if resBits[i], err = g.opSub(tok, s, two); err != nil {
+				return operand{}, err
+			}
+			resBits[i].isBool = true
+		}
+	}
+	coeffs := make([]*big.Int, n)
+	for i := range coeffs {
+		coeffs[i] = new(big.Int).Lsh(bigOne, uint(i))
+	}
+	hi := new(big.Int).Sub(new(big.Int).Lsh(bigOne, uint(n)), bigOne)
+	res := g.linearCombine(coeffs, resBits, big.NewInt(0), hi)
+	g.cse[key] = res
+	return res, nil
+}
+
+// opShift compiles a << k and a >> k for constant non-negative k.
+func (g *codegen) opShift(tok token, op string, a, b operand) (operand, error) {
+	if !b.isConst {
+		return operand{}, errAt(tok, "shift amounts must be compile-time constants")
+	}
+	if b.c.Sign() < 0 || !b.c.IsInt64() || b.c.Int64() > int64(g.maxMagBits) {
+		return operand{}, errAt(tok, "shift amount %v out of range", b.c)
+	}
+	k := uint(b.c.Int64())
+	if op == "<<" {
+		return g.opMul(tok, a, constOp(new(big.Int).Lsh(bigOne, k)))
+	}
+	// a >> k = a / 2^k for non-negative a.
+	if a.isConst {
+		if a.c.Sign() < 0 {
+			return operand{}, errAt(tok, "right shift requires a non-negative operand")
+		}
+		return constOp(new(big.Int).Rsh(a.c, k)), nil
+	}
+	q, _, err := g.opDivMod(tok, a, constOp(new(big.Int).Lsh(bigOne, k)))
+	return q, err
+}

@@ -1,0 +1,147 @@
+package compiler
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"zaatar/internal/field"
+)
+
+// Bitwise operators are a compiler extension covering the §5.4 gap
+// ("bitwise operations are supported elsewhere"). Operands become
+// non-negative here by squaring or by masking with constants.
+
+func TestBitwiseOps(t *testing.T) {
+	p := compileOK(t, `
+		input a, b : int8;
+		output andv, orv, xorv : int32;
+		var a2, b2 : int32;
+		a2 = a * a;
+		b2 = b * b;
+		andv = a2 & b2;
+		orv  = a2 | b2;
+		xorv = a2 ^ b2;
+	`)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 25; i++ {
+		a := int64(rng.Intn(256) - 128)
+		b := int64(rng.Intn(256) - 128)
+		a2, b2 := a*a, b*b
+		run(t, p, []int64{a, b}, []int64{a2 & b2, a2 | b2, a2 ^ b2})
+	}
+}
+
+func TestBitwiseConstFolding(t *testing.T) {
+	p := compileOK(t, `
+		input x : int32;
+		output y : int64;
+		y = x + (0xF0 & 0x3C) + (0xF0 | 0x3C) + (0xF0 ^ 0x3C);
+	`)
+	want := int64(0xF0&0x3C) + int64(0xF0|0x3C) + int64(0xF0^0x3C)
+	run(t, p, []int64{0}, []int64{want})
+}
+
+func TestBitwiseWithConstMask(t *testing.T) {
+	p := compileOK(t, `
+		input a : int8;
+		output low : int32;
+		var a2 : int32;
+		a2 = a * a;
+		low = a2 & 0xFF;
+	`)
+	run(t, p, []int64{100}, []int64{10000 & 0xFF})
+	run(t, p, []int64{-3}, []int64{9})
+}
+
+func TestShifts(t *testing.T) {
+	p := compileOK(t, `
+		input a : int8;
+		output up, down : int32;
+		var a2 : int32;
+		a2 = a * a;
+		up = a2 << 3;
+		down = a2 >> 2;
+	`)
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 15; i++ {
+		a := int64(rng.Intn(256) - 128)
+		a2 := a * a
+		run(t, p, []int64{a}, []int64{a2 << 3, a2 >> 2})
+	}
+}
+
+func TestShiftConstFolding(t *testing.T) {
+	p := compileOK(t, `input x : int32; output y : int64; y = x + (6 << 4) + (100 >> 3);`)
+	run(t, p, []int64{0}, []int64{96 + 12})
+}
+
+func TestLeftShiftNegativeOperandOK(t *testing.T) {
+	// << is a multiplication, so signed operands are fine.
+	p := compileOK(t, `input x : int16; output y : int64; y = x << 5;`)
+	run(t, p, []int64{-7}, []int64{-224})
+}
+
+func TestBitwiseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"negative operand", `input a, b : int8; output y : int32; y = a & b;`, "non-negative"},
+		{"dynamic shift", `
+			input a, k : int8;
+			output y : int64;
+			var a2 : int32;
+			a2 = a * a;
+			y = a2 << k;`, "compile-time constant"},
+		{"huge shift", `input x : int32; output y : int64; var x2 : int64; x2 = x * x; y = x2 << 300;`, "out of range"},
+		{"negative right shift", `input x : int16; output y : int32; y = x >> 1;`, "non-negative"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(field.F128(), c.src)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err.Error(), c.wantSub)
+			}
+		})
+	}
+}
+
+// TestBitwiseWitnessSoundness: perturbing a bitwise output breaks the
+// constraint system (the bit decompositions pin the result).
+func TestBitwiseWitnessSoundness(t *testing.T) {
+	f := field.F128()
+	p := compileOK(t, `
+		input a : int8;
+		output y : int32;
+		var a2 : int32;
+		a2 = a * a;
+		y = a2 & 0x55;
+	`)
+	_, w, err := p.SolveGinger(bigs([]int64{9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Ginger.Out[0]
+	w[out] = f.Add(w[out], f.One())
+	if err := p.Ginger.Check(f, w); err == nil {
+		t.Fatal("wrong bitwise result accepted by the constraint system")
+	}
+}
+
+func TestBitwisePrecedence(t *testing.T) {
+	// & binds tighter than |, shifts tighter than +... verify against Go.
+	p := compileOK(t, `
+		input a : int8;
+		output y : int64;
+		var a2 : int32;
+		a2 = a * a;
+		y = a2 | a2 & 0x0F ^ 0x03;
+	`)
+	a := int64(13)
+	a2 := a * a
+	want := a2 | (a2&0x0F ^ 0x03) // our grammar: | lowest, then ^, then &
+	run(t, p, []int64{a}, []int64{want})
+}

@@ -1,0 +1,526 @@
+package compiler
+
+import (
+	"fmt"
+	"math/big"
+
+	"zaatar/internal/constraint"
+	"zaatar/internal/field"
+)
+
+// operand is the compile-time value of an expression: either a compile-time
+// constant or a wire, together with a conservative signed value range used
+// to size comparisons (the compiler refuses programs whose intermediate
+// values could exceed the field's integer capacity, mirroring Ginger's
+// bounded-width rules).
+type operand struct {
+	isConst bool
+	c       *big.Int // constant value (signed)
+	wire    int
+	lo, hi  *big.Int // inclusive range
+	isBool  bool     // value known to be 0 or 1
+
+	// den, when non-nil, makes this a rational value num/den (see
+	// rational.go); den itself is always an integer operand with a
+	// provably positive range.
+	den *operand
+}
+
+func constOp(v *big.Int) operand {
+	return operand{isConst: true, c: v, lo: v, hi: v, isBool: v.Sign() == 0 || v.Cmp(big.NewInt(1)) == 0}
+}
+
+func boolConst(b bool) operand {
+	if b {
+		return constOp(big.NewInt(1))
+	}
+	return constOp(big.NewInt(0))
+}
+
+// binding is a named program variable: a flattened array of element
+// operands (scalars have one element).
+type binding struct {
+	decl     *Decl
+	dims     []int
+	elems    []operand
+	isConst  bool     // compile-time constant (const decl or loop variable)
+	constVal *big.Int // when isConst
+}
+
+type cseKey struct {
+	op     string
+	a, b   string
+	extra  string
+	bucket int
+}
+
+type inputRange struct{ lo, hi *big.Int }
+
+type codegen struct {
+	f    *field.Field
+	file *File
+
+	numWires int
+	cons     []constraint.GingerConstraint
+	instrs   []instr
+
+	inWires     []int
+	outWires    []int
+	inNames     []string
+	outNames    []string
+	inputRanges []inputRange
+
+	env     map[string]*binding
+	cse     map[cseKey]operand
+	journal map[string]map[int]operand // active if/else copy-on-write journal (name → element → original)
+
+	maxMagBits int // values must stay within ±2^maxMagBits
+}
+
+func opKey(o operand) string {
+	if o.isConst {
+		return "c" + o.c.String()
+	}
+	return fmt.Sprintf("w%d", o.wire)
+}
+
+func (g *codegen) newWire() int {
+	g.numWires++
+	return g.numWires
+}
+
+func (g *codegen) elem(v *big.Int) field.Element { return g.f.FromBig(v) }
+
+// term builds the Ginger term coeff·(operand): for a constant operand the
+// coefficient absorbs the value; for a wire it is a linear term.
+func (g *codegen) term(coeff *big.Int, o operand) constraint.Term {
+	if o.isConst {
+		return constraint.Term{Coeff: g.elem(new(big.Int).Mul(coeff, o.c)), A: 0, B: 0}
+	}
+	return constraint.Term{Coeff: g.elem(coeff), A: o.wire, B: 0}
+}
+
+// termMul builds coeff·(a·b) where at least one of a, b is a wire.
+func (g *codegen) termMul(coeff *big.Int, a, b operand) constraint.Term {
+	switch {
+	case a.isConst && b.isConst:
+		v := new(big.Int).Mul(a.c, b.c)
+		return constraint.Term{Coeff: g.elem(new(big.Int).Mul(coeff, v))}
+	case a.isConst:
+		return constraint.Term{Coeff: g.elem(new(big.Int).Mul(coeff, a.c)), A: b.wire}
+	case b.isConst:
+		return constraint.Term{Coeff: g.elem(new(big.Int).Mul(coeff, b.c)), A: a.wire}
+	default:
+		return constraint.Term{Coeff: g.elem(coeff), A: a.wire, B: b.wire}
+	}
+}
+
+func (g *codegen) addCons(c constraint.GingerConstraint) {
+	g.cons = append(g.cons, c)
+}
+
+var (
+	bigOne    = big.NewInt(1)
+	bigNegOne = big.NewInt(-1)
+)
+
+func rangeAdd(a, b operand) (*big.Int, *big.Int) {
+	return new(big.Int).Add(a.lo, b.lo), new(big.Int).Add(a.hi, b.hi)
+}
+
+func rangeSub(a, b operand) (*big.Int, *big.Int) {
+	return new(big.Int).Sub(a.lo, b.hi), new(big.Int).Sub(a.hi, b.lo)
+}
+
+func rangeMul(a, b operand) (*big.Int, *big.Int) {
+	c1 := new(big.Int).Mul(a.lo, b.lo)
+	c2 := new(big.Int).Mul(a.lo, b.hi)
+	c3 := new(big.Int).Mul(a.hi, b.lo)
+	c4 := new(big.Int).Mul(a.hi, b.hi)
+	lo, hi := c1, c1
+	for _, c := range []*big.Int{c2, c3, c4} {
+		if c.Cmp(lo) < 0 {
+			lo = c
+		}
+		if c.Cmp(hi) > 0 {
+			hi = c
+		}
+	}
+	return lo, hi
+}
+
+func (g *codegen) checkRange(tok token, lo, hi *big.Int) error {
+	limit := new(big.Int).Lsh(bigOne, uint(g.maxMagBits))
+	neg := new(big.Int).Neg(limit)
+	if lo.Cmp(neg) < 0 || hi.Cmp(limit) > 0 {
+		return errAt(tok, "value range [%v, %v] exceeds the field's integer capacity (±2^%d); use a larger field or rein in intermediate values", lo, hi, g.maxMagBits)
+	}
+	return nil
+}
+
+// opAdd emits w = a + b (or folds constants).
+func (g *codegen) opAdd(tok token, a, b operand) (operand, error) {
+	if a.isConst && b.isConst {
+		return constOp(new(big.Int).Add(a.c, b.c)), nil
+	}
+	ka, kb := opKey(a), opKey(b)
+	if ka > kb {
+		a, b = b, a
+		ka, kb = kb, ka
+	}
+	key := cseKey{op: "+", a: ka, b: kb}
+	if r, ok := g.cse[key]; ok {
+		return r, nil
+	}
+	lo, hi := rangeAdd(a, b)
+	if err := g.checkRange(tok, lo, hi); err != nil {
+		return operand{}, err
+	}
+	w := g.newWire()
+	g.addCons(constraint.GingerConstraint{
+		g.term(bigOne, a), g.term(bigOne, b),
+		{Coeff: g.f.Neg(g.f.One()), A: w},
+	})
+	g.instrs = append(g.instrs, instr{op: iAdd, dst: w, a: refOf(a), b: refOf(b)})
+	r := operand{wire: w, lo: lo, hi: hi}
+	g.cse[key] = r
+	return r, nil
+}
+
+// opSub emits w = a - b.
+func (g *codegen) opSub(tok token, a, b operand) (operand, error) {
+	if a.isConst && b.isConst {
+		return constOp(new(big.Int).Sub(a.c, b.c)), nil
+	}
+	key := cseKey{op: "-", a: opKey(a), b: opKey(b)}
+	if r, ok := g.cse[key]; ok {
+		return r, nil
+	}
+	lo, hi := rangeSub(a, b)
+	if err := g.checkRange(tok, lo, hi); err != nil {
+		return operand{}, err
+	}
+	w := g.newWire()
+	g.addCons(constraint.GingerConstraint{
+		g.term(bigOne, a), g.term(bigNegOne, b),
+		{Coeff: g.f.Neg(g.f.One()), A: w},
+	})
+	g.instrs = append(g.instrs, instr{op: iSub, dst: w, a: refOf(a), b: refOf(b)})
+	r := operand{wire: w, lo: lo, hi: hi}
+	// 1 - bool is bool.
+	if a.isConst && a.c.Cmp(bigOne) == 0 && b.isBool {
+		r.isBool = true
+	}
+	g.cse[key] = r
+	return r, nil
+}
+
+// opMul emits w = a·b.
+func (g *codegen) opMul(tok token, a, b operand) (operand, error) {
+	if a.isConst && b.isConst {
+		return constOp(new(big.Int).Mul(a.c, b.c)), nil
+	}
+	if a.isConst && a.c.Sign() == 0 || b.isConst && b.c.Sign() == 0 {
+		return constOp(big.NewInt(0)), nil
+	}
+	if a.isConst && a.c.Cmp(bigOne) == 0 {
+		return b, nil
+	}
+	if b.isConst && b.c.Cmp(bigOne) == 0 {
+		return a, nil
+	}
+	ka, kb := opKey(a), opKey(b)
+	if ka > kb {
+		a, b = b, a
+		ka, kb = kb, ka
+	}
+	key := cseKey{op: "*", a: ka, b: kb}
+	if r, ok := g.cse[key]; ok {
+		return r, nil
+	}
+	lo, hi := rangeMul(a, b)
+	if !a.isConst && !b.isConst && a.wire == b.wire {
+		// Squaring the same wire: the result is non-negative, which generic
+		// interval multiplication cannot see.
+		l2 := new(big.Int).Mul(a.lo, a.lo)
+		h2 := new(big.Int).Mul(a.hi, a.hi)
+		hi = l2
+		if h2.Cmp(hi) > 0 {
+			hi = h2
+		}
+		lo = big.NewInt(0)
+		if a.lo.Sign() > 0 || a.hi.Sign() < 0 {
+			lo = minBig(l2, h2)
+		}
+	}
+	if err := g.checkRange(tok, lo, hi); err != nil {
+		return operand{}, err
+	}
+	w := g.newWire()
+	g.addCons(constraint.GingerConstraint{
+		g.termMul(bigOne, a, b),
+		{Coeff: g.f.Neg(g.f.One()), A: w},
+	})
+	g.instrs = append(g.instrs, instr{op: iMul, dst: w, a: refOf(a), b: refOf(b)})
+	r := operand{wire: w, lo: lo, hi: hi, isBool: a.isBool && b.isBool}
+	g.cse[key] = r
+	return r, nil
+}
+
+// opNeq emits the §2.2 inverse trick producing a boolean r = (a != b):
+//
+//	(a-b)·M - r = 0      forces r = 1 when a != b (with M = (a-b)⁻¹)
+//	(a-b)·(1-r) = 0      forces r = 1... and r = 0 when a == b
+func (g *codegen) opNeq(tok token, a, b operand) (operand, error) {
+	if a.isConst && b.isConst {
+		return boolConst(a.c.Cmp(b.c) != 0), nil
+	}
+	ka, kb := opKey(a), opKey(b)
+	if ka > kb {
+		a, b = b, a
+		ka, kb = kb, ka
+	}
+	key := cseKey{op: "!=", a: ka, b: kb}
+	if r, ok := g.cse[key]; ok {
+		return r, nil
+	}
+	rw := g.newWire()
+	mw := g.newWire()
+	mOp := operand{wire: mw}
+	// (a-b)·M - r = 0
+	g.addCons(constraint.GingerConstraint{
+		g.termMul(bigOne, a, mOp), g.termMul(bigNegOne, b, mOp),
+		{Coeff: g.f.Neg(g.f.One()), A: rw},
+	})
+	// (a-b) - (a-b)·r = 0
+	rOp := operand{wire: rw}
+	g.addCons(constraint.GingerConstraint{
+		g.term(bigOne, a), g.term(bigNegOne, b),
+		g.termMul(bigNegOne, a, rOp), g.termMul(bigOne, b, rOp),
+	})
+	g.instrs = append(g.instrs, instr{op: iNeq, dst: rw, aux: []int{mw}, a: refOf(a), b: refOf(b)})
+	r := operand{wire: rw, lo: big.NewInt(0), hi: big.NewInt(1), isBool: true}
+	g.cse[key] = r
+	return r, nil
+}
+
+func (g *codegen) opNot(tok token, a operand) (operand, error) {
+	if !a.isBool {
+		return operand{}, errAt(tok, "operand of ! must be boolean")
+	}
+	return g.opSub(tok, constOp(bigOne), a)
+}
+
+func (g *codegen) opEq(tok token, a, b operand) (operand, error) {
+	neq, err := g.opNeq(tok, a, b)
+	if err != nil {
+		return operand{}, err
+	}
+	if neq.isConst {
+		return boolConst(neq.c.Sign() == 0), nil
+	}
+	return g.opSub(tok, constOp(bigOne), neq)
+}
+
+// opLess emits the O(bit-width) comparison pseudoconstraint: a < b iff the
+// top bit of (a - b) + 2^N is zero, where N bounds |a - b|. The bits are
+// auxiliary unbound wires with b·b = b constraints plus one binding
+// constraint Σ 2^i·b_i = (a - b) + 2^N.
+func (g *codegen) opLess(tok token, a, b operand) (operand, error) {
+	if a.isConst && b.isConst {
+		return boolConst(a.c.Cmp(b.c) < 0), nil
+	}
+	key := cseKey{op: "<", a: opKey(a), b: opKey(b)}
+	if r, ok := g.cse[key]; ok {
+		return r, nil
+	}
+	d, err := g.opSub(tok, a, b)
+	if err != nil {
+		return operand{}, err
+	}
+	// Smallest N with -2^N <= lo and hi < 2^N.
+	n := 1
+	for {
+		bound := new(big.Int).Lsh(bigOne, uint(n))
+		if new(big.Int).Neg(bound).Cmp(d.lo) <= 0 && d.hi.Cmp(bound) < 0 {
+			break
+		}
+		n++
+		if n > g.maxMagBits {
+			return operand{}, errAt(tok, "comparison operands too wide for the field (need %d bits, have %d)", n, g.maxMagBits)
+		}
+	}
+	bits := make([]int, n+1)
+	var sumTerms constraint.GingerConstraint
+	for i := range bits {
+		bits[i] = g.newWire()
+		bOp := operand{wire: bits[i]}
+		// b·b - b = 0
+		g.addCons(constraint.GingerConstraint{
+			g.termMul(bigOne, bOp, bOp),
+			{Coeff: g.f.Neg(g.f.One()), A: bits[i]},
+		})
+		sumTerms = append(sumTerms, constraint.Term{Coeff: g.elem(new(big.Int).Lsh(bigOne, uint(i))), A: bits[i]})
+	}
+	// Σ 2^i·b_i - d - 2^N = 0
+	sumTerms = append(sumTerms,
+		g.term(bigNegOne, d),
+		constraint.Term{Coeff: g.elem(new(big.Int).Neg(new(big.Int).Lsh(bigOne, uint(n))))})
+	g.addCons(sumTerms)
+	g.instrs = append(g.instrs, instr{op: iDecompose, aux: bits, a: refOf(d), n: n})
+	// a < b  ⟺  d < 0  ⟺  top bit of d + 2^N is 0.
+	top := operand{wire: bits[n], lo: big.NewInt(0), hi: big.NewInt(1), isBool: true}
+	lt, err := g.opSub(tok, constOp(bigOne), top)
+	if err != nil {
+		return operand{}, err
+	}
+	g.cse[key] = lt
+	return lt, nil
+}
+
+// rangeProof emits bit-decomposition constraints forcing o ∈ [0, 2^n):
+// one b·b = b constraint per bit plus the binding sum Σ 2^i·b_i = o.
+// The solver decomposes the value directly (offset 0).
+func (g *codegen) rangeProof(o operand, n int) {
+	g.decomposeBits(o, n)
+}
+
+// opDivMod emits the integer division pseudoconstraint (floor semantics)
+// q = a / b, r = a % b via
+//
+//	a = b·q + r,   0 ≤ r < b,   0 ≤ q < 2^M
+//
+// with the range conditions enforced by bit decompositions, so the triple
+// (a, q, r) is uniquely determined and cannot wrap the field. The §5.4
+// discussion lists division among the constructs the original compiler
+// lacked; this is the natural constraint encoding for it. Requires a ≥ 0
+// and b ≥ 1 provable from the operand ranges.
+func (g *codegen) opDivMod(tok token, a, b operand) (q, r operand, err error) {
+	if b.isConst && b.c.Sign() == 0 {
+		return operand{}, operand{}, errAt(tok, "division by zero")
+	}
+	if a.isConst && b.isConst {
+		return constOp(new(big.Int).Div(a.c, b.c)), constOp(new(big.Int).Mod(a.c, b.c)), nil
+	}
+	if a.lo.Sign() < 0 {
+		return operand{}, operand{}, errAt(tok, "division requires a provably non-negative dividend (range starts at %v)", a.lo)
+	}
+	if b.lo.Sign() < 1 {
+		return operand{}, operand{}, errAt(tok, "division requires a provably positive divisor (range starts at %v)", b.lo)
+	}
+	ka, kb := opKey(a), opKey(b)
+	key := cseKey{op: "divmod", a: ka, b: kb}
+	if cached, ok := g.cse[key]; ok {
+		rkey := cseKey{op: "divmod-r", a: ka, b: kb}
+		return cached, g.cse[rkey], nil
+	}
+
+	qw := g.newWire()
+	rw := g.newWire()
+	g.instrs = append(g.instrs, instr{op: iDivMod, dst: qw, aux: []int{rw}, a: refOf(a), b: refOf(b)})
+
+	// Range proofs first: q ∈ [0, 2^M), r ∈ [0, 2^N). Until the
+	// decompositions are in place, the wires' *proven* ranges are exactly
+	// those intervals — the r < b comparison below must be built from the
+	// proven range, not the range we are trying to establish, or it could
+	// fold away unsoundly.
+	mBits := a.hi.BitLen() + 1
+	nBits := new(big.Int).Sub(b.hi, bigOne).BitLen() + 1
+	if mBits > g.maxMagBits || nBits > g.maxMagBits {
+		return operand{}, operand{}, errAt(tok, "division operands too wide for the field")
+	}
+	pow := func(n int) *big.Int {
+		return new(big.Int).Sub(new(big.Int).Lsh(bigOne, uint(n)), bigOne)
+	}
+	qProven := operand{wire: qw, lo: big.NewInt(0), hi: pow(mBits)}
+	rProven := operand{wire: rw, lo: big.NewInt(0), hi: pow(nBits)}
+	g.rangeProof(qProven, mBits)
+	g.rangeProof(rProven, nBits)
+
+	// Link: a - b·q - r = 0. With q < 2^M, r < 2^N and b ≤ b.hi the sum
+	// b·q + r stays below the field modulus (checked via maxMagBits), so
+	// the equation holds over the integers, not just mod p.
+	g.addCons(constraint.GingerConstraint{
+		g.term(bigOne, a),
+		g.termMul(bigNegOne, b, qProven),
+		{Coeff: g.f.Neg(g.f.One()), A: rw},
+	})
+	linkLo, linkHi := rangeMul(qProven, b)
+	if err := g.checkRange(tok, linkLo, new(big.Int).Add(linkHi, rProven.hi)); err != nil {
+		return operand{}, operand{}, err
+	}
+
+	// r < b, forced to hold: lt = (r < b) and lt = 1.
+	lt, err := g.opLess(tok, rProven, b)
+	if err != nil {
+		return operand{}, operand{}, err
+	}
+	g.addCons(constraint.GingerConstraint{
+		g.term(bigOne, lt),
+		{Coeff: g.f.Neg(g.f.One()), A: 0},
+	})
+
+	// Downstream ranges may now use both the proofs and the enforced
+	// inequalities: q ≤ a (since b ≥ 1) and r ≤ b-1.
+	qOut := operand{wire: qw, lo: big.NewInt(0), hi: minBig(new(big.Int).Set(a.hi), qProven.hi)}
+	rOut := operand{wire: rw, lo: big.NewInt(0), hi: minBig(new(big.Int).Sub(b.hi, bigOne), rProven.hi)}
+	g.cse[key] = qOut
+	g.cse[cseKey{op: "divmod-r", a: ka, b: kb}] = rOut
+	return qOut, rOut, nil
+}
+
+func minBig(a, b *big.Int) *big.Int {
+	if a.Cmp(b) < 0 {
+		return a
+	}
+	return b
+}
+
+// opMux emits w = cond ? x : y via the degree-2 identity
+// w = cond·x - cond·y + y.
+func (g *codegen) opMux(tok token, cond, x, y operand) (operand, error) {
+	if !cond.isBool {
+		return operand{}, errAt(tok, "mux condition must be boolean")
+	}
+	if cond.isConst {
+		if cond.c.Sign() != 0 {
+			return x, nil
+		}
+		return y, nil
+	}
+	if x.isConst && y.isConst && x.c.Cmp(y.c) == 0 {
+		return x, nil
+	}
+	if !x.isConst && !y.isConst && x.wire == y.wire {
+		return x, nil
+	}
+	key := cseKey{op: "mux", a: opKey(cond), b: opKey(x), extra: opKey(y)}
+	if r, ok := g.cse[key]; ok {
+		return r, nil
+	}
+	lo, hi := x.lo, x.hi
+	if y.lo.Cmp(lo) < 0 {
+		lo = y.lo
+	}
+	if y.hi.Cmp(hi) > 0 {
+		hi = y.hi
+	}
+	w := g.newWire()
+	g.addCons(constraint.GingerConstraint{
+		g.termMul(bigOne, cond, x),
+		g.termMul(bigNegOne, cond, y),
+		g.term(bigOne, y),
+		{Coeff: g.f.Neg(g.f.One()), A: w},
+	})
+	g.instrs = append(g.instrs, instr{op: iMux, dst: w, a: refOf(cond), b: refOf(x), c2: refOf(y)})
+	r := operand{wire: w, lo: lo, hi: hi, isBool: x.isBool && y.isBool}
+	g.cse[key] = r
+	return r, nil
+}
+
+func refOf(o operand) ref {
+	if o.isConst {
+		return ref{isConst: true, c: o.c}
+	}
+	return ref{wire: o.wire}
+}

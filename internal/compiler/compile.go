@@ -1,0 +1,681 @@
+package compiler
+
+import (
+	"fmt"
+	"math/big"
+
+	"zaatar/internal/constraint"
+	"zaatar/internal/field"
+)
+
+// Compile parses and compiles a mini-SFDL program over the given field.
+func Compile(f *field.Field, src string) (*Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g := &codegen{
+		f:          f,
+		file:       file,
+		env:        map[string]*binding{},
+		cse:        map[cseKey]operand{},
+		maxMagBits: f.Bits() - 3,
+	}
+	if err := g.compileDecls(); err != nil {
+		return nil, err
+	}
+	for _, s := range file.Stmts {
+		if err := g.compileStmt(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.finalizeOutputs(); err != nil {
+		return nil, err
+	}
+	return g.buildProgram(src)
+}
+
+// evalConst evaluates a compile-time constant expression (numbers, consts,
+// loop variables, + - *, unary -, parentheses).
+func (g *codegen) evalConst(e Expr) (*big.Int, error) {
+	switch e := e.(type) {
+	case *NumExpr:
+		return e.Val, nil
+	case *VarExpr:
+		if len(e.Index) != 0 {
+			return nil, errAt(e.Tok, "array element is not a compile-time constant")
+		}
+		b, ok := g.env[e.Name]
+		if !ok {
+			return nil, errAt(e.Tok, "undefined name %s", e.Name)
+		}
+		if !b.isConst {
+			return nil, errAt(e.Tok, "%s is not a compile-time constant", e.Name)
+		}
+		return b.constVal, nil
+	case *BinExpr:
+		l, err := g.evalConst(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.evalConst(e.R)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "+":
+			return new(big.Int).Add(l, r), nil
+		case "-":
+			return new(big.Int).Sub(l, r), nil
+		case "*":
+			return new(big.Int).Mul(l, r), nil
+		}
+		return nil, errAt(e.Tok, "operator %s not allowed in constant expressions", e.Op)
+	case *UnExpr:
+		if e.Op == "-" {
+			v, err := g.evalConst(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return new(big.Int).Neg(v), nil
+		}
+		return nil, errAt(e.Tok, "operator %s not allowed in constant expressions", e.Op)
+	default:
+		return nil, errAt(e.exprTok(), "not a compile-time constant")
+	}
+}
+
+// typeRange returns the value range of a declared type.
+func typeRange(t Type) (*big.Int, *big.Int) {
+	if t.Bool {
+		return big.NewInt(0), big.NewInt(1)
+	}
+	hi := new(big.Int).Lsh(bigOne, uint(t.Bits-1))
+	lo := new(big.Int).Neg(hi)
+	hi = new(big.Int).Sub(hi, bigOne)
+	return lo, hi
+}
+
+func (g *codegen) compileDecls() error {
+	for _, d := range g.file.Decls {
+		if _, exists := g.env[d.Name]; exists {
+			return errAt(d.Tok, "redeclaration of %s", d.Name)
+		}
+		if d.Kind == "const" {
+			v, err := g.evalConst(d.Init)
+			if err != nil {
+				return err
+			}
+			g.env[d.Name] = &binding{decl: d, isConst: true, constVal: v}
+			continue
+		}
+		dims := make([]int, len(d.Dims))
+		size := 1
+		for i, de := range d.Dims {
+			v, err := g.evalConst(de)
+			if err != nil {
+				return err
+			}
+			if !v.IsInt64() || v.Int64() < 1 || v.Int64() > 1<<20 {
+				return errAt(d.Tok, "array dimension %v out of range", v)
+			}
+			dims[i] = int(v.Int64())
+			size *= dims[i]
+		}
+		b := &binding{decl: d, dims: dims, elems: make([]operand, size)}
+		switch d.Kind {
+		case "input":
+			if d.Typ.IsRat() {
+				numLo, numHi, denLo, denHi := ratTypeRange(d.Typ)
+				for k := 0; k < size; k++ {
+					num := g.inputElem(d, dims, k, ".num", numLo, numHi, false)
+					den := g.inputElem(d, dims, k, ".den", denLo, denHi, false)
+					b.elems[k] = makeRat(num, den)
+				}
+				break
+			}
+			lo, hi := typeRange(d.Typ)
+			for k := 0; k < size; k++ {
+				b.elems[k] = g.inputElem(d, dims, k, "", lo, hi, d.Typ.Bool)
+			}
+		case "output", "var":
+			init := constOp(big.NewInt(0))
+			init.isBool = d.Typ.Bool
+			for k := 0; k < size; k++ {
+				b.elems[k] = init
+			}
+		}
+		g.env[d.Name] = b
+	}
+	return nil
+}
+
+// inputElem allocates one bound input wire plus its isolated copy wire.
+func (g *codegen) inputElem(d *Decl, dims []int, k int, suffix string, lo, hi *big.Int, isBool bool) operand {
+	inWire := g.newWire()
+	copyWire := g.newWire()
+	g.inWires = append(g.inWires, inWire)
+	g.inNames = append(g.inNames, indexedName(d.Name, dims, k)+suffix)
+	// copy - input = 0 isolates the bound wire (see package doc).
+	g.addCons(constraint.GingerConstraint{
+		{Coeff: g.f.One(), A: copyWire},
+		{Coeff: g.f.Neg(g.f.One()), A: inWire},
+	})
+	g.instrs = append(g.instrs, instr{op: iInput, dst: copyWire, aux: []int{inWire}, n: len(g.inWires) - 1})
+	g.inputRanges = append(g.inputRanges, inputRange{lo: lo, hi: hi})
+	return operand{wire: copyWire, lo: lo, hi: hi, isBool: isBool}
+}
+
+func indexedName(base string, dims []int, flat int) string {
+	if len(dims) == 0 {
+		return base
+	}
+	idx := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		idx[i] = flat % dims[i]
+		flat /= dims[i]
+	}
+	s := base
+	for _, v := range idx {
+		s += fmt.Sprintf("[%d]", v)
+	}
+	return s
+}
+
+// finalizeOutputs materializes each output variable's final value into a
+// dedicated bound output wire via a linear copy constraint.
+func (g *codegen) finalizeOutputs() error {
+	for _, d := range g.file.Decls {
+		if d.Kind != "output" {
+			continue
+		}
+		b := g.env[d.Name]
+		for k, o := range b.elems {
+			if d.Typ.IsRat() != o.isRat() && o.isRat() {
+				return errAt(d.Tok, "output %s is declared %s but holds a rational value", d.Name, d.Typ)
+			}
+			parts := []struct {
+				o      operand
+				suffix string
+			}{{numOf(o), ""}}
+			if d.Typ.IsRat() {
+				parts[0].suffix = ".num"
+				parts = append(parts, struct {
+					o      operand
+					suffix string
+				}{denOf(o), ".den"})
+			}
+			for _, part := range parts {
+				// Outputs must decode as signed integers, so their range
+				// must fit within ±p/2.
+				if err := g.checkRange(d.Tok, part.o.lo, part.o.hi); err != nil {
+					return err
+				}
+				w := g.newWire()
+				g.outWires = append(g.outWires, w)
+				g.outNames = append(g.outNames, indexedName(d.Name, b.dims, k)+part.suffix)
+				g.addCons(constraint.GingerConstraint{
+					{Coeff: g.f.One(), A: w},
+					g.term(bigNegOne, part.o),
+				})
+				g.instrs = append(g.instrs, instr{op: iCopy, dst: w, a: refOf(part.o)})
+			}
+		}
+	}
+	if len(g.outWires) == 0 {
+		return &Error{Line: 1, Col: 1, Msg: "program declares no outputs"}
+	}
+	return nil
+}
+
+func (g *codegen) compileStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *AssignStmt:
+		return g.compileAssign(s)
+	case *IfStmt:
+		return g.compileIf(s)
+	case *ForStmt:
+		return g.compileFor(s)
+	default:
+		return errAt(s.stmtTok(), "unsupported statement")
+	}
+}
+
+func (g *codegen) compileFor(s *ForStmt) error {
+	lo, err := g.evalConst(s.Lo)
+	if err != nil {
+		return err
+	}
+	hi, err := g.evalConst(s.Hi)
+	if err != nil {
+		return err
+	}
+	if !lo.IsInt64() || !hi.IsInt64() {
+		return errAt(s.Tok, "loop bounds out of range")
+	}
+	if prev, exists := g.env[s.Var]; exists && !prev.isConst {
+		return errAt(s.Tok, "loop variable %s shadows a runtime variable", s.Var)
+	}
+	saved, hadPrev := g.env[s.Var]
+	iterations := hi.Int64() - lo.Int64() + 1
+	if iterations > 1<<22 {
+		return errAt(s.Tok, "loop unrolls to %d iterations; refusing", iterations)
+	}
+	for i := lo.Int64(); i <= hi.Int64(); i++ {
+		g.env[s.Var] = &binding{isConst: true, constVal: big.NewInt(i)}
+		for _, st := range s.Body {
+			if err := g.compileStmt(st); err != nil {
+				return err
+			}
+		}
+	}
+	if hadPrev {
+		g.env[s.Var] = saved
+	} else {
+		delete(g.env, s.Var)
+	}
+	return nil
+}
+
+// journalElem records one element's pre-mutation value in the active
+// branch journal (copy-on-first-write, element granularity). Journals make
+// if/else compilation proportional to the elements a branch actually
+// writes rather than to array or environment sizes — without them, DP-style
+// programs (LCS at full size writes one cell of a 300×300 array per
+// conditional) compile quadratically.
+func (g *codegen) journalElem(name string, b *binding, k int) {
+	if g.journal == nil {
+		return
+	}
+	m := g.journal[name]
+	if m == nil {
+		m = map[int]operand{}
+		g.journal[name] = m
+	}
+	if _, ok := m[k]; !ok {
+		m[k] = b.elems[k]
+	}
+}
+
+// journalBinding journals every element of a binding (used by dynamic
+// writes, which touch the whole array).
+func (g *codegen) journalBinding(name string, b *binding) {
+	for k := range b.elems {
+		g.journalElem(name, b, k)
+	}
+}
+
+func (g *codegen) compileIf(s *IfStmt) error {
+	cond, err := g.compileExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	if !cond.isBool {
+		return errAt(s.Tok, "if condition must be boolean (use comparisons)")
+	}
+	if cond.isConst {
+		body := s.Then
+		if cond.c.Sign() == 0 {
+			body = s.Else
+		}
+		for _, st := range body {
+			if err := g.compileStmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	parent := g.journal
+
+	// Then-branch under a fresh journal.
+	jThen := map[string]map[int]operand{}
+	g.journal = jThen
+	for _, st := range s.Then {
+		if err := g.compileStmt(st); err != nil {
+			return err
+		}
+	}
+	// Capture then-results for the touched elements, then roll back to the
+	// pre-if state.
+	thenVals := make(map[string]map[int]operand, len(jThen))
+	for name, m := range jThen {
+		b := g.env[name]
+		tv := make(map[int]operand, len(m))
+		for k, orig := range m {
+			tv[k] = b.elems[k]
+			b.elems[k] = orig
+		}
+		thenVals[name] = tv
+	}
+
+	// Else-branch under its own journal.
+	jElse := map[string]map[int]operand{}
+	g.journal = jElse
+	for _, st := range s.Else {
+		if err := g.compileStmt(st); err != nil {
+			return err
+		}
+	}
+	g.journal = parent
+
+	// Merge every element either branch touched. b.elems[k] currently holds
+	// the else-side result; the then-side value is thenVals[name][k] when
+	// the then-branch wrote it, and otherwise the pre-if original (recorded
+	// in jElse, since only the else-branch wrote it).
+	names := make(map[string]bool, len(jThen)+len(jElse))
+	for name := range jThen {
+		names[name] = true
+	}
+	for name := range jElse {
+		names[name] = true
+	}
+	for name := range names {
+		b := g.env[name]
+		idx := map[int]bool{}
+		for k := range jThen[name] {
+			idx[k] = true
+		}
+		for k := range jElse[name] {
+			idx[k] = true
+		}
+		for k := range idx {
+			orig, inThen := jThen[name][k]
+			if !inThen {
+				orig = jElse[name][k]
+			}
+			// Propagate the pre-if original to the parent journal before
+			// overwriting with the merged value.
+			if parent != nil {
+				pm := parent[name]
+				if pm == nil {
+					pm = map[int]operand{}
+					parent[name] = pm
+				}
+				if _, ok := pm[k]; !ok {
+					pm[k] = orig
+				}
+			}
+			thenOp, ok := thenVals[name][k]
+			if !ok {
+				thenOp = orig // then-branch untouched ⇒ pre-if original
+			}
+			merged, err := g.muxValue(s.Tok, cond, thenOp, b.elems[k])
+			if err != nil {
+				return err
+			}
+			b.elems[k] = merged
+		}
+	}
+	return nil
+}
+
+func (g *codegen) compileAssign(s *AssignStmt) error {
+	b, ok := g.env[s.Target.Name]
+	if !ok {
+		return errAt(s.Target.Tok, "undefined variable %s", s.Target.Name)
+	}
+	if b.isConst {
+		return errAt(s.Target.Tok, "cannot assign to constant %s", s.Target.Name)
+	}
+	val, err := g.compileExpr(s.Value)
+	if err != nil {
+		return err
+	}
+	if b.decl.Typ.Bool && !val.isBool {
+		return errAt(s.Tok, "cannot assign non-boolean to bool variable %s", s.Target.Name)
+	}
+	if val.isRat() && !b.decl.Typ.IsRat() {
+		return errAt(s.Tok, "cannot assign a rational value to %s variable %s", b.decl.Typ, s.Target.Name)
+	}
+	if len(s.Target.Index) != len(b.dims) {
+		return errAt(s.Target.Tok, "%s has %d dimensions, %d indices given", s.Target.Name, len(b.dims), len(s.Target.Index))
+	}
+	if len(b.dims) == 0 {
+		g.journalElem(s.Target.Name, b, 0)
+		b.elems[0] = val
+		return nil
+	}
+	flat, dynamic, err := g.flattenIndex(s.Target, b)
+	if err != nil {
+		return err
+	}
+	if !dynamic {
+		g.journalElem(s.Target.Name, b, int(flat.c.Int64()))
+		b.elems[flat.c.Int64()] = val
+		return nil
+	}
+	g.journalBinding(s.Target.Name, b)
+	// Dynamic write: every element becomes (idx == k) ? val : old — the
+	// §5.4 cost of indirect memory access.
+	for k := range b.elems {
+		eq, err := g.opEq(s.Tok, flat, constOp(big.NewInt(int64(k))))
+		if err != nil {
+			return err
+		}
+		merged, err := g.muxValue(s.Tok, eq, val, b.elems[k])
+		if err != nil {
+			return err
+		}
+		b.elems[k] = merged
+	}
+	return nil
+}
+
+// flattenIndex folds a multi-dimensional index into a flat one. If every
+// index is a compile-time constant the result is a constant (dynamic =
+// false); otherwise it is a wire operand computed with Horner's rule.
+func (g *codegen) flattenIndex(v *VarExpr, b *binding) (operand, bool, error) {
+	flat := constOp(big.NewInt(0))
+	dynamic := false
+	for i, ie := range v.Index {
+		idx, err := g.compileExpr(ie)
+		if err != nil {
+			return operand{}, false, err
+		}
+		if idx.isConst {
+			if !idx.c.IsInt64() || idx.c.Int64() < 0 || idx.c.Int64() >= int64(b.dims[i]) {
+				return operand{}, false, errAt(ie.exprTok(), "index %v out of bounds for dimension of size %d", idx.c, b.dims[i])
+			}
+		} else {
+			dynamic = true
+		}
+		scaled, err := g.opMul(ie.exprTok(), flat, constOp(big.NewInt(int64(b.dims[i]))))
+		if err != nil {
+			return operand{}, false, err
+		}
+		flat, err = g.opAdd(ie.exprTok(), scaled, idx)
+		if err != nil {
+			return operand{}, false, err
+		}
+	}
+	return flat, dynamic, nil
+}
+
+func (g *codegen) compileExpr(e Expr) (operand, error) {
+	switch e := e.(type) {
+	case *NumExpr:
+		return constOp(e.Val), nil
+	case *BoolExpr:
+		return boolConst(e.Val), nil
+	case *VarExpr:
+		return g.compileVarExpr(e)
+	case *UnExpr:
+		x, err := g.compileExpr(e.X)
+		if err != nil {
+			return operand{}, err
+		}
+		if e.Op == "-" {
+			if x.isRat() {
+				num, err := g.opSub(e.Tok, constOp(big.NewInt(0)), numOf(x))
+				if err != nil {
+					return operand{}, err
+				}
+				return makeRat(num, denOf(x)), nil
+			}
+			return g.opSub(e.Tok, constOp(big.NewInt(0)), x)
+		}
+		return g.opNot(e.Tok, x)
+	case *BinExpr:
+		return g.compileBinExpr(e)
+	default:
+		return operand{}, errAt(e.exprTok(), "unsupported expression")
+	}
+}
+
+func (g *codegen) compileVarExpr(e *VarExpr) (operand, error) {
+	b, ok := g.env[e.Name]
+	if !ok {
+		return operand{}, errAt(e.Tok, "undefined name %s", e.Name)
+	}
+	if b.isConst {
+		if len(e.Index) != 0 {
+			return operand{}, errAt(e.Tok, "cannot index constant %s", e.Name)
+		}
+		return constOp(b.constVal), nil
+	}
+	if len(e.Index) != len(b.dims) {
+		return operand{}, errAt(e.Tok, "%s has %d dimensions, %d indices given", e.Name, len(b.dims), len(e.Index))
+	}
+	if len(b.dims) == 0 {
+		return b.elems[0], nil
+	}
+	flat, dynamic, err := g.flattenIndex(e, b)
+	if err != nil {
+		return operand{}, err
+	}
+	if !dynamic {
+		return b.elems[flat.c.Int64()], nil
+	}
+	// Dynamic read: Σ_k (idx == k)·a[k].
+	for _, el := range b.elems {
+		if el.isRat() {
+			return operand{}, errAt(e.Tok, "dynamic indexing of rational arrays is not supported")
+		}
+	}
+	acc := constOp(big.NewInt(0))
+	for k := range b.elems {
+		eq, err := g.opEq(e.Tok, flat, constOp(big.NewInt(int64(k))))
+		if err != nil {
+			return operand{}, err
+		}
+		t, err := g.opMul(e.Tok, eq, b.elems[k])
+		if err != nil {
+			return operand{}, err
+		}
+		acc, err = g.opAdd(e.Tok, acc, t)
+		if err != nil {
+			return operand{}, err
+		}
+	}
+	// The (idx == k) selectors are mutually exclusive — at most one can be
+	// 1 for a fixed idx — so the read's true range is the union of the
+	// element ranges plus 0 (the out-of-range case), not the sum the
+	// per-operation analysis accumulated. Without this, arrays rewritten in
+	// loops (e.g. Fannkuch's repeated prefix reversals) blow up their
+	// apparent ranges exponentially.
+	if !acc.isConst {
+		lo, hi := big.NewInt(0), big.NewInt(0)
+		allBool := true
+		for _, el := range b.elems {
+			if el.lo.Cmp(lo) < 0 {
+				lo = el.lo
+			}
+			if el.hi.Cmp(hi) > 0 {
+				hi = el.hi
+			}
+			allBool = allBool && el.isBool
+		}
+		acc.lo, acc.hi = lo, hi
+		acc.isBool = allBool
+	}
+	return acc, nil
+}
+
+func (g *codegen) compileBinExpr(e *BinExpr) (operand, error) {
+	l, err := g.compileExpr(e.L)
+	if err != nil {
+		return operand{}, err
+	}
+	r, err := g.compileExpr(e.R)
+	if err != nil {
+		return operand{}, err
+	}
+	if l.isRat() || r.isRat() {
+		switch e.Op {
+		case "+":
+			return g.ratAdd(e.Tok, l, r)
+		case "-":
+			return g.ratSub(e.Tok, l, r)
+		case "*":
+			return g.ratMul(e.Tok, l, r)
+		case "<", ">", "<=", ">=", "==", "!=":
+			return g.ratCompare(e.Tok, e.Op, l, r)
+		default:
+			return operand{}, errAt(e.Tok, "operator %s is not defined for rational values", e.Op)
+		}
+	}
+	switch e.Op {
+	case "+":
+		return g.opAdd(e.Tok, l, r)
+	case "-":
+		return g.opSub(e.Tok, l, r)
+	case "*":
+		return g.opMul(e.Tok, l, r)
+	case "/":
+		q, _, err := g.opDivMod(e.Tok, l, r)
+		return q, err
+	case "&", "|", "^":
+		return g.opBitwise(e.Tok, e.Op, l, r)
+	case "<<", ">>":
+		return g.opShift(e.Tok, e.Op, l, r)
+	case "%":
+		_, rem, err := g.opDivMod(e.Tok, l, r)
+		return rem, err
+	case "==":
+		return g.opEq(e.Tok, l, r)
+	case "!=":
+		return g.opNeq(e.Tok, l, r)
+	case "<":
+		return g.opLess(e.Tok, l, r)
+	case ">":
+		return g.opLess(e.Tok, r, l)
+	case "<=":
+		gt, err := g.opLess(e.Tok, r, l)
+		if err != nil {
+			return operand{}, err
+		}
+		return g.opNot(e.Tok, gt)
+	case ">=":
+		lt, err := g.opLess(e.Tok, l, r)
+		if err != nil {
+			return operand{}, err
+		}
+		return g.opNot(e.Tok, lt)
+	case "&&":
+		if !l.isBool || !r.isBool {
+			return operand{}, errAt(e.Tok, "operands of && must be boolean")
+		}
+		return g.opMul(e.Tok, l, r)
+	case "||":
+		if !l.isBool || !r.isBool {
+			return operand{}, errAt(e.Tok, "operands of || must be boolean")
+		}
+		sum, err := g.opAdd(e.Tok, l, r)
+		if err != nil {
+			return operand{}, err
+		}
+		prod, err := g.opMul(e.Tok, l, r)
+		if err != nil {
+			return operand{}, err
+		}
+		res, err := g.opSub(e.Tok, sum, prod)
+		if err != nil {
+			return operand{}, err
+		}
+		res.isBool = true
+		return res, nil
+	default:
+		return operand{}, errAt(e.Tok, "unsupported operator %s", e.Op)
+	}
+}

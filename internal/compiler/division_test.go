@@ -1,0 +1,164 @@
+package compiler
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"zaatar/internal/field"
+)
+
+// Division and modulo are the compiler extension covering one of the §5.4
+// gaps ("our compiler lacks support for certain program constructs, such as
+// ... division"). These tests pin the floor semantics and the soundness of
+// the range-proof encoding.
+
+func TestDivMod(t *testing.T) {
+	// Squaring makes the operand ranges provably non-negative/positive,
+	// which the division gadget requires (range analysis does not learn
+	// from branch conditions).
+	p := compileOK(t, `
+		input a : int16;
+		input b : int8;
+		output q, r : int32;
+		var a2, b2 : int32;
+		a2 = a * a;
+		b2 = b * b + 1;
+		q = a2 / b2;
+		r = a2 % b2;
+	`)
+	cases := [][2]int64{{100, 7}, {0, 5}, {5, 5}, {4, 5}, {181, 1}, {181, 11}, {1, 2}}
+	for _, c := range cases {
+		a2, b2 := c[0]*c[0], c[1]*c[1]+1
+		run(t, p, []int64{c[0], c[1]}, []int64{a2 / b2, a2 % b2})
+	}
+}
+
+func TestDivModRandomized(t *testing.T) {
+	p := compileOK(t, `
+		input a : int16;
+		input b : int8;
+		output q, r : int32;
+		var a2, b2 : int32;
+		a2 = a * a;
+		b2 = b * b + 1;
+		q = a2 / b2;
+		r = a2 % b2;
+	`)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		a := int64(rng.Intn(65536) - 32768)
+		b := int64(rng.Intn(256) - 128)
+		a2, b2 := a*a, b*b+1
+		run(t, p, []int64{a, b}, []int64{a2 / b2, a2 % b2})
+	}
+}
+
+func TestDivByConstant(t *testing.T) {
+	p := compileOK(t, `
+		input a : int16;
+		output h : int32;
+		var a2 : int32;
+		a2 = a * a;
+		h = a2 / 2;
+	`)
+	run(t, p, []int64{9}, []int64{40})
+	run(t, p, []int64{-3}, []int64{4})
+}
+
+func TestDivConstFolding(t *testing.T) {
+	p := compileOK(t, `
+		input x : int32;
+		output y : int64;
+		y = x + 17 / 5 + 17 % 5;
+	`)
+	// 17/5 = 3, 17%5 = 2.
+	run(t, p, []int64{0}, []int64{5})
+}
+
+func TestDivisionErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"div by zero const", `input a : int16; output y : int16; y = a / 0;`, "division by zero"},
+		{"negative dividend", `input a : int16; output y : int16; y = a / 3;`, "non-negative dividend"},
+		{"possibly zero divisor", `
+			input a, b : int16;
+			output y : int64;
+			var a2 : int32;
+			a2 = a * a;
+			y = a2 / b;`, "positive divisor"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(field.F128(), c.src)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err.Error(), c.wantSub)
+			}
+		})
+	}
+}
+
+// TestDivisionWitnessSoundness checks that a witness claiming a wrong
+// quotient violates the constraints — the range proofs pin (q, r) uniquely.
+func TestDivisionWitnessSoundness(t *testing.T) {
+	f := field.F128()
+	p := compileOK(t, `
+		input a : int8;
+		output q : int32;
+		var a2 : int32;
+		a2 = a * a;
+		q = a2 / 3;
+	`)
+	in := []int64{10}
+	_, w, err := p.SolveGinger(bigs(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ginger.Check(f, w); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the quotient output wire: the linked constraints must break.
+	out := p.Ginger.Out[0]
+	w[out] = f.Add(w[out], f.One())
+	if err := p.Ginger.Check(f, w); err == nil {
+		t.Fatal("wrong quotient accepted by the constraint system")
+	}
+}
+
+func TestDivModCSE(t *testing.T) {
+	// a/b and a%b share one divmod gadget.
+	p1 := compileOK(t, `
+		input a : int16;
+		output q, r : int32;
+		var a2 : int32;
+		a2 = a * a;
+		q = a2 / 7;
+		r = a2 % 7;
+	`)
+	p2 := compileOK(t, `
+		input a : int16;
+		output q, r : int32;
+		var a2 : int32;
+		a2 = a * a;
+		q = a2 / 7;
+		r = a2 - q * 7;
+	`)
+	// The explicit re-derivation costs at most a couple of extra wires.
+	if p1.Ginger.NumVars > p2.Ginger.NumVars+4 {
+		t.Errorf("divmod CSE ineffective: %d vs %d wires", p1.Ginger.NumVars, p2.Ginger.NumVars)
+	}
+	run(t, p1, []int64{100}, []int64{10000 / 7, 10000 % 7})
+}
+
+func bigs(vs []int64) []*big.Int {
+	out := make([]*big.Int, len(vs))
+	for i, v := range vs {
+		out[i] = big.NewInt(v)
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package compiler
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"zaatar/internal/field"
+)
+
+// Differential fuzzing: generate random well-typed programs, compile them,
+// and cross-check the compiled semantics (and witness validity) against a
+// direct interpreter. This catches interactions between features that
+// hand-written unit tests miss — constant folding vs wires, CSE, mux
+// merging, comparison widths, dynamic indexing.
+
+type fuzzGen struct {
+	rng   *rand.Rand
+	buf   strings.Builder
+	nVars int
+	nBool int
+}
+
+// intExpr emits a random integer-valued expression of bounded depth. Only
+// inputs and constants may be multiplied (keeping value ranges in check);
+// variables join through +, - and muxes.
+func (g *fuzzGen) intExpr(depth int) string {
+	if depth == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("in%d", g.rng.Intn(3))
+		case 1:
+			return fmt.Sprintf("%d", g.rng.Intn(21)-10)
+		default:
+			if g.nVars > 0 {
+				return fmt.Sprintf("v%d", g.rng.Intn(g.nVars))
+			}
+			return fmt.Sprintf("in%d", g.rng.Intn(3))
+		}
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 2:
+		// Multiplication only of leaf inputs/constants.
+		return fmt.Sprintf("(in%d * %d)", g.rng.Intn(3), g.rng.Intn(9)-4)
+	case 3:
+		return fmt.Sprintf("(-%s)", g.intExpr(depth-1))
+	default:
+		return fmt.Sprintf("(in%d * in%d)", g.rng.Intn(3), g.rng.Intn(3))
+	}
+}
+
+// boolExpr emits a random boolean expression.
+func (g *fuzzGen) boolExpr(depth int) string {
+	if depth == 0 || g.rng.Intn(3) == 0 {
+		op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(1), op, g.intExpr(1))
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("(%s && %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s || %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+	default:
+		return fmt.Sprintf("(!%s)", g.boolExpr(depth-1))
+	}
+}
+
+// program emits a random program over three int8 inputs with a handful of
+// int64 variables and statements, ending with outputs of every variable.
+func (g *fuzzGen) program(stmts int) string {
+	g.buf.Reset()
+	g.nVars = 2 + g.rng.Intn(3)
+	fmt.Fprintf(&g.buf, "input in0, in1, in2 : int8;\n")
+	var outs []string
+	for i := 0; i < g.nVars; i++ {
+		outs = append(outs, fmt.Sprintf("o%d", i))
+	}
+	fmt.Fprintf(&g.buf, "output %s : int64;\n", strings.Join(outs, ", "))
+	for i := 0; i < g.nVars; i++ {
+		fmt.Fprintf(&g.buf, "var v%d : int64;\n", i)
+	}
+	for s := 0; s < stmts; s++ {
+		v := g.rng.Intn(g.nVars)
+		switch g.rng.Intn(3) {
+		case 0, 1:
+			fmt.Fprintf(&g.buf, "v%d = %s;\n", v, g.intExpr(1+g.rng.Intn(2)))
+		default:
+			w := g.rng.Intn(g.nVars)
+			fmt.Fprintf(&g.buf, "if (%s) { v%d = %s; } else { v%d = %s; }\n",
+				g.boolExpr(1), v, g.intExpr(1), w, g.intExpr(1))
+		}
+	}
+	for i := 0; i < g.nVars; i++ {
+		fmt.Fprintf(&g.buf, "o%d = v%d;\n", i, i)
+	}
+	return g.buf.String()
+}
+
+// interp is a tiny reference interpreter over the same AST.
+type interp struct {
+	vals map[string]*big.Int
+}
+
+func (it *interp) expr(e Expr) *big.Int {
+	switch e := e.(type) {
+	case *NumExpr:
+		return e.Val
+	case *BoolExpr:
+		if e.Val {
+			return big.NewInt(1)
+		}
+		return big.NewInt(0)
+	case *VarExpr:
+		return it.vals[e.Name]
+	case *UnExpr:
+		x := it.expr(e.X)
+		if e.Op == "-" {
+			return new(big.Int).Neg(x)
+		}
+		return big.NewInt(1 - x.Int64())
+	case *BinExpr:
+		l, r := it.expr(e.L), it.expr(e.R)
+		switch e.Op {
+		case "+":
+			return new(big.Int).Add(l, r)
+		case "-":
+			return new(big.Int).Sub(l, r)
+		case "*":
+			return new(big.Int).Mul(l, r)
+		case "<":
+			return boolInt(l.Cmp(r) < 0)
+		case "<=":
+			return boolInt(l.Cmp(r) <= 0)
+		case ">":
+			return boolInt(l.Cmp(r) > 0)
+		case ">=":
+			return boolInt(l.Cmp(r) >= 0)
+		case "==":
+			return boolInt(l.Cmp(r) == 0)
+		case "!=":
+			return boolInt(l.Cmp(r) != 0)
+		case "&&":
+			return boolInt(l.Sign() != 0 && r.Sign() != 0)
+		case "||":
+			return boolInt(l.Sign() != 0 || r.Sign() != 0)
+		}
+	}
+	panic("fuzz interp: unsupported expression")
+}
+
+func boolInt(b bool) *big.Int {
+	if b {
+		return big.NewInt(1)
+	}
+	return big.NewInt(0)
+}
+
+func (it *interp) stmts(ss []Stmt) {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *AssignStmt:
+			it.vals[s.Target.Name] = it.expr(s.Value)
+		case *IfStmt:
+			if it.expr(s.Cond).Sign() != 0 {
+				it.stmts(s.Then)
+			} else {
+				it.stmts(s.Else)
+			}
+		}
+	}
+}
+
+func TestFuzzDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	g := &fuzzGen{rng: rng}
+	f := field.F128()
+	compiled := 0
+	for trial := 0; trial < 120; trial++ {
+		src := g.program(3 + rng.Intn(6))
+		prog, err := Compile(f, src)
+		if err != nil {
+			// Range overflows are expected occasionally; anything else is a
+			// generator or compiler bug.
+			if strings.Contains(err.Error(), "integer capacity") {
+				continue
+			}
+			t.Fatalf("trial %d: unexpected compile error: %v\nprogram:\n%s", trial, err, src)
+		}
+		compiled++
+
+		file, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			in := []*big.Int{
+				big.NewInt(int64(rng.Intn(256) - 128)),
+				big.NewInt(int64(rng.Intn(256) - 128)),
+				big.NewInt(int64(rng.Intn(256) - 128)),
+			}
+			it := &interp{vals: map[string]*big.Int{
+				"in0": in[0], "in1": in[1], "in2": in[2],
+			}}
+			for _, d := range file.Decls {
+				if d.Kind == "var" || d.Kind == "output" {
+					it.vals[d.Name] = big.NewInt(0)
+				}
+			}
+			it.stmts(file.Stmts)
+
+			outs, w, err := prog.SolveGinger(in)
+			if err != nil {
+				t.Fatalf("trial %d: solve: %v\nprogram:\n%s", trial, err, src)
+			}
+			if err := prog.Ginger.Check(f, w); err != nil {
+				t.Fatalf("trial %d: witness: %v\nprogram:\n%s", trial, err, src)
+			}
+			for i, name := range prog.OutputNames {
+				want := it.vals[strings.TrimPrefix(name, "o")]
+				want = it.vals["v"+strings.TrimPrefix(name, "o")]
+				if outs[i].Cmp(want) != 0 {
+					t.Fatalf("trial %d rep %d: output %s = %v, interpreter says %v\ninputs %v\nprogram:\n%s",
+						trial, rep, name, outs[i], want, in, src)
+				}
+			}
+		}
+		// Every tenth program, additionally check the quadratic system.
+		if trial%10 == 0 {
+			in := []*big.Int{big.NewInt(1), big.NewInt(-2), big.NewInt(3)}
+			_, wq, err := prog.SolveQuad(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := prog.Quad.Check(f, wq); err != nil {
+				t.Fatalf("trial %d: quad witness: %v", trial, err)
+			}
+		}
+	}
+	if compiled < 80 {
+		t.Errorf("only %d/120 random programs compiled; generator too aggressive", compiled)
+	}
+	t.Logf("fuzz: %d/120 programs compiled and matched the interpreter", compiled)
+}

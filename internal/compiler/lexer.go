@@ -1,0 +1,144 @@
+package compiler
+
+import (
+	"strings"
+	"unicode"
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos+1 >= len(l.src) {
+					return &Error{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+				}
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// twoCharOps lists the operators that must be matched greedily.
+var twoCharOps = []string{"<=", ">=", "==", "!=", "&&", "||", "<<", ">>"}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peekByte()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.peekByte())) ||
+			l.peekByte() == 'x' || l.peekByte() == 'X' ||
+			(l.peekByte() >= 'a' && l.peekByte() <= 'f') ||
+			(l.peekByte() >= 'A' && l.peekByte() <= 'F')) {
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+	case strings.ContainsRune(";,(){}[]:", rune(c)):
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	default:
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			for _, op := range twoCharOps {
+				if two == op {
+					l.advance()
+					l.advance()
+					return token{kind: tokOp, text: op, line: line, col: col}, nil
+				}
+			}
+		}
+		if strings.ContainsRune("+-*/%<>=!&|^", rune(c)) {
+			l.advance()
+			return token{kind: tokOp, text: string(c), line: line, col: col}, nil
+		}
+		return token{}, &Error{Line: line, Col: col, Msg: "unexpected character " + string(c)}
+	}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package compiler
+
+import (
+	"math/big"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse turns source text into an AST.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for p.atKeyword("const") || p.atKeyword("input") || p.atKeyword("output") || p.atKeyword("var") {
+		decls, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Decls = append(f.Decls, decls...)
+	}
+	for !p.atEOF() {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Stmts = append(f.Stmts, s)
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) atOp(s string) bool {
+	t := p.cur()
+	return t.kind == tokOp && t.text == s
+}
+
+func (p *parser) take() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectPunct(s string) (token, error) {
+	if !p.atPunct(s) {
+		return p.cur(), errAt(p.cur(), "expected %q, found %s", s, p.cur())
+	}
+	return p.take(), nil
+}
+
+func (p *parser) expectOp(s string) (token, error) {
+	if !p.atOp(s) {
+		return p.cur(), errAt(p.cur(), "expected %q, found %s", s, p.cur())
+	}
+	return p.take(), nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if p.cur().kind != tokIdent {
+		return p.cur(), errAt(p.cur(), "expected identifier, found %s", p.cur())
+	}
+	return p.take(), nil
+}
+
+var ratTypeRe = regexp.MustCompile(`^rat([0-9]+)x([0-9]+)$`)
+
+func parseType(t token) (Type, bool) {
+	if m := ratTypeRe.FindStringSubmatch(t.text); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		d, _ := strconv.Atoi(m[2])
+		if n >= 2 && n <= 64 && d >= 1 && d <= 64 {
+			return Type{RatNum: n, RatDen: d}, true
+		}
+		return Type{}, false
+	}
+	switch t.text {
+	case "bool":
+		return Type{Bool: true}, true
+	case "int8":
+		return Type{Bits: 8}, true
+	case "int16":
+		return Type{Bits: 16}, true
+	case "int32":
+		return Type{Bits: 32}, true
+	case "int64":
+		return Type{Bits: 64}, true
+	}
+	return Type{}, false
+}
+
+// parseDecl parses one declaration line, which may declare several names:
+//
+//	const N = 4;
+//	input x[N], y : int32;
+func (p *parser) parseDecl() ([]*Decl, error) {
+	kw := p.take() // const/input/output/var
+	if kw.text == "const" {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return []*Decl{{Kind: "const", Name: name.text, Init: init, Tok: name}}, nil
+	}
+
+	var decls []*Decl
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := &Decl{Kind: kw.text, Name: name.text, Tok: name}
+		for p.atPunct("[") {
+			p.take()
+			dim, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			d.Dims = append(d.Dims, dim)
+		}
+		decls = append(decls, d)
+		if p.atPunct(",") {
+			p.take()
+			continue
+		}
+		break
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	tt := p.take()
+	typ, ok := parseType(tt)
+	if !ok {
+		return nil, errAt(tt, "unknown type %s (want int8/int16/int32/int64/bool/ratNxM)", tt)
+	}
+	for _, d := range decls {
+		d.Typ = typ
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.atPunct("}") {
+		if p.atEOF() {
+			return nil, errAt(p.cur(), "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.take()
+	return out, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.atKeyword("if"):
+		tok := p.take()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.atKeyword("else") {
+			p.take()
+			if p.atKeyword("if") {
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Tok: tok}, nil
+
+	case p.atKeyword("for"):
+		tok := p.take()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.atKeyword("to") {
+			return nil, errAt(p.cur(), "expected 'to' in for loop, found %s", p.cur())
+		}
+		p.take()
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: name.text, Lo: lo, Hi: hi, Body: body, Tok: tok}, nil
+
+	case p.cur().kind == tokIdent:
+		target, err := p.parseVarRef()
+		if err != nil {
+			return nil, err
+		}
+		eq, err := p.expectOp("=")
+		if err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: target, Value: val, Tok: eq}, nil
+
+	default:
+		return nil, errAt(p.cur(), "expected statement, found %s", p.cur())
+	}
+}
+
+func (p *parser) parseVarRef() (*VarExpr, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	v := &VarExpr{Name: name.text, Tok: name}
+	for p.atPunct("[") {
+		p.take()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		v.Index = append(v.Index, idx)
+	}
+	return v, nil
+}
+
+// Expression grammar, lowest precedence first:
+// or → and → equality → relational → additive → multiplicative → unary → primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseBinLevel(ops []string, sub func() (Expr, error)) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.atOp(op) {
+				tok := p.take()
+				r, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				l = &BinExpr{Op: op, L: l, R: r, Tok: tok}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.parseBinLevel([]string{"||"}, p.parseAnd)
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	return p.parseBinLevel([]string{"&&"}, p.parseBitOr)
+}
+
+func (p *parser) parseBitOr() (Expr, error) {
+	return p.parseBinLevel([]string{"|"}, p.parseBitXor)
+}
+
+func (p *parser) parseBitXor() (Expr, error) {
+	return p.parseBinLevel([]string{"^"}, p.parseBitAnd)
+}
+
+func (p *parser) parseBitAnd() (Expr, error) {
+	return p.parseBinLevel([]string{"&"}, p.parseEquality)
+}
+
+func (p *parser) parseEquality() (Expr, error) {
+	return p.parseBinLevel([]string{"==", "!="}, p.parseRelational)
+}
+
+func (p *parser) parseRelational() (Expr, error) {
+	return p.parseBinLevel([]string{"<=", ">=", "<", ">"}, p.parseShift)
+}
+
+func (p *parser) parseShift() (Expr, error) {
+	return p.parseBinLevel([]string{"<<", ">>"}, p.parseAdditive)
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	return p.parseBinLevel([]string{"+", "-"}, p.parseMultiplicative)
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	return p.parseBinLevel([]string{"*", "/", "%"}, p.parseUnary)
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.atOp("-") || p.atOp("!") {
+		tok := p.take()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: tok.text, X: x, Tok: tok}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.take()
+		base := 10
+		digits := t.text
+		if strings.HasPrefix(digits, "0x") || strings.HasPrefix(digits, "0X") {
+			base = 16
+			digits = digits[2:]
+		}
+		v, ok := new(big.Int).SetString(digits, base)
+		if !ok {
+			return nil, errAt(t, "bad number literal %s", t)
+		}
+		return &NumExpr{Val: v, Tok: t}, nil
+	case t.kind == tokKeyword && (t.text == "true" || t.text == "false"):
+		p.take()
+		return &BoolExpr{Val: t.text == "true", Tok: t}, nil
+	case t.kind == tokIdent:
+		return p.parseVarRef()
+	case p.atPunct("("):
+		p.take()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errAt(t, "expected expression, found %s", t)
+	}
+}

@@ -1,0 +1,159 @@
+package compiler
+
+import (
+	"fmt"
+	"math/big"
+
+	"zaatar/internal/constraint"
+	"zaatar/internal/field"
+)
+
+// Program is a compiled computation: the equivalent constraint systems in
+// both dialects (already in canonical wire order for the PCPs) plus the
+// straight-line solver that generates witnesses.
+type Program struct {
+	Field  *field.Field
+	Source string
+
+	// Ginger is the canonical degree-2 constraint system (§2.2).
+	Ginger *constraint.GingerSystem
+	// Quad is the canonical quadratic-form system obtained by the §4
+	// transform.
+	Quad *constraint.QuadSystem
+
+	InputNames  []string
+	OutputNames []string
+
+	// internal state
+	numWires    int
+	instrs      []instr
+	inWires     []int // raw wire order
+	outWires    []int
+	inputRanges []inputRange
+
+	rawGinger  *constraint.GingerSystem
+	rawQuad    *constraint.QuadSystem
+	gingerPerm constraint.Permutation
+	quadPerm   constraint.Permutation
+}
+
+func (g *codegen) buildProgram(src string) (*Program, error) {
+	raw := &constraint.GingerSystem{
+		NumVars: g.numWires,
+		In:      g.inWires,
+		Out:     g.outWires,
+		Cons:    g.cons,
+	}
+	rawQuad := constraint.ToQuad(g.f, raw)
+	ginger, gperm := raw.Normalize()
+	quad, qperm := rawQuad.Normalize()
+	p := &Program{
+		Field:       g.f,
+		Source:      src,
+		Ginger:      ginger,
+		Quad:        quad,
+		InputNames:  g.inNames,
+		OutputNames: g.outNames,
+		numWires:    g.numWires,
+		instrs:      g.instrs,
+		inWires:     g.inWires,
+		outWires:    g.outWires,
+		rawGinger:   raw,
+		rawQuad:     rawQuad,
+		gingerPerm:  gperm,
+		quadPerm:    qperm,
+		inputRanges: g.inputRanges,
+	}
+	return p, nil
+}
+
+// NumInputs returns the number of (flattened) input values.
+func (p *Program) NumInputs() int { return len(p.inWires) }
+
+// NumOutputs returns the number of (flattened) output values.
+func (p *Program) NumOutputs() int { return len(p.outWires) }
+
+// Execute runs the computation and returns only the outputs — the baseline
+// "local computation" of §5.2.
+func (p *Program) Execute(inputs []*big.Int) ([]*big.Int, error) {
+	outs, _, err := p.execute(inputs)
+	return outs, err
+}
+
+// SolveGinger executes the computation and returns the outputs plus a
+// satisfying assignment of p.Ginger (canonical order).
+func (p *Program) SolveGinger(inputs []*big.Int) ([]*big.Int, []field.Element, error) {
+	outs, vals, err := p.execute(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := p.gingerPerm.ApplyToAssignment(p.assignmentFromVals(vals))
+	return outs, w, nil
+}
+
+// SolveQuad executes the computation and returns the outputs plus a
+// satisfying assignment of p.Quad (canonical order). The §4 transform's
+// product variables are computed on the way.
+func (p *Program) SolveQuad(inputs []*big.Int) ([]*big.Int, []field.Element, error) {
+	outs, vals, err := p.execute(inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw := p.assignmentFromVals(vals)
+	extended := constraint.ExtendAssignment(p.Field, p.rawGinger, p.rawQuad, raw)
+	return outs, p.quadPerm.ApplyToAssignment(extended), nil
+}
+
+// IOValues encodes concrete inputs and outputs as the bound-wire value
+// vector the PCP verifier consumes (inputs first, then outputs — the
+// canonical order both Normalize calls produce).
+func (p *Program) IOValues(inputs, outputs []*big.Int) ([]field.Element, error) {
+	if len(inputs) != len(p.inWires) || len(outputs) != len(p.outWires) {
+		return nil, fmt.Errorf("compiler: io size mismatch (want %d inputs, %d outputs)", len(p.inWires), len(p.outWires))
+	}
+	out := make([]field.Element, 0, len(inputs)+len(outputs))
+	for _, v := range inputs {
+		out = append(out, p.Field.FromBig(v))
+	}
+	for _, v := range outputs {
+		out = append(out, p.Field.FromBig(v))
+	}
+	return out, nil
+}
+
+// DecodeOutputs converts field-encoded outputs back to signed integers.
+func (p *Program) DecodeOutputs(vals []field.Element) []*big.Int {
+	out := make([]*big.Int, len(vals))
+	for i, v := range vals {
+		out[i] = p.Field.SignedBig(v)
+	}
+	return out
+}
+
+// EncodingStats returns the Figure 9 quantities for this program.
+type EncodingStats struct {
+	GingerVars        int // |Z_ginger| (unbound)
+	ZaatarVars        int // |Z_zaatar|
+	GingerConstraints int // |C_ginger|
+	ZaatarConstraints int // |C_zaatar|
+	K                 int
+	K2                int
+	UGinger           int // |u_ginger| = |Z|+|Z|²
+	UZaatar           int // |u_zaatar| = |Z|+|C|
+}
+
+// Stats computes the encoding statistics of Figure 9.
+func (p *Program) Stats() EncodingStats {
+	st := p.Ginger.Stats()
+	ug, uz := constraint.ProofVectorSizes(p.Ginger, p.Quad)
+	return EncodingStats{
+		GingerVars:        st.NumUnbound,
+		ZaatarVars:        p.Quad.NumUnbound(),
+		GingerConstraints: st.NumConstraints,
+		ZaatarConstraints: p.Quad.NumConstraints(),
+		K:                 st.K,
+		K2:                st.K2,
+		UGinger:           ug,
+		UZaatar:           uz,
+	}
+}

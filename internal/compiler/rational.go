@@ -1,0 +1,167 @@
+package compiler
+
+import (
+	"math/big"
+)
+
+// Rational numbers. The paper's benchmark configurations (b) and (c) use
+// rational inputs — §5.1: "rational number inputs with 32-bit numerators,
+// 5-bit denominators, and a field modulus of 220 bits". This implementation
+// represents a rational as an explicit (numerator, denominator) wire pair
+// with the denominator provably positive:
+//
+//	a/b + c/d = (ad + cb)/(bd)      a/b · c/d = (ac)/(bd)
+//	a/b < c/d ⇔ ad < cb            (valid because b, d > 0)
+//
+// Numerator and denominator ranges grow multiplicatively with each
+// operation, which is why rational computations need the larger 220-bit
+// modulus — the compiler's range analysis enforces exactly that, mirroring
+// the paper's field-size requirement.
+//
+// A rational type is written ratNxM: N-bit signed numerator, M-bit positive
+// denominator, e.g. `input x[4] : rat32x5;`. Each rational input consumes
+// two input values (numerator then denominator, with 1 ≤ den < 2^M); each
+// rational output produces two output values. Outputs are exact but not
+// reduced to lowest terms.
+
+// isRat reports whether the operand carries a denominator.
+func (o operand) isRat() bool { return o.den != nil }
+
+// denOf returns the denominator operand, treating integers as den = 1.
+func denOf(o operand) operand {
+	if o.den != nil {
+		return *o.den
+	}
+	return constOp(big.NewInt(1))
+}
+
+// numOf returns the numerator part.
+func numOf(o operand) operand {
+	n := o
+	n.den = nil
+	return n
+}
+
+func makeRat(num, den operand) operand {
+	if den.isConst && den.c.Cmp(bigOne) == 0 {
+		return num
+	}
+	num.den = &den
+	return num
+}
+
+// ratCross computes the cross products (a.num·b.den, b.num·a.den) used by
+// addition and every comparison.
+func (g *codegen) ratCross(tok token, a, b operand) (ad, cb operand, err error) {
+	ad, err = g.opMul(tok, numOf(a), denOf(b))
+	if err != nil {
+		return operand{}, operand{}, err
+	}
+	cb, err = g.opMul(tok, numOf(b), denOf(a))
+	if err != nil {
+		return operand{}, operand{}, err
+	}
+	return ad, cb, nil
+}
+
+func (g *codegen) ratAdd(tok token, a, b operand) (operand, error) {
+	ad, cb, err := g.ratCross(tok, a, b)
+	if err != nil {
+		return operand{}, err
+	}
+	num, err := g.opAdd(tok, ad, cb)
+	if err != nil {
+		return operand{}, err
+	}
+	den, err := g.opMul(tok, denOf(a), denOf(b))
+	if err != nil {
+		return operand{}, err
+	}
+	return makeRat(num, den), nil
+}
+
+func (g *codegen) ratSub(tok token, a, b operand) (operand, error) {
+	ad, cb, err := g.ratCross(tok, a, b)
+	if err != nil {
+		return operand{}, err
+	}
+	num, err := g.opSub(tok, ad, cb)
+	if err != nil {
+		return operand{}, err
+	}
+	den, err := g.opMul(tok, denOf(a), denOf(b))
+	if err != nil {
+		return operand{}, err
+	}
+	return makeRat(num, den), nil
+}
+
+func (g *codegen) ratMul(tok token, a, b operand) (operand, error) {
+	num, err := g.opMul(tok, numOf(a), numOf(b))
+	if err != nil {
+		return operand{}, err
+	}
+	den, err := g.opMul(tok, denOf(a), denOf(b))
+	if err != nil {
+		return operand{}, err
+	}
+	return makeRat(num, den), nil
+}
+
+// ratCompare dispatches a comparison through cross-multiplication. The
+// denominators' ranges guarantee positivity, so the order is preserved.
+func (g *codegen) ratCompare(tok token, op string, a, b operand) (operand, error) {
+	ad, cb, err := g.ratCross(tok, a, b)
+	if err != nil {
+		return operand{}, err
+	}
+	switch op {
+	case "<":
+		return g.opLess(tok, ad, cb)
+	case ">":
+		return g.opLess(tok, cb, ad)
+	case "<=":
+		gt, err := g.opLess(tok, cb, ad)
+		if err != nil {
+			return operand{}, err
+		}
+		return g.opNot(tok, gt)
+	case ">=":
+		lt, err := g.opLess(tok, ad, cb)
+		if err != nil {
+			return operand{}, err
+		}
+		return g.opNot(tok, lt)
+	case "==":
+		return g.opEq(tok, ad, cb)
+	default: // "!="
+		return g.opNeq(tok, ad, cb)
+	}
+}
+
+// muxValue muxes full values, including denominators for rationals.
+func (g *codegen) muxValue(tok token, cond, x, y operand) (operand, error) {
+	if !x.isRat() && !y.isRat() {
+		return g.opMux(tok, cond, x, y)
+	}
+	num, err := g.opMux(tok, cond, numOf(x), numOf(y))
+	if err != nil {
+		return operand{}, err
+	}
+	den, err := g.opMux(tok, cond, denOf(x), denOf(y))
+	if err != nil {
+		return operand{}, err
+	}
+	return makeRat(num, den), nil
+}
+
+// ratTypeRange returns numerator and denominator ranges for a declared
+// rational type.
+func ratTypeRange(t Type) (numLo, numHi, denLo, denHi *big.Int) {
+	numHi = new(big.Int).Lsh(bigOne, uint(t.RatNum-1))
+	numLo = new(big.Int).Neg(numHi)
+	numHi = new(big.Int).Sub(numHi, bigOne)
+	denLo = big.NewInt(1)
+	denHi = new(big.Int).Sub(new(big.Int).Lsh(bigOne, uint(t.RatDen)), bigOne)
+	return
+}

@@ -1,0 +1,264 @@
+package compiler
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"zaatar/internal/field"
+)
+
+// Rational support mirrors the paper's §5.1 configurations (b) and (c):
+// rational inputs with bounded numerators/denominators, at the 220-bit
+// modulus. Outputs come back as (num, den) pairs, exact but unreduced.
+
+// runRat executes and compares outputs as rationals.
+func runRat(t *testing.T, p *Program, inputs []int64, want []*big.Rat) {
+	t.Helper()
+	in := make([]*big.Int, len(inputs))
+	for i, v := range inputs {
+		in[i] = big.NewInt(v)
+	}
+	outs, w, err := p.SolveQuad(in)
+	if err != nil {
+		t.Fatalf("SolveQuad: %v", err)
+	}
+	if err := p.Quad.Check(p.Field, w); err != nil {
+		t.Fatalf("witness: %v", err)
+	}
+	if len(outs) != 2*len(want) {
+		t.Fatalf("got %d output values, want %d (num/den pairs)", len(outs), 2*len(want))
+	}
+	for i := range want {
+		num, den := outs[2*i], outs[2*i+1]
+		if den.Sign() <= 0 {
+			t.Fatalf("output %d denominator %v not positive", i, den)
+		}
+		got := new(big.Rat).SetFrac(num, den)
+		if got.Cmp(want[i]) != 0 {
+			t.Fatalf("output %d (%s/%s) = %v, want %v", i, num, den, got, want[i])
+		}
+	}
+}
+
+func TestRationalArithmetic(t *testing.T) {
+	p, err := Compile(field.F220(), `
+		input a, b : rat16x5;
+		output sum, diff, prod : rat16x5;
+		sum = a + b;
+		diff = a - b;
+		prod = a * b;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a = 3/4, b = -5/6
+	a := big.NewRat(3, 4)
+	b := big.NewRat(-5, 6)
+	runRat(t, p, []int64{3, 4, -5, 6}, []*big.Rat{
+		new(big.Rat).Add(a, b),
+		new(big.Rat).Sub(a, b),
+		new(big.Rat).Mul(a, b),
+	})
+}
+
+func TestRationalComparisons(t *testing.T) {
+	p, err := Compile(field.F220(), `
+		input a, b : rat16x5;
+		output lt, le, gt, ge, eq, ne : bool;
+		lt = a < b;
+		le = a <= b;
+		gt = a > b;
+		ge = a >= b;
+		eq = a == b;
+		ne = a != b;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   []int64
+		want []int64
+	}{
+		// 1/2 vs 2/3
+		{[]int64{1, 2, 2, 3}, []int64{1, 1, 0, 0, 0, 1}},
+		// 2/4 vs 1/2 (equal, different representations)
+		{[]int64{2, 4, 1, 2}, []int64{0, 1, 0, 1, 1, 0}},
+		// -1/3 vs -2/3
+		{[]int64{-1, 3, -2, 3}, []int64{0, 0, 1, 1, 0, 1}},
+	}
+	for _, c := range cases {
+		run(t, p, c.in, c.want)
+	}
+}
+
+func TestRationalIfAndNegation(t *testing.T) {
+	p, err := Compile(field.F220(), `
+		input x : rat16x5;
+		output y : rat16x5;
+		if (x < 0) { y = -x; } else { y = x; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runRat(t, p, []int64{-7, 3}, []*big.Rat{big.NewRat(7, 3)})
+	runRat(t, p, []int64{7, 3}, []*big.Rat{big.NewRat(7, 3)})
+}
+
+func TestRationalIntMixing(t *testing.T) {
+	p, err := Compile(field.F220(), `
+		input x : rat16x5;
+		input k : int8;
+		output y : rat16x5;
+		y = x * k + 1;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (5/2)·3 + 1 = 17/2
+	runRat(t, p, []int64{5, 2, 3}, []*big.Rat{big.NewRat(17, 2)})
+}
+
+func TestRationalBisectionViaPairs(t *testing.T) {
+	// Proper rational bisection: midpoint via (l+h) * (1/2) expressed as a
+	// rational constant 1/2 input.
+	p, err := Compile(field.F220(), `
+		const L = 5;
+		input a, b, c : rat8x2;
+		input half : rat8x2;
+		output root : rat64x40;
+		var l, h, mid, pm : rat64x40;
+		l = 0 - 8;
+		h = 8;
+		for t = 1 to L {
+			mid = (l + h) * half;
+			pm = a * mid * mid + b * mid + c;
+			if (pm < 0) { l = mid; } else { h = mid; }
+		}
+		root = l;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p(x) = x - 3 (a=0, b=1, c=-3), root 3 in [-8, 8].
+	outs, w, err := p.SolveQuad([]*big.Int{
+		big.NewInt(0), big.NewInt(1), // a = 0/1
+		big.NewInt(1), big.NewInt(1), // b = 1/1
+		big.NewInt(-3), big.NewInt(1), // c = -3/1
+		big.NewInt(1), big.NewInt(2), // half = 1/2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Quad.Check(p.Field, w); err != nil {
+		t.Fatal(err)
+	}
+	got := new(big.Rat).SetFrac(outs[0], outs[1])
+	// After 5 bisections of [-8, 8], l is within 16/2^5 = 0.5 below the root.
+	lo := big.NewRat(5, 2) // 2.5
+	hi := big.NewRat(3, 1) // 3.0
+	if got.Cmp(lo) < 0 || got.Cmp(hi) > 0 {
+		t.Fatalf("bisection result %v outside [%v, %v]", got, lo, hi)
+	}
+}
+
+func TestRationalRandomized(t *testing.T) {
+	p, err := Compile(field.F220(), `
+		input a, b, c : rat16x5;
+		output m : rat16x5;
+		m = a;
+		if (b < m) { m = b; }
+		if (c < m) { m = c; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20; i++ {
+		var ins []int64
+		var rats []*big.Rat
+		for j := 0; j < 3; j++ {
+			n := int64(rng.Intn(2000) - 1000)
+			d := int64(1 + rng.Intn(30))
+			ins = append(ins, n, d)
+			rats = append(rats, big.NewRat(n, d))
+		}
+		min := rats[0]
+		for _, r := range rats[1:] {
+			if r.Cmp(min) < 0 {
+				min = r
+			}
+		}
+		runRat(t, p, ins, []*big.Rat{min})
+	}
+}
+
+func TestRationalInputValidation(t *testing.T) {
+	p, err := Compile(field.F220(), `
+		input x : rat8x3;
+		output y : rat8x3;
+		y = x;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Denominator 0 is out of the declared [1, 7] range.
+	if _, err := p.Execute([]*big.Int{big.NewInt(1), big.NewInt(0)}); err == nil {
+		t.Error("zero denominator accepted")
+	}
+	if _, err := p.Execute([]*big.Int{big.NewInt(1), big.NewInt(8)}); err == nil {
+		t.Error("oversized denominator accepted")
+	}
+	if _, err := p.Execute([]*big.Int{big.NewInt(1), big.NewInt(3)}); err != nil {
+		t.Errorf("valid rational input rejected: %v", err)
+	}
+}
+
+func TestRationalErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"rat to int", `input x : rat8x2; output y : int32; y = x;`, "rational"},
+		{"rat logical", `input x : rat8x2; output y : bool; y = x && (x > 0);`, "not defined for rational"},
+		{"rat division", `input x, z : rat8x2; output y : rat8x2; y = x / z;`, "not defined for rational"},
+		{"rat bitwise", `input x, z : rat8x2; output y : rat8x2; y = x & z;`, "not defined for rational"},
+		{"rat dynamic index", `
+			input a[3] : rat8x2;
+			input i : int8;
+			output y : rat8x2;
+			y = a[i];`, "dynamic indexing of rational"},
+		{"bad rat type", `input x : rat99x2; output y : int8; y = 0;`, "unknown type"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(field.F220(), c.src)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err.Error(), c.wantSub)
+			}
+		})
+	}
+}
+
+func TestRationalRangeGrowthNeedsBigField(t *testing.T) {
+	// Repeated rational multiplication doubles num/den widths; the 128-bit
+	// field runs out where the 220-bit field still fits — the reason §5.1
+	// runs rational benchmarks at a 220-bit modulus.
+	src := `
+		input x : rat40x30;
+		output y : rat64x64;
+		var t : rat64x64;
+		t = x * x;
+		t = t * t;
+		y = t;
+	`
+	if _, err := Compile(field.F128(), src); err == nil {
+		t.Fatal("128-bit field accepted a range-overflowing rational program")
+	}
+	if _, err := Compile(field.F220(), src); err != nil {
+		t.Fatalf("220-bit field rejected a fitting rational program: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package compiler
+
+import (
+	"fmt"
+	"math/big"
+
+	"zaatar/internal/field"
+)
+
+// The solver executes the compiled straight-line program over exact signed
+// integers (big.Int), producing the outputs and a satisfying assignment of
+// the constraint system. This is the prover's "solve constraints" phase of
+// Figure 5: by construction, executing the computation and recording every
+// intermediate value (plus the auxiliary values demanded by
+// pseudoconstraints — inverse witnesses M and comparison bits) yields a
+// witness for the equivalent constraints (§2.1 step Á).
+
+type opcode int
+
+const (
+	iInput opcode = iota
+	iAdd
+	iSub
+	iMul
+	iNeq          // dst = (a != b), aux[0] = field inverse of (a-b) or 0
+	iDecompose    // aux = bits of (a + 2^n), little-endian
+	iDecomposeRaw // aux = bits of a (which must lie in [0, 2^n)), little-endian
+	iMux          // dst = a(cond) != 0 ? b : c2
+	iCopy         // dst = a
+	iDivMod       // dst = a / b (floor), aux[0] = a % b; requires a ≥ 0, b ≥ 1
+	iLinComb      // dst = Σ coeffs[i]·srcs[i]
+)
+
+// ref is an instruction operand: a wire or an immediate constant.
+type ref struct {
+	isConst bool
+	c       *big.Int
+	wire    int
+}
+
+type instr struct {
+	op   opcode
+	dst  int
+	aux  []int
+	a, b ref
+	c2   ref
+	n    int // input index for iInput; bit width for iDecompose
+
+	// iLinComb operands.
+	srcs   []ref
+	coeffs []*big.Int
+}
+
+func (r ref) value(vals []*big.Int) *big.Int {
+	if r.isConst {
+		return r.c
+	}
+	return vals[r.wire]
+}
+
+// Execute runs the program on the given inputs (signed integers that must
+// fit the declared input types) and returns the outputs plus the raw wire
+// values.
+func (p *Program) execute(inputs []*big.Int) ([]*big.Int, []*big.Int, error) {
+	if len(inputs) != len(p.inWires) {
+		return nil, nil, fmt.Errorf("compiler: program takes %d inputs, got %d", len(p.inWires), len(inputs))
+	}
+	for i, d := range p.inputRanges {
+		if inputs[i].Cmp(d.lo) < 0 || inputs[i].Cmp(d.hi) > 0 {
+			return nil, nil, fmt.Errorf("compiler: input %s = %v out of range [%v, %v]",
+				p.InputNames[i], inputs[i], d.lo, d.hi)
+		}
+	}
+	vals := make([]*big.Int, p.numWires+1)
+	vals[0] = big.NewInt(1)
+	f := p.Field
+	for _, in := range p.instrs {
+		switch in.op {
+		case iInput:
+			vals[in.aux[0]] = inputs[in.n]
+			vals[in.dst] = inputs[in.n]
+		case iAdd:
+			vals[in.dst] = new(big.Int).Add(in.a.value(vals), in.b.value(vals))
+		case iSub:
+			vals[in.dst] = new(big.Int).Sub(in.a.value(vals), in.b.value(vals))
+		case iMul:
+			vals[in.dst] = new(big.Int).Mul(in.a.value(vals), in.b.value(vals))
+		case iNeq:
+			d := new(big.Int).Sub(in.a.value(vals), in.b.value(vals))
+			if d.Sign() == 0 {
+				vals[in.dst] = big.NewInt(0)
+				vals[in.aux[0]] = big.NewInt(0)
+			} else {
+				vals[in.dst] = big.NewInt(1)
+				// M = (a-b)⁻¹ exists only in the field.
+				vals[in.aux[0]] = f.ToBig(f.Inv(f.FromBig(d)))
+			}
+		case iDecompose:
+			shifted := new(big.Int).Add(in.a.value(vals), new(big.Int).Lsh(bigOne, uint(in.n)))
+			if shifted.Sign() < 0 || shifted.BitLen() > in.n+1 {
+				return nil, nil, fmt.Errorf("compiler: internal error: decompose value %v outside [0, 2^%d)", shifted, in.n+1)
+			}
+			for i, bw := range in.aux {
+				vals[bw] = big.NewInt(int64(shifted.Bit(i)))
+			}
+		case iDecomposeRaw:
+			v := in.a.value(vals)
+			if v.Sign() < 0 || v.BitLen() > in.n {
+				return nil, nil, fmt.Errorf("compiler: internal error: raw decompose value %v outside [0, 2^%d)", v, in.n)
+			}
+			for i, bw := range in.aux {
+				vals[bw] = big.NewInt(int64(v.Bit(i)))
+			}
+		case iDivMod:
+			av, bv := in.a.value(vals), in.b.value(vals)
+			if bv.Sign() <= 0 || av.Sign() < 0 {
+				return nil, nil, fmt.Errorf("compiler: internal error: divmod operands %v / %v out of range", av, bv)
+			}
+			q, r := new(big.Int).QuoRem(av, bv, new(big.Int))
+			vals[in.dst] = q
+			vals[in.aux[0]] = r
+		case iLinComb:
+			acc := new(big.Int)
+			for i, src := range in.srcs {
+				acc.Add(acc, new(big.Int).Mul(in.coeffs[i], src.value(vals)))
+			}
+			vals[in.dst] = acc
+		case iMux:
+			if in.a.value(vals).Sign() != 0 {
+				vals[in.dst] = in.b.value(vals)
+			} else {
+				vals[in.dst] = in.c2.value(vals)
+			}
+		case iCopy:
+			vals[in.dst] = in.a.value(vals)
+		}
+	}
+	outs := make([]*big.Int, len(p.outWires))
+	for i, w := range p.outWires {
+		outs[i] = vals[w]
+	}
+	return outs, vals, nil
+}
+
+// assignmentFromVals converts raw wire values into a field assignment.
+func (p *Program) assignmentFromVals(vals []*big.Int) []field.Element {
+	w := make([]field.Element, len(vals))
+	w[0] = p.Field.One()
+	for i := 1; i < len(vals); i++ {
+		if vals[i] == nil {
+			w[i] = p.Field.Zero() // unreferenced wire (cannot happen for compiled wires)
+			continue
+		}
+		w[i] = p.Field.FromBig(vals[i])
+	}
+	return w
+}

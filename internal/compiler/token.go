@@ -1,0 +1,87 @@
+// Package compiler translates programs written in a small C-like language
+// ("mini-SFDL") into the degree-2 constraint systems of internal/constraint,
+// and solves them: executing the compiled program on concrete inputs yields
+// both the outputs and a satisfying assignment (the prover's witness).
+//
+// This reproduces the role of Zaatar's compiler (§2.2, §4, §5.4), which
+// descends from Fairplay's SFDL compiler: programs with loops, conditionals,
+// arrays, comparisons and logical operators are unrolled into a list of
+// assignment statements, each becoming a constraint or pseudoconstraint:
+//
+//   - arithmetic (+, -, *) maps directly to constraint terms;
+//   - x != y uses the inverse trick of §2.2: {(x−y)·M = r, (x−y)·(1−r) = 0};
+//   - order comparisons expand to O(bit width) constraints via binary
+//     decomposition (the O(log |F|) pseudoconstraints of §2.2);
+//   - if/else compiles both branches and muxes the assigned variables;
+//   - array indices that cannot be resolved at compile time expand into
+//     equality-mux chains — the "excessive number of constraints" for
+//     indirect memory access that §5.4 warns about.
+//
+// Input and output wires are isolated behind copy constraints so that no
+// degree-2 term ever touches a bound wire; this is what lets both PCPs reuse
+// one query set across a batch (see internal/pcp).
+//
+// The language:
+//
+//	const N = 4;
+//	input x[N] : int32;
+//	output y : int32;
+//	var acc : int64;
+//	acc = 0;
+//	for i = 0 to N-1 {
+//	    if (x[i] > 0) { acc = acc + x[i]; } else { acc = acc - x[i]; }
+//	}
+//	y = acc;
+//
+// Declarations (const/input/output/var) come first, then statements.
+// Types are int8, int16, int32, int64 and bool. for-loop bounds and array
+// dimensions must be compile-time constants; loops are inclusive of both
+// bounds and iterate upward.
+package compiler
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct   // ; , ( ) { } [ ] :
+	tokOp      // + - * < <= > >= == != && || ! =
+	tokKeyword // const input output var if else for to
+)
+
+var keywords = map[string]bool{
+	"const": true, "input": true, "output": true, "var": true,
+	"if": true, "else": true, "for": true, "to": true,
+	"true": true, "false": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error is a compile-time error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("compiler: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t token, format string, args ...any) *Error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,128 @@
+package constraint
+
+import "zaatar/internal/field"
+
+// Permutation maps old wire indices to new ones; perm[0] == 0 always (the
+// constant wire never moves).
+type Permutation []int
+
+// Apply re-indexes a wire through the permutation.
+func (p Permutation) Apply(wire int) int { return p[wire] }
+
+// ApplyToAssignment re-orders an assignment vector (indexed by wire) into
+// the permuted wire space.
+func (p Permutation) ApplyToAssignment(w []field.Element) []field.Element {
+	out := make([]field.Element, len(w))
+	for old, v := range w {
+		out[p[old]] = v
+	}
+	return out
+}
+
+// buildPerm computes the canonical wire order used by the PCPs (§A.1): the
+// unbound variables Z occupy wires 1..n′, then inputs, then outputs.
+func buildPerm(numVars int, in, out []int) Permutation {
+	bound := make([]bool, numVars+1)
+	for _, w := range in {
+		bound[w] = true
+	}
+	for _, w := range out {
+		bound[w] = true
+	}
+	perm := make(Permutation, numVars+1)
+	next := 1
+	for w := 1; w <= numVars; w++ {
+		if !bound[w] {
+			perm[w] = next
+			next++
+		}
+	}
+	for _, w := range in {
+		perm[w] = next
+		next++
+	}
+	for _, w := range out {
+		perm[w] = next
+		next++
+	}
+	return perm
+}
+
+func permLinComb(p Permutation, lc LinComb) LinComb {
+	out := make(LinComb, len(lc))
+	for i, t := range lc {
+		out[i] = LinTerm{Coeff: t.Coeff, Var: p[t.Var]}
+	}
+	return out
+}
+
+// Normalize returns an equivalent system in canonical wire order (unbound
+// variables first, then inputs, then outputs) together with the permutation
+// that carries assignments into the new order.
+func (s *QuadSystem) Normalize() (*QuadSystem, Permutation) {
+	p := buildPerm(s.NumVars, s.In, s.Out)
+	ns := &QuadSystem{
+		NumVars: s.NumVars,
+		In:      make([]int, len(s.In)),
+		Out:     make([]int, len(s.Out)),
+		Cons:    make([]QuadConstraint, len(s.Cons)),
+	}
+	for i, w := range s.In {
+		ns.In[i] = p[w]
+	}
+	for i, w := range s.Out {
+		ns.Out[i] = p[w]
+	}
+	for i, c := range s.Cons {
+		ns.Cons[i] = QuadConstraint{
+			A: permLinComb(p, c.A),
+			B: permLinComb(p, c.B),
+			C: permLinComb(p, c.C),
+		}
+	}
+	return ns, p
+}
+
+// Normalize returns an equivalent Ginger system in canonical wire order.
+func (s *GingerSystem) Normalize() (*GingerSystem, Permutation) {
+	p := buildPerm(s.NumVars, s.In, s.Out)
+	ns := &GingerSystem{
+		NumVars: s.NumVars,
+		In:      make([]int, len(s.In)),
+		Out:     make([]int, len(s.Out)),
+		Cons:    make([]GingerConstraint, len(s.Cons)),
+	}
+	for i, w := range s.In {
+		ns.In[i] = p[w]
+	}
+	for i, w := range s.Out {
+		ns.Out[i] = p[w]
+	}
+	for i, c := range s.Cons {
+		nc := make(GingerConstraint, len(c))
+		for j, t := range c {
+			nc[j] = Term{Coeff: t.Coeff, A: p[t.A], B: p[t.B]}
+		}
+		ns.Cons[i] = nc
+	}
+	return ns, p
+}
+
+// IsCanonical reports whether the system's wires already follow the
+// canonical order: unbound 1..n′, inputs n′+1.., outputs last.
+func (s *QuadSystem) IsCanonical() bool {
+	n := s.NumVars
+	nz := s.NumUnbound()
+	for i, w := range s.In {
+		if w != nz+1+i {
+			return false
+		}
+	}
+	for i, w := range s.Out {
+		if w != nz+len(s.In)+1+i {
+			return false
+		}
+	}
+	_ = n
+	return true
+}

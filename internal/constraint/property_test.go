@@ -1,0 +1,129 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+
+	"zaatar/internal/field"
+)
+
+// randSatisfiableSystem generates a random Ginger system together with a
+// satisfying assignment, by drawing a random assignment first and then
+// constructing constraints that hold on it (each random constraint gets a
+// constant correction term).
+func randSatisfiableSystem(f *field.Field, rng *rand.Rand, nVars, nCons int) (*GingerSystem, []field.Element) {
+	w := make([]field.Element, nVars+1)
+	w[0] = f.One()
+	for i := 1; i <= nVars; i++ {
+		w[i] = f.FromInt64(int64(rng.Intn(2000) - 1000))
+	}
+	nIn := 1 + rng.Intn(2)
+	nOut := 1 + rng.Intn(2)
+	gs := &GingerSystem{NumVars: nVars}
+	for i := 0; i < nIn; i++ {
+		gs.In = append(gs.In, i+1)
+	}
+	for i := 0; i < nOut; i++ {
+		gs.Out = append(gs.Out, nIn+i+1)
+	}
+	nz := nVars - nIn - nOut // unbound wires are nIn+nOut+1..nVars
+
+	for j := 0; j < nCons; j++ {
+		var c GingerConstraint
+		residual := f.Zero()
+		nTerms := 1 + rng.Intn(4)
+		for t := 0; t < nTerms; t++ {
+			coeff := f.FromInt64(int64(rng.Intn(19) - 9))
+			var a, b int
+			if rng.Intn(2) == 0 && nz > 0 {
+				// degree-2 term over unbound wires only (the PCP batching
+				// invariant the compiler maintains).
+				a = nIn + nOut + 1 + rng.Intn(nz)
+				b = nIn + nOut + 1 + rng.Intn(nz)
+			} else {
+				a = rng.Intn(nVars + 1)
+				b = 0
+			}
+			c = append(c, Term{Coeff: coeff, A: a, B: b})
+			residual = f.Add(residual, f.Mul(coeff, f.Mul(w[a], w[b])))
+		}
+		// Constant correction makes the constraint hold at w.
+		c = append(c, Term{Coeff: f.Neg(residual), A: 0, B: 0})
+		gs.Cons = append(gs.Cons, c)
+	}
+	return gs, w
+}
+
+// TestToQuadPreservesSatisfiabilityRandom is the §4 transform's core
+// property over random systems: satisfying assignments extend, and
+// corrupted ones are still rejected.
+func TestToQuadPreservesSatisfiabilityRandom(t *testing.T) {
+	f := field.F128()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 5 + rng.Intn(15)
+		nCons := 1 + rng.Intn(10)
+		gs, w := randSatisfiableSystem(f, rng, nVars, nCons)
+		if err := gs.Check(f, w); err != nil {
+			t.Fatalf("trial %d: generator produced unsatisfied system: %v", trial, err)
+		}
+		qs := ToQuad(f, gs)
+		qw := ExtendAssignment(f, gs, qs, w)
+		if err := qs.Check(f, qw); err != nil {
+			t.Fatalf("trial %d: transform broke satisfiability: %v", trial, err)
+		}
+		// Size relations.
+		st := gs.Stats()
+		if qs.NumVars != gs.NumVars+st.K2 || qs.NumConstraints() != gs.NumConstraints()+st.K2 {
+			t.Fatalf("trial %d: §4 size relations violated", trial)
+		}
+		// Corrupt a random wire; at least one of the systems must notice
+		// (both should unless the wire is unused).
+		bad := append([]field.Element(nil), qw...)
+		wire := 1 + rng.Intn(gs.NumVars)
+		bad[wire] = f.Add(bad[wire], f.One())
+		usedSomewhere := false
+		for _, c := range gs.Cons {
+			for _, term := range c {
+				if f.IsZero(term.Coeff) {
+					continue // a zero-coefficient term doesn't constrain the wire
+				}
+				if term.A == wire || term.B == wire {
+					usedSomewhere = true
+				}
+			}
+		}
+		if usedSomewhere && qs.Check(f, bad) == nil {
+			// The corruption might cancel in every constraint only with
+			// negligible probability for random systems; treat as failure.
+			t.Fatalf("trial %d: corrupted wire %d accepted by quad system", trial, wire)
+		}
+	}
+}
+
+// TestNormalizeRoundTripRandom: normalization is a satisfiability-preserving
+// bijection on wires for random systems.
+func TestNormalizeRoundTripRandom(t *testing.T) {
+	f := field.F128()
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 40; trial++ {
+		gs, w := randSatisfiableSystem(f, rng, 6+rng.Intn(10), 1+rng.Intn(8))
+		ns, perm := gs.Normalize()
+		nw := perm.ApplyToAssignment(w)
+		if err := ns.Check(f, nw); err != nil {
+			t.Fatalf("trial %d: normalized system unsatisfied: %v", trial, err)
+		}
+		if ns.NumUnbound() != gs.NumUnbound() || ns.NumConstraints() != gs.NumConstraints() {
+			t.Fatalf("trial %d: normalization changed sizes", trial)
+		}
+		qs := ToQuad(f, gs)
+		nqs, qperm := qs.Normalize()
+		if !nqs.IsCanonical() {
+			t.Fatalf("trial %d: normalized quad not canonical", trial)
+		}
+		qw := ExtendAssignment(f, gs, qs, w)
+		if err := nqs.Check(f, qperm.ApplyToAssignment(qw)); err != nil {
+			t.Fatalf("trial %d: normalized quad unsatisfied: %v", trial, err)
+		}
+	}
+}

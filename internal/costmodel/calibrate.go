@@ -1,0 +1,95 @@
+package costmodel
+
+import (
+	"time"
+
+	"zaatar/internal/elgamal"
+	"zaatar/internal/field"
+	"zaatar/internal/prg"
+)
+
+// Calibrate measures the §5.1 microbenchmark parameters on the current
+// machine by timing each operation reps times (the paper uses 1000). The
+// group may be nil, in which case the cryptographic parameters (e, d, h)
+// are left zero — enough for PCP-only estimates.
+func Calibrate(f *field.Field, group *elgamal.Group, reps int) OpCosts {
+	if reps < 1 {
+		reps = 1
+	}
+	rnd := prg.NewFromSeed([]byte("calibrate"), 0)
+	var p OpCosts
+
+	a, b := f.Rand(rnd), f.RandNonZero(rnd)
+
+	// f: field multiplication with reduction.
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		a = f.Mul(a, b)
+	}
+	p.F = seconds(start, reps)
+
+	// f_lazy: per-term cost of a lazily-reduced inner product.
+	const ipLen = 512
+	va := f.RandVector(ipLen, rnd)
+	vb := f.RandVector(ipLen, rnd)
+	start = time.Now()
+	for i := 0; i < reps/ipLen+1; i++ {
+		_ = f.InnerProduct(va, vb)
+	}
+	p.FLazy = seconds(start, (reps/ipLen+1)*ipLen)
+
+	// f_div: field inversion.
+	divReps := reps / 20
+	if divReps < 8 {
+		divReps = 8
+	}
+	start = time.Now()
+	for i := 0; i < divReps; i++ {
+		b = f.Inv(b)
+	}
+	p.FDiv = seconds(start, divReps)
+
+	// c: pseudorandom field element.
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		a = f.Rand(rnd)
+	}
+	p.C = seconds(start, reps)
+
+	if group != nil {
+		sk, err := group.GenerateKey(rnd)
+		if err != nil {
+			panic("costmodel: key generation failed: " + err.Error())
+		}
+		cryptoReps := reps / 50
+		if cryptoReps < 4 {
+			cryptoReps = 4
+		}
+		m := f.Rand(rnd)
+		start = time.Now()
+		var ct elgamal.Ciphertext
+		for i := 0; i < cryptoReps; i++ {
+			ct, _ = sk.Encrypt(f, m, rnd)
+		}
+		p.E = seconds(start, cryptoReps)
+
+		start = time.Now()
+		for i := 0; i < cryptoReps; i++ {
+			_ = sk.DecryptExp(ct)
+		}
+		p.D = seconds(start, cryptoReps)
+
+		s := f.Rand(rnd)
+		acc := group.One()
+		start = time.Now()
+		for i := 0; i < cryptoReps; i++ {
+			acc = group.Add(acc, group.ScalarMul(ct, f, s))
+		}
+		p.H = seconds(start, cryptoReps)
+	}
+	return p
+}
+
+func seconds(start time.Time, n int) float64 {
+	return time.Since(start).Seconds() / float64(n)
+}

@@ -1,0 +1,158 @@
+// Package costmodel implements the analytical cost model of Figure 3: the
+// per-instance CPU cost of the prover and verifier under Zaatar and Ginger,
+// as closed-form functions of microbenchmark-calibrated cryptographic and
+// field-operation costs.
+//
+// The paper itself relies on this model in two ways, which this
+// reproduction mirrors exactly (§5.1):
+//
+//   - Ginger's end-to-end costs at realistic input sizes are *estimated*
+//     from the model ("the computations would be too expensive under
+//     Ginger") with parameters estimated by microbenchmarks; and
+//   - the model is validated against Zaatar's measured costs (the paper
+//     found empirical CPU costs 5–15% above the model's predictions).
+//
+// All costs are in seconds.
+package costmodel
+
+import (
+	"math"
+
+	"zaatar/internal/pcp"
+)
+
+// OpCosts holds the microbenchmark parameters of §5.1 (seconds per
+// operation).
+type OpCosts struct {
+	E     float64 // encrypt a field element
+	D     float64 // decrypt (to the exponent group)
+	H     float64 // ciphertext add plus scalar multiply
+	F     float64 // field multiplication (with reduction)
+	FLazy float64 // field multiplication without per-term reduction
+	FDiv  float64 // field division (inversion)
+	C     float64 // pseudorandomly generate a field element
+}
+
+// Quantities holds the size parameters of one computation instance.
+type Quantities struct {
+	T float64 // local running time of Ψ in seconds
+
+	ZGinger int // |Z_ginger|: unbound variables in the Ginger encoding
+	CGinger int // |C_ginger|
+	ZZaatar int // |Z_zaatar| = |Z_ginger| + K2
+	CZaatar int // |C_zaatar| = |C_ginger| + K2
+	K       int // additive terms in C_ginger
+	K2      int // distinct degree-2 terms in C_ginger
+	NX, NY  int // |x|, |y|
+
+	Params pcp.Params
+}
+
+// UGinger returns |u_ginger| = |Z| + |Z|².
+func (q Quantities) UGinger() float64 {
+	z := float64(q.ZGinger)
+	return z + z*z
+}
+
+// UZaatar returns |u_zaatar| = |Z_zaatar| + |C_zaatar|.
+func (q Quantities) UZaatar() float64 {
+	return float64(q.ZZaatar) + float64(q.CZaatar)
+}
+
+func (q Quantities) rho() float64    { return float64(q.Params.Rho) }
+func (q Quantities) rhoLin() float64 { return float64(q.Params.RhoLin) }
+func (q Quantities) ell() float64    { return float64(q.Params.GingerHighOrderQueries()) }
+func (q Quantities) ellP() float64   { return float64(q.Params.ZaatarQueriesPerRepetition()) }
+
+// log2 guards against log(0).
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// ProverConstructGinger is Figure 3's "Construct proof vector" for Ginger:
+// T + f·|Z|².
+func ProverConstructGinger(p OpCosts, q Quantities) float64 {
+	z := float64(q.ZGinger)
+	return q.T + p.F*z*z
+}
+
+// ProverConstructZaatar is T + 3f·|C_zaatar|·log²|C_zaatar|.
+func ProverConstructZaatar(p OpCosts, q Quantities) float64 {
+	c := float64(q.CZaatar)
+	l := log2(c)
+	return q.T + 3*p.F*c*l*l
+}
+
+// ProverIssueGinger is (h + (ρℓ+1)·f_lazy)·|u_ginger|: the homomorphic
+// commitment evaluation plus one inner-product term per query per proof
+// element (footnote 8: the response multiplications use lazy reduction).
+func ProverIssueGinger(p OpCosts, q Quantities) float64 {
+	return (p.H + (q.rho()*q.ell()+1)*p.FLazy) * q.UGinger()
+}
+
+// ProverIssueZaatar is (h + (ρℓ′+1)·f_lazy)·|u_zaatar|.
+func ProverIssueZaatar(p OpCosts, q Quantities) float64 {
+	return (p.H + (q.rho()*q.ellP()+1)*p.FLazy) * q.UZaatar()
+}
+
+// ProverGinger is Ginger's total per-instance prover cost.
+func ProverGinger(p OpCosts, q Quantities) float64 {
+	return ProverConstructGinger(p, q) + ProverIssueGinger(p, q)
+}
+
+// ProverZaatar is Zaatar's total per-instance prover cost.
+func ProverZaatar(p OpCosts, q Quantities) float64 {
+	return ProverConstructZaatar(p, q) + ProverIssueZaatar(p, q)
+}
+
+// VerifierSetupGinger is the per-batch (un-amortized) verifier query
+// construction cost for Ginger: ρ·(c·|C| + f·K) computation-specific plus
+// (e + 2c + ρ(2ρ_lin·c + (ℓ+1)·f))·|u| computation-oblivious.
+func VerifierSetupGinger(p OpCosts, q Quantities) float64 {
+	specific := q.rho() * (p.C*float64(q.CGinger) + p.F*float64(q.K))
+	oblivious := (p.E + 2*p.C + q.rho()*(2*q.rhoLin()*p.C+(q.ell()+1)*p.F)) * q.UGinger()
+	return specific + oblivious
+}
+
+// VerifierSetupZaatar is ρ·(c + (f_div+5f)·|C| + f·K + 3f·K₂) plus
+// (e + 2c + ρ(2ρ_lin·c + ℓ′·f))·|u_zaatar|.
+func VerifierSetupZaatar(p OpCosts, q Quantities) float64 {
+	specific := q.rho() * (p.C + (p.FDiv+5*p.F)*float64(q.CZaatar) + p.F*float64(q.K) + 3*p.F*float64(q.K2))
+	oblivious := (p.E + 2*p.C + q.rho()*(2*q.rhoLin()*p.C+q.ellP()*p.F)) * q.UZaatar()
+	return specific + oblivious
+}
+
+// VerifierPerInstanceGinger is "Process responses": d + ρ(2ℓ+|x|+|y|)·f.
+func VerifierPerInstanceGinger(p OpCosts, q Quantities) float64 {
+	return p.D + q.rho()*(2*q.ell()+float64(q.NX)+float64(q.NY))*p.F
+}
+
+// VerifierPerInstanceZaatar is d + ρ(ℓ′+3|x|+3|y|)·f.
+func VerifierPerInstanceZaatar(p OpCosts, q Quantities) float64 {
+	return p.D + q.rho()*(q.ellP()+3*float64(q.NX)+3*float64(q.NY))*p.F
+}
+
+// Breakeven returns the smallest batch size β at which outsourcing wins:
+// the β with β·local ≥ setup + β·perInstance, i.e. setup/(local −
+// perInstance) rounded up. It returns +Inf when verification per instance
+// costs more than local execution (outsourcing never pays off).
+func Breakeven(setup, perInstance, local float64) float64 {
+	if local <= perInstance {
+		return math.Inf(1)
+	}
+	b := setup / (local - perInstance)
+	return math.Ceil(b)
+}
+
+// BreakevenGinger computes Ginger's break-even batch size.
+func BreakevenGinger(p OpCosts, q Quantities) float64 {
+	return Breakeven(VerifierSetupGinger(p, q), VerifierPerInstanceGinger(p, q), q.T)
+}
+
+// BreakevenZaatar computes Zaatar's break-even batch size.
+func BreakevenZaatar(p OpCosts, q Quantities) float64 {
+	return Breakeven(VerifierSetupZaatar(p, q), VerifierPerInstanceZaatar(p, q), q.T)
+}

@@ -1,0 +1,195 @@
+// Package elgamal implements additively homomorphic (exponent) ElGamal
+// encryption over a Schnorr group: a prime-order-q subgroup of Z_P* where q
+// is exactly the PCP field modulus.
+//
+// This is the encryption used by the linear commitment protocol (Figure 2;
+// §2.2 "Linear commitment"): the verifier encrypts a secret vector r, the
+// prover homomorphically evaluates its linear proof function π on the
+// ciphertexts, and the verifier decrypts g^{π(r)} — it never needs π(r)
+// itself, only its fingerprint in the exponent, so no discrete log is taken.
+// Choosing the subgroup order equal to the field modulus makes exponent
+// arithmetic coincide with field arithmetic (the Pepper construction [52]).
+//
+// The paper uses ElGamal with 1024-bit keys (§5.1); the production groups
+// here are 1024-bit primes P = k·q + 1 for each field, generated offline and
+// verified by the package tests.
+package elgamal
+
+import (
+	"errors"
+	"io"
+	"math/big"
+
+	"zaatar/internal/field"
+)
+
+// Group describes a prime-order subgroup of Z_P*.
+type Group struct {
+	P *big.Int // group prime modulus
+	G *big.Int // generator of the order-q subgroup
+	Q *big.Int // subgroup order = PCP field modulus
+}
+
+// PublicKey is an ElGamal public key h = g^x.
+type PublicKey struct {
+	Group *Group
+	H     *big.Int
+}
+
+// SecretKey holds the decryption exponent.
+type SecretKey struct {
+	PublicKey
+	X *big.Int
+}
+
+// Ciphertext is an exponent-ElGamal ciphertext (A, B) = (g^k, h^k·g^m),
+// encrypting the field element m in the exponent.
+type Ciphertext struct {
+	A, B *big.Int
+}
+
+// GenerateKey produces a key pair for the group using randomness from rnd.
+func (g *Group) GenerateKey(rnd io.Reader) (*SecretKey, error) {
+	x, err := randExponent(g.Q, rnd)
+	if err != nil {
+		return nil, err
+	}
+	h := new(big.Int).Exp(g.G, x, g.P)
+	return &SecretKey{PublicKey: PublicKey{Group: g, H: h}, X: x}, nil
+}
+
+// randExponent returns a uniform value in [1, q).
+func randExponent(q *big.Int, rnd io.Reader) (*big.Int, error) {
+	nbytes := (q.BitLen() + 7) / 8
+	buf := make([]byte, nbytes)
+	shift := uint(nbytes*8 - q.BitLen())
+	for {
+		if _, err := io.ReadFull(rnd, buf); err != nil {
+			return nil, err
+		}
+		v := new(big.Int).SetBytes(buf)
+		v.Rsh(v, shift)
+		if v.Sign() > 0 && v.Cmp(q) < 0 {
+			return v, nil
+		}
+	}
+}
+
+// Encrypt encrypts the field element m (in the exponent).
+func (pk *PublicKey) Encrypt(f *field.Field, m field.Element, rnd io.Reader) (Ciphertext, error) {
+	k, err := randExponent(pk.Group.Q, rnd)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	P := pk.Group.P
+	a := new(big.Int).Exp(pk.Group.G, k, P)
+	b := new(big.Int).Exp(pk.H, k, P)
+	gm := new(big.Int).Exp(pk.Group.G, f.ToBig(m), P)
+	b.Mul(b, gm).Mod(b, P)
+	return Ciphertext{A: a, B: b}, nil
+}
+
+// EncryptVector encrypts each element of v.
+func (pk *PublicKey) EncryptVector(f *field.Field, v []field.Element, rnd io.Reader) ([]Ciphertext, error) {
+	out := make([]Ciphertext, len(v))
+	for i := range v {
+		ct, err := pk.Encrypt(f, v[i], rnd)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// DecryptExp decrypts to g^m mod P (the message stays in the exponent).
+func (sk *SecretKey) DecryptExp(ct Ciphertext) *big.Int {
+	P := sk.Group.P
+	// B · A^{-x} = g^m
+	ax := new(big.Int).Exp(ct.A, sk.X, P)
+	ax.ModInverse(ax, P)
+	out := new(big.Int).Mul(ct.B, ax)
+	return out.Mod(out, P)
+}
+
+// ExpOfField returns g^m mod P for a field element m — what DecryptExp would
+// yield for a correct encryption of m.
+func (g *Group) ExpOfField(f *field.Field, m field.Element) *big.Int {
+	return new(big.Int).Exp(g.G, f.ToBig(m), g.P)
+}
+
+// One returns the ciphertext-neutral element Enc(0) with zero randomness —
+// valid as an accumulator seed for homomorphic sums.
+func (g *Group) One() Ciphertext {
+	return Ciphertext{A: big.NewInt(1), B: big.NewInt(1)}
+}
+
+// Add returns a ciphertext encrypting m1 + m2.
+func (g *Group) Add(c1, c2 Ciphertext) Ciphertext {
+	a := new(big.Int).Mul(c1.A, c2.A)
+	a.Mod(a, g.P)
+	b := new(big.Int).Mul(c1.B, c2.B)
+	b.Mod(b, g.P)
+	return Ciphertext{A: a, B: b}
+}
+
+// ScalarMul returns a ciphertext encrypting s·m.
+func (g *Group) ScalarMul(c Ciphertext, f *field.Field, s field.Element) Ciphertext {
+	e := f.ToBig(s)
+	return Ciphertext{
+		A: new(big.Int).Exp(c.A, e, g.P),
+		B: new(big.Int).Exp(c.B, e, g.P),
+	}
+}
+
+// InnerProduct homomorphically computes Enc(Σ u_i·m_i) from Enc(m_i) and
+// plaintext weights u. This is the prover's commitment evaluation — the
+// (h·|u|) term in Figure 3's "Issue responses" row. Zero weights are
+// skipped, which matters for sparse proof vectors.
+func (g *Group) InnerProduct(cts []Ciphertext, f *field.Field, u []field.Element) (Ciphertext, error) {
+	if len(cts) != len(u) {
+		return Ciphertext{}, errors.New("elgamal: InnerProduct length mismatch")
+	}
+	acc := g.One()
+	for i := range u {
+		if f.IsZero(u[i]) {
+			continue
+		}
+		acc = g.Add(acc, g.ScalarMul(cts[i], f, u[i]))
+	}
+	return acc, nil
+}
+
+// GenerateGroup searches for a prime P = k·q + 1 with the given bit length
+// and a generator of the order-q subgroup. It is used by tests with small
+// fields; the production groups are compiled in (see params.go).
+func GenerateGroup(q *big.Int, bitLen int, rnd io.Reader) (*Group, error) {
+	if bitLen <= q.BitLen()+8 {
+		return nil, errors.New("elgamal: group size too close to subgroup order")
+	}
+	one := big.NewInt(1)
+	kbits := bitLen - q.BitLen()
+	kbuf := make([]byte, (kbits+7)/8)
+	for tries := 0; tries < 200000; tries++ {
+		if _, err := io.ReadFull(rnd, kbuf); err != nil {
+			return nil, err
+		}
+		k := new(big.Int).SetBytes(kbuf)
+		k.SetBit(k, kbits-1, 1)
+		if k.Bit(0) == 1 {
+			k.Add(k, one)
+		}
+		P := new(big.Int).Mul(k, q)
+		P.Add(P, one)
+		if P.BitLen() != bitLen || !P.ProbablyPrime(20) {
+			continue
+		}
+		for h := int64(2); h < 1000; h++ {
+			g := new(big.Int).Exp(big.NewInt(h), k, P)
+			if g.Cmp(one) != 0 {
+				return &Group{P: P, G: g, Q: new(big.Int).Set(q)}, nil
+			}
+		}
+	}
+	return nil, errors.New("elgamal: no group found")
+}

@@ -1,0 +1,66 @@
+package elgamal
+
+import (
+	"math/big"
+	"sync"
+
+	"zaatar/internal/field"
+)
+
+// Production Schnorr groups: 1024-bit primes P = k·q + 1 whose order-q
+// subgroups match the two production PCP fields (§5.1 of the paper uses
+// 1024-bit ElGamal keys). Generated offline; the package tests verify
+// primality of P, that q divides P-1, and that G generates an order-q
+// subgroup.
+const (
+	p1024F128Hex = "c9a062f812c1692532104cc22d327428c51dffeea828455d490f26ef07465d28e02a29360dc8af239dfa65565340b3080e436d849cfbeb9fda3022f1e59724f70ea2e6c9d06de1cbed6eb4dc4de48217f9e79a4b47127eb72fc03bffe9d67b49c0bf259cd36cc2bead17bf1a0b656fe0839c58a7a9420fdfd6ab1d65b3e056d7"
+	g1024F128Hex = "78255e7b16a621e76873ee496f98cb1d51e1841d70a89ff044249b1f4af1b8b391c814f333e67e8249de0d4871d3e938526fa8b8db94678aadd44a02a98fc7e1e249729b32cd1c737f7f567231cbca106996904967307ba772946941405ab5eb59deaaa5633aab77e1bb9d81efce5ef23b817397acb2679aaf5fa8c083a8298c"
+
+	p1024F220Hex = "b2d91b60c72c4c2fe4ec096c9187e2eb0ef498338d0fc5a87c10e4f41f3fcb960c442c9194b5b6bda92a04b9b95f45a1a2e95727a635bb640ecfc1fccfd9aec4d936ac51889fa1b6aa6dd041da6a1d939136766a409fc4373682228fd795eec70fce11561fd41a449ba9d293a69493d009c1b7916704fb5a21a82102c98c7265"
+	g1024F220Hex = "7804a40583922aecaf445c9c04300db256757c180e3b03cf1e9c5aa43afb6a83981c5851d6394cde2dfebbcf32133a625a6e881a4de3042fe5b54989039a0c047bbb4e5bffe331df67c3dd773c30424ee8f8ca6cdc70efd0a7bd543a0a51f520b40b8e605c24e53563a28242a282961423bff20bfcbe78c42de14632f0765f5a"
+)
+
+var (
+	g128Once sync.Once
+	g128     *Group
+	g220Once sync.Once
+	g220     *Group
+)
+
+func mustHex(h string) *big.Int {
+	v, ok := new(big.Int).SetString(h, 16)
+	if !ok {
+		panic("elgamal: bad built-in parameter")
+	}
+	return v
+}
+
+// GroupF128 returns the production group whose subgroup order equals the
+// F128 field modulus.
+func GroupF128() *Group {
+	g128Once.Do(func() {
+		g128 = &Group{P: mustHex(p1024F128Hex), G: mustHex(g1024F128Hex), Q: field.F128().Modulus()}
+	})
+	return g128
+}
+
+// GroupF220 returns the production group whose subgroup order equals the
+// F220 field modulus.
+func GroupF220() *Group {
+	g220Once.Do(func() {
+		g220 = &Group{P: mustHex(p1024F220Hex), G: mustHex(g1024F220Hex), Q: field.F220().Modulus()}
+	})
+	return g220
+}
+
+// GroupFor returns the production group matching the given field, or nil if
+// the field has no compiled-in group (tests generate their own).
+func GroupFor(f *field.Field) *Group {
+	switch f.Name() {
+	case "F128":
+		return GroupF128()
+	case "F220":
+		return GroupF220()
+	}
+	return nil
+}

@@ -1,0 +1,429 @@
+package field
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testReader adapts math/rand to io.Reader for deterministic element
+// sampling in tests.
+type testReader struct{ r *rand.Rand }
+
+func (t testReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(t.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func allFields() []*Field {
+	return []*Field{F128(), F220(), FTiny(), FTest()}
+}
+
+func TestProductionModuliArePrime(t *testing.T) {
+	for _, f := range allFields() {
+		if !f.Modulus().ProbablyPrime(64) {
+			t.Errorf("%s: modulus %v is not prime", f.Name(), f.Modulus())
+		}
+	}
+}
+
+func TestProductionModuliBitLengths(t *testing.T) {
+	if got := F128().Bits(); got != 128 {
+		t.Errorf("F128 bit length = %d, want 128", got)
+	}
+	if got := F220().Bits(); got != 220 {
+		t.Errorf("F220 bit length = %d, want 220", got)
+	}
+}
+
+func TestTwoAdicity(t *testing.T) {
+	if got := F128().TwoAdicity(); got < 32 {
+		t.Errorf("F128 2-adicity = %d, want >= 32", got)
+	}
+	if got := F220().TwoAdicity(); got < 32 {
+		t.Errorf("F220 2-adicity = %d, want >= 32", got)
+	}
+	if got := FTiny().TwoAdicity(); got != 12 {
+		t.Errorf("FTiny 2-adicity = %d, want 12", got)
+	}
+	if got := FTest().TwoAdicity(); got != 56 {
+		t.Errorf("FTest 2-adicity = %d, want 56", got)
+	}
+}
+
+func TestRootOfUnityOrders(t *testing.T) {
+	for _, f := range allFields() {
+		s := f.TwoAdicity()
+		for _, k := range []uint{1, 2, 8, s} {
+			if k > s {
+				continue
+			}
+			u := f.RootOfUnity(k)
+			// u^(2^k) must be 1 and u^(2^(k-1)) must not be.
+			v := u
+			for i := uint(0); i < k-1; i++ {
+				v = f.Mul(v, v)
+			}
+			if f.IsOne(v) {
+				t.Errorf("%s: 2^%d-th root of unity has smaller order", f.Name(), k)
+			}
+			v = f.Mul(v, v)
+			if !f.IsOne(v) {
+				t.Errorf("%s: 2^%d-th root of unity has larger order", f.Name(), k)
+			}
+		}
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(1))}
+	for _, f := range allFields() {
+		for i := 0; i < 200; i++ {
+			a := f.Rand(rng)
+			got := f.FromBig(f.ToBig(a))
+			if !f.Equal(got, a) {
+				t.Fatalf("%s: FromBig(ToBig(a)) != a", f.Name())
+			}
+		}
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	for _, f := range []*Field{F128(), F220()} {
+		for _, v := range []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40), 1<<62 - 1, -(1<<62 - 1)} {
+			e := f.FromInt64(v)
+			if got := f.SignedBig(e).Int64(); got != v {
+				t.Errorf("%s: SignedBig(FromInt64(%d)) = %d", f.Name(), v, got)
+			}
+		}
+	}
+}
+
+// TestArithmeticAgainstBig cross-checks limb arithmetic against math/big.
+func TestArithmeticAgainstBig(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(2))}
+	for _, f := range allFields() {
+		p := f.Modulus()
+		for i := 0; i < 500; i++ {
+			a, b := f.Rand(rng), f.Rand(rng)
+			ab, bb := f.ToBig(a), f.ToBig(b)
+
+			checks := []struct {
+				name string
+				got  Element
+				want *big.Int
+			}{
+				{"add", f.Add(a, b), new(big.Int).Add(ab, bb)},
+				{"sub", f.Sub(a, b), new(big.Int).Sub(ab, bb)},
+				{"mul", f.Mul(a, b), new(big.Int).Mul(ab, bb)},
+				{"neg", f.Neg(a), new(big.Int).Neg(ab)},
+				{"square", f.Square(a), new(big.Int).Mul(ab, ab)},
+				{"double", f.Double(a), new(big.Int).Lsh(ab, 1)},
+			}
+			for _, c := range checks {
+				want := new(big.Int).Mod(c.want, p)
+				if f.ToBig(c.got).Cmp(want) != 0 {
+					t.Fatalf("%s: %s mismatch: a=%v b=%v got=%v want=%v",
+						f.Name(), c.name, ab, bb, f.ToBig(c.got), want)
+				}
+			}
+		}
+	}
+}
+
+// TestMulExhaustiveEdges drives Mul through boundary values where carry
+// handling matters: 0, 1, p-1, p-2, and values with all-ones limbs reduced
+// mod p.
+func TestMulExhaustiveEdges(t *testing.T) {
+	for _, f := range allFields() {
+		p := f.Modulus()
+		edges := []*big.Int{
+			big.NewInt(0), big.NewInt(1), big.NewInt(2),
+			new(big.Int).Sub(p, big.NewInt(1)),
+			new(big.Int).Sub(p, big.NewInt(2)),
+			new(big.Int).Rsh(p, 1),
+		}
+		for _, x := range edges {
+			for _, y := range edges {
+				got := f.ToBig(f.Mul(f.FromBig(x), f.FromBig(y)))
+				want := new(big.Int).Mul(x, y)
+				want.Mod(want, p)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("%s: %v * %v = %v, want %v", f.Name(), x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	for _, f := range allFields() {
+		f := f
+		rng := testReader{rand.New(rand.NewSource(3))}
+		gen := func() Element { return f.Rand(rng) }
+
+		commutAdd := func() bool {
+			a, b := gen(), gen()
+			return f.Equal(f.Add(a, b), f.Add(b, a))
+		}
+		commutMul := func() bool {
+			a, b := gen(), gen()
+			return f.Equal(f.Mul(a, b), f.Mul(b, a))
+		}
+		assocMul := func() bool {
+			a, b, c := gen(), gen(), gen()
+			return f.Equal(f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c)))
+		}
+		distrib := func() bool {
+			a, b, c := gen(), gen(), gen()
+			return f.Equal(f.Mul(a, f.Add(b, c)), f.Add(f.Mul(a, b), f.Mul(a, c)))
+		}
+		addInverse := func() bool {
+			a := gen()
+			return f.IsZero(f.Add(a, f.Neg(a)))
+		}
+		mulInverse := func() bool {
+			a := gen()
+			if f.IsZero(a) {
+				return true
+			}
+			return f.IsOne(f.Mul(a, f.Inv(a)))
+		}
+		for name, prop := range map[string]func() bool{
+			"a+b=b+a": commutAdd, "ab=ba": commutMul, "(ab)c=a(bc)": assocMul,
+			"a(b+c)=ab+ac": distrib, "a+(-a)=0": addInverse, "a·a⁻¹=1": mulInverse,
+		} {
+			if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+				t.Errorf("%s: axiom %s failed: %v", f.Name(), name, err)
+			}
+		}
+	}
+}
+
+func TestExp(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(4))}
+	for _, f := range allFields() {
+		a := f.Rand(rng)
+		if !f.IsOne(f.Exp(a, big.NewInt(0))) {
+			t.Errorf("%s: a^0 != 1", f.Name())
+		}
+		if !f.Equal(f.Exp(a, big.NewInt(1)), a) {
+			t.Errorf("%s: a^1 != a", f.Name())
+		}
+		if !f.Equal(f.Exp(a, big.NewInt(5)), f.ExpUint(a, 5)) {
+			t.Errorf("%s: Exp and ExpUint disagree", f.Name())
+		}
+		// Fermat: a^(p-1) = 1 for a != 0.
+		if !f.IsZero(a) {
+			pm1 := new(big.Int).Sub(f.Modulus(), big.NewInt(1))
+			if !f.IsOne(f.Exp(a, pm1)) {
+				t.Errorf("%s: a^(p-1) != 1", f.Name())
+			}
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(5))}
+	f := F128()
+	for i := 0; i < 50; i++ {
+		a, b := f.Rand(rng), f.RandNonZero(rng)
+		q := f.Div(a, b)
+		if !f.Equal(f.Mul(q, b), a) {
+			t.Fatal("Div: (a/b)*b != a")
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Inv(0) did not panic")
+		}
+	}()
+	F128().Inv(F128().Zero())
+}
+
+func TestBatchInv(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(6))}
+	for _, f := range allFields() {
+		for _, n := range []int{0, 1, 2, 7, 64} {
+			src := make([]Element, n)
+			for i := range src {
+				src[i] = f.RandNonZero(rng)
+			}
+			dst := make([]Element, n)
+			f.BatchInv(dst, src)
+			for i := range src {
+				if !f.Equal(dst[i], f.Inv(src[i])) {
+					t.Fatalf("%s: BatchInv[%d] mismatch (n=%d)", f.Name(), i, n)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchInvInPlace(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(7))}
+	f := F128()
+	src := make([]Element, 16)
+	want := make([]Element, 16)
+	for i := range src {
+		src[i] = f.RandNonZero(rng)
+		want[i] = f.Inv(src[i])
+	}
+	f.BatchInv(src, src)
+	for i := range src {
+		if !f.Equal(src[i], want[i]) {
+			t.Fatalf("in-place BatchInv[%d] mismatch", i)
+		}
+	}
+}
+
+func TestInnerProduct(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(8))}
+	for _, f := range allFields() {
+		for _, n := range []int{0, 1, 3, 100, 1000} {
+			a := f.RandVector(n, rng)
+			b := f.RandVector(n, rng)
+			want := f.Zero()
+			for i := range a {
+				want = f.Add(want, f.Mul(a[i], b[i]))
+			}
+			if got := f.InnerProduct(a, b); !f.Equal(got, want) {
+				t.Fatalf("%s: InnerProduct(n=%d) = %v, want %v", f.Name(), n, f.ToBig(got), f.ToBig(want))
+			}
+		}
+	}
+}
+
+func TestInnerProductExtremes(t *testing.T) {
+	// All elements p-1 maximizes the accumulated magnitude.
+	for _, f := range allFields() {
+		n := 4096
+		pm1 := f.Neg(f.One())
+		a := make([]Element, n)
+		for i := range a {
+			a[i] = pm1
+		}
+		got := f.InnerProduct(a, a)
+		// (p-1)² · n mod p = n mod p
+		want := f.FromUint64(uint64(n))
+		if !f.Equal(got, want) {
+			t.Errorf("%s: extreme InnerProduct = %v, want %v", f.Name(), f.ToBig(got), f.ToBig(want))
+		}
+	}
+}
+
+func TestAddScaledAndAddVec(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(9))}
+	f := F128()
+	a := f.RandVector(32, rng)
+	b := f.RandVector(32, rng)
+	s := f.Rand(rng)
+	sum := f.AddVec(a, b)
+	for i := range sum {
+		if !f.Equal(sum[i], f.Add(a[i], b[i])) {
+			t.Fatal("AddVec mismatch")
+		}
+	}
+	dst := append([]Element(nil), a...)
+	f.AddScaled(dst, s, b)
+	for i := range dst {
+		if !f.Equal(dst[i], f.Add(a[i], f.Mul(s, b[i]))) {
+			t.Fatal("AddScaled mismatch")
+		}
+	}
+}
+
+func TestRandInRange(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(10))}
+	for _, f := range allFields() {
+		seen := map[string]bool{}
+		for i := 0; i < 64; i++ {
+			e := f.Rand(rng)
+			v := f.ToBig(e)
+			if v.Sign() < 0 || v.Cmp(f.Modulus()) >= 0 {
+				t.Fatalf("%s: Rand out of range: %v", f.Name(), v)
+			}
+			seen[v.String()] = true
+		}
+		if len(seen) < 32 {
+			t.Errorf("%s: Rand looks non-uniform: only %d distinct of 64", f.Name(), len(seen))
+		}
+	}
+}
+
+func TestPow2(t *testing.T) {
+	f := F128()
+	for k := uint(0); k < 130; k++ {
+		want := new(big.Int).Lsh(big.NewInt(1), k)
+		want.Mod(want, f.Modulus())
+		if f.ToBig(f.Pow2(k)).Cmp(want) != 0 {
+			t.Fatalf("Pow2(%d) mismatch", k)
+		}
+	}
+}
+
+func TestNewRejectsBadModuli(t *testing.T) {
+	cases := []*big.Int{
+		big.NewInt(0), big.NewInt(-7), big.NewInt(4), big.NewInt(1),
+		new(big.Int).Lsh(big.NewInt(1), 255), // too large
+	}
+	for _, p := range cases {
+		if _, err := New("bad", p); err == nil {
+			t.Errorf("New accepted bad modulus %v", p)
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	for _, f := range []*Field{F128(), F220()} {
+		b.Run(f.Name(), func(b *testing.B) {
+			rng := testReader{rand.New(rand.NewSource(11))}
+			x, y := f.Rand(rng), f.Rand(rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x = f.Mul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := F128()
+	rng := testReader{rand.New(rand.NewSource(12))}
+	x, y := f.Rand(rng), f.Rand(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = f.Add(x, y)
+	}
+}
+
+func BenchmarkInv(b *testing.B) {
+	for _, f := range []*Field{F128(), F220()} {
+		b.Run(f.Name(), func(b *testing.B) {
+			rng := testReader{rand.New(rand.NewSource(13))}
+			x := f.RandNonZero(rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x = f.Inv(f.Add(x, f.One()))
+			}
+		})
+	}
+}
+
+func BenchmarkInnerProduct(b *testing.B) {
+	f := F128()
+	rng := testReader{rand.New(rand.NewSource(14))}
+	x := f.RandVector(1024, rng)
+	y := f.RandVector(1024, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.InnerProduct(x, y)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*1024), "ns/term")
+}

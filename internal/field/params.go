@@ -1,0 +1,69 @@
+package field
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Production moduli mirroring §5.1 of the paper: computations over 32-bit
+// integers use a 128-bit prime modulus; the rational-input configuration of
+// root finding uses a 220-bit modulus. Both primes were generated of the form
+// c·2^32 + 1 (c odd) so that radix-2 NTTs of size up to 2^32 exist; the
+// params test verifies primality and 2-adicity.
+const (
+	// P128Hex is a 128-bit prime with p ≡ 1 (mod 2^32).
+	P128Hex = "ef004a8b4f45042940939d5f00000001"
+	// P220Hex is a 220-bit prime with p ≡ 1 (mod 2^32).
+	P220Hex = "e79d63087b9a690276191b380dc76648037e26acdc9426f00000001"
+	// PTinyHex is a small NTT-friendly prime (12289 = 3·2^12 + 1) used by
+	// exhaustive tests; soundness error at this size is large, so it is
+	// never used by the protocol itself.
+	PTinyHex = "3001"
+	// PTestHex is a medium NTT-friendly prime (27·2^56 + 1, 61 bits) for
+	// fast full-protocol tests: big enough for realistic integer ranges,
+	// small enough that test ElGamal groups generate quickly.
+	PTestHex = "1b00000000000001"
+)
+
+var (
+	f128Once sync.Once
+	f128     *Field
+	f220Once sync.Once
+	f220     *Field
+	ftinOnce sync.Once
+	ftin     *Field
+	ftstOnce sync.Once
+	ftst     *Field
+)
+
+func mustHex(h string) *big.Int {
+	v, ok := new(big.Int).SetString(h, 16)
+	if !ok {
+		panic("field: bad built-in modulus " + h)
+	}
+	return v
+}
+
+// F128 returns the shared 128-bit production field.
+func F128() *Field {
+	f128Once.Do(func() { f128 = MustNew("F128", mustHex(P128Hex)) })
+	return f128
+}
+
+// F220 returns the shared 220-bit production field.
+func F220() *Field {
+	f220Once.Do(func() { f220 = MustNew("F220", mustHex(P220Hex)) })
+	return f220
+}
+
+// FTiny returns the shared 14-bit test field (p = 12289).
+func FTiny() *Field {
+	ftinOnce.Do(func() { ftin = MustNew("FTiny", mustHex(PTinyHex)) })
+	return ftin
+}
+
+// FTest returns the shared 61-bit test field (p = 27·2^56 + 1).
+func FTest() *Field {
+	ftstOnce.Do(func() { ftst = MustNew("FTest", mustHex(PTestHex)) })
+	return ftst
+}

@@ -1,0 +1,63 @@
+// Package pcp implements the two linear PCPs of the paper:
+//
+//   - the QAP-based Zaatar PCP of Figure 10 / Appendix A — linearity tests
+//     plus a divisibility-correction test against proof oracles
+//     π_z(·) = ⟨·, z⟩ and π_h(·) = ⟨·, h⟩; and
+//   - the classical linear PCP of Arora et al. used by Ginger (§2.2) —
+//     linearity tests, quadratic-correction tests and a circuit test against
+//     proof oracles π₁(·) = ⟨·, z⟩ and π₂(·) = ⟨·, z⊗z⟩.
+//
+// Both produce concrete query vectors that the argument layer (internal/vc)
+// routes through the linear commitment protocol; this package itself never
+// talks to a prover, it only builds queries and checks responses, so it can
+// be tested directly against in-memory oracles.
+package pcp
+
+import (
+	"math"
+)
+
+// Params sets the repetition counts controlling soundness (§A.2).
+type Params struct {
+	// RhoLin is the number of linearity-test iterations per PCP repetition
+	// (ρ_lin in the paper; 20 in production).
+	RhoLin int
+	// Rho is the number of outer PCP repetitions (ρ; 8 in production).
+	Rho int
+}
+
+// DefaultParams returns the production parameters of §A.2: ρ_lin = 20,
+// ρ = 8, giving soundness error κ^ρ < 9.6×10⁻⁷ with κ = 0.177.
+func DefaultParams() Params { return Params{RhoLin: 20, Rho: 8} }
+
+// TestParams returns small parameters for fast tests; the soundness error
+// is larger but still comfortably catches the deterministic cheats tests
+// exercise.
+func TestParams() Params { return Params{RhoLin: 2, Rho: 2} }
+
+// Delta is the soundness-analysis parameter δ chosen in §A.2 to minimize
+// break-even batch sizes.
+const Delta = 0.0294
+
+// Kappa returns the per-repetition soundness bound κ for the Zaatar PCP:
+// κ = max{(1 − 3δ + 6δ²)^ρ_lin, 6δ + 2|C|/|F|} (§A.2). The 2|C|/|F| term is
+// negligible for production fields and is ignored here, as in the paper.
+func (p Params) Kappa() float64 {
+	lin := math.Pow(1-3*Delta+6*Delta*Delta, float64(p.RhoLin))
+	div := 6 * Delta
+	return math.Max(lin, div)
+}
+
+// SoundnessError bounds the probability that the verifier accepts a false
+// claim: κ^ρ.
+func (p Params) SoundnessError() float64 {
+	return math.Pow(p.Kappa(), float64(p.Rho))
+}
+
+// ZaatarQueriesPerRepetition returns ℓ′ = 6ρ_lin + 4, the total number of
+// PCP queries per repetition in the Zaatar protocol (§A.1, Figure 3).
+func (p Params) ZaatarQueriesPerRepetition() int { return 6*p.RhoLin + 4 }
+
+// GingerHighOrderQueries returns ℓ = 3ρ_lin + 2, the number of high-order
+// PCP queries per repetition in Ginger's protocol (Figure 3).
+func (p Params) GingerHighOrderQueries() int { return 3*p.RhoLin + 2 }

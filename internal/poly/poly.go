@@ -1,0 +1,380 @@
+// Package poly implements dense univariate polynomial algebra over the prime
+// fields of internal/field: NTT-based multiplication, fast division via
+// Newton inversion, and subproduct-tree multipoint evaluation and
+// interpolation at arbitrary points.
+//
+// These are exactly the "operations based on the FFT (interpolation,
+// polynomial multiplication, and polynomial division)" that §4 and §A.3 of
+// the paper charge to the prover at ≈ 3·f·|C|·log²|C|: the prover
+// interpolates A(t), B(t), C(t) from their evaluations at σ_0..σ_|C|,
+// multiplies A·B, and divides P_w(t) by D(t) to obtain H(t).
+//
+// A polynomial is a []field.Element of coefficients, lowest degree first.
+// The zero polynomial is represented by an empty (or all-zero) slice.
+package poly
+
+import (
+	"fmt"
+
+	"zaatar/internal/field"
+)
+
+// Trim returns p without trailing zero coefficients.
+func Trim(f *field.Field, p []field.Element) []field.Element {
+	n := len(p)
+	for n > 0 && f.IsZero(p[n-1]) {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func Degree(f *field.Field, p []field.Element) int {
+	return len(Trim(f, p)) - 1
+}
+
+// Equal reports whether a and b represent the same polynomial.
+func Equal(f *field.Field, a, b []field.Element) bool {
+	a, b = Trim(f, a), Trim(f, b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !f.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a + b.
+func Add(f *field.Field, a, b []field.Element) []field.Element {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make([]field.Element, len(a))
+	copy(out, a)
+	for i := range b {
+		out[i] = f.Add(out[i], b[i])
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(f *field.Field, a, b []field.Element) []field.Element {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]field.Element, n)
+	copy(out, a)
+	for i := range b {
+		out[i] = f.Sub(out[i], b[i])
+	}
+	return out
+}
+
+// Scale returns s·a.
+func Scale(f *field.Field, s field.Element, a []field.Element) []field.Element {
+	out := make([]field.Element, len(a))
+	for i := range a {
+		out[i] = f.Mul(s, a[i])
+	}
+	return out
+}
+
+// Eval evaluates p at x by Horner's rule.
+func Eval(f *field.Field, p []field.Element, x field.Element) field.Element {
+	acc := f.Zero()
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = f.Add(f.Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// MulNaive returns a·b by the schoolbook algorithm; used for small operands
+// and as the correctness oracle for the NTT path (and as the ablation
+// baseline in the benchmarks).
+func MulNaive(f *field.Field, a, b []field.Element) []field.Element {
+	a, b = Trim(f, a), Trim(f, b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]field.Element, len(a)+len(b)-1)
+	for i := range a {
+		if f.IsZero(a[i]) {
+			continue
+		}
+		for j := range b {
+			out[i+j] = f.Add(out[i+j], f.Mul(a[i], b[j]))
+		}
+	}
+	return out
+}
+
+// mulThreshold is the operand size below which schoolbook multiplication
+// beats the NTT.
+const mulThreshold = 64
+
+// Mul returns a·b, choosing between schoolbook and NTT multiplication.
+func Mul(f *field.Field, a, b []field.Element) []field.Element {
+	a, b = Trim(f, a), Trim(f, b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	if len(a) < mulThreshold || len(b) < mulThreshold {
+		return MulNaive(f, a, b)
+	}
+	return MulNTT(f, a, b)
+}
+
+// MulNTT returns a·b via three number-theoretic transforms.
+func MulNTT(f *field.Field, a, b []field.Element) []field.Element {
+	a, b = Trim(f, a), Trim(f, b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := nextPow2(outLen)
+	fa := make([]field.Element, n)
+	fb := make([]field.Element, n)
+	copy(fa, a)
+	copy(fb, b)
+	NTT(f, fa, false)
+	NTT(f, fb, false)
+	for i := range fa {
+		fa[i] = f.Mul(fa[i], fb[i])
+	}
+	NTT(f, fa, true)
+	return fa[:outLen]
+}
+
+func nextPow2(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k
+}
+
+// NTT computes the in-place radix-2 number-theoretic transform of a, whose
+// length must be a power of two not exceeding 2^(field 2-adicity). With
+// invert set it computes the inverse transform (including the 1/n scaling).
+func NTT(f *field.Field, a []field.Element, invert bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("poly: NTT size %d is not a power of two", n))
+	}
+	if n <= 1 {
+		return
+	}
+	logn := uint(0)
+	for 1<<logn < n {
+		logn++
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	root := f.RootOfUnity(logn)
+	if invert {
+		root = f.Inv(root)
+	}
+	for length := 2; length <= n; length <<= 1 {
+		// w is a primitive length-th root of unity.
+		w := root
+		for l := n; l > length; l >>= 1 {
+			w = f.Mul(w, w)
+		}
+		half := length >> 1
+		for start := 0; start < n; start += length {
+			wj := f.One()
+			for j := 0; j < half; j++ {
+				u := a[start+j]
+				v := f.Mul(a[start+j+half], wj)
+				a[start+j] = f.Add(u, v)
+				a[start+j+half] = f.Sub(u, v)
+				wj = f.Mul(wj, w)
+			}
+		}
+	}
+	if invert {
+		nInv := f.Inv(f.FromUint64(uint64(n)))
+		for i := range a {
+			a[i] = f.Mul(a[i], nInv)
+		}
+	}
+}
+
+// reverse returns the coefficient-reversed polynomial of the exact length n
+// (padding with zeros if deg < n-1).
+func reverse(p []field.Element, n int) []field.Element {
+	out := make([]field.Element, n)
+	for i := 0; i < len(p) && i < n; i++ {
+		out[n-1-i] = p[i]
+	}
+	return out
+}
+
+// InvSeries returns the power-series inverse of p modulo x^n by Newton
+// iteration: g ← g(2 - pg). p[0] must be non-zero.
+func InvSeries(f *field.Field, p []field.Element, n int) []field.Element {
+	if len(p) == 0 || f.IsZero(p[0]) {
+		panic("poly: invSeries of series with zero constant term")
+	}
+	g := []field.Element{f.Inv(p[0])}
+	for k := 1; k < n; k <<= 1 {
+		m := k << 1
+		if m > n {
+			m = n
+		}
+		pm := p
+		if len(pm) > m {
+			pm = pm[:m]
+		}
+		pg := Mul(f, pm, g)
+		if len(pg) > m {
+			pg = pg[:m]
+		}
+		// t = 2 - p·g
+		t := make([]field.Element, m)
+		copy(t, pg)
+		for i := range t {
+			t[i] = f.Neg(t[i])
+		}
+		t[0] = f.Add(t[0], f.FromUint64(2))
+		g = Mul(f, g, t)
+		if len(g) > m {
+			g = g[:m]
+		}
+	}
+	return g[:min(len(g), n)]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Divisor is a fixed divisor polynomial with its reversed power-series
+// inverse precomputed to a given precision, letting repeated divisions by
+// the same polynomial skip the Newton iteration. The QAP divisor D(t) and
+// every subproduct-tree node use this.
+type Divisor struct {
+	b      []field.Element
+	invRev []field.Element
+}
+
+// NewDivisor precomputes the inverse of b's reversal to precision maxPrec,
+// enough to divide any dividend of degree ≤ deg b + maxPrec - 1.
+func NewDivisor(f *field.Field, b []field.Element, maxPrec int) *Divisor {
+	b = Trim(f, b)
+	if len(b) == 0 {
+		panic("poly: division by zero polynomial")
+	}
+	if maxPrec < 1 {
+		maxPrec = 1
+	}
+	return &Divisor{b: b, invRev: InvSeries(f, reverse(b, len(b)), maxPrec)}
+}
+
+// DivRem divides a by the fixed divisor. The dividend degree must stay
+// within the precomputed precision.
+func (d *Divisor) DivRem(f *field.Field, a []field.Element) (q, r []field.Element) {
+	a = Trim(f, a)
+	if len(a) < len(d.b) {
+		return nil, a
+	}
+	da, db := len(a)-1, len(d.b)-1
+	n := da - db + 1
+	if n > len(d.invRev) {
+		panic("poly: Divisor precision exceeded")
+	}
+	return divCore(f, a, d.b, d.invRev[:n], n)
+}
+
+// DivRem returns (q, r) with a = q·b + r and deg r < deg b, using Newton
+// inversion of the reversed divisor (O(n log n) with NTT multiplication).
+// It panics if b is zero.
+func DivRem(f *field.Field, a, b []field.Element) (q, r []field.Element) {
+	a, b = Trim(f, a), Trim(f, b)
+	if len(b) == 0 {
+		panic("poly: division by zero polynomial")
+	}
+	if len(a) < len(b) {
+		return nil, a
+	}
+	da, db := len(a)-1, len(b)-1
+	n := da - db + 1
+	rb := reverse(b, db+1)
+	inv := InvSeries(f, rb, n)
+	return divCore(f, a, b, inv, n)
+}
+
+func divCore(f *field.Field, a, b, inv []field.Element, n int) (q, r []field.Element) {
+	da := len(a) - 1
+	ra := reverse(a, da+1)
+	if len(ra) > n {
+		ra = ra[:n] // rq is only needed mod x^n
+	}
+	rq := Mul(f, ra, inv)
+	if len(rq) > n {
+		rq = rq[:n]
+	} else {
+		for len(rq) < n {
+			rq = append(rq, f.Zero())
+		}
+	}
+	q = reverse(rq, n)
+	qb := Mul(f, q, b)
+	r = Trim(f, Sub(f, a, qb))
+	return q, r
+}
+
+// DivRemNaive is schoolbook long division, used as the correctness oracle
+// for DivRem.
+func DivRemNaive(f *field.Field, a, b []field.Element) (q, r []field.Element) {
+	a, b = Trim(f, a), Trim(f, b)
+	if len(b) == 0 {
+		panic("poly: division by zero polynomial")
+	}
+	r = append([]field.Element(nil), a...)
+	if len(a) < len(b) {
+		return nil, r
+	}
+	db := len(b) - 1
+	lcInv := f.Inv(b[db])
+	q = make([]field.Element, len(a)-db)
+	for i := len(r) - 1; i >= db; i-- {
+		c := f.Mul(r[i], lcInv)
+		q[i-db] = c
+		if f.IsZero(c) {
+			continue
+		}
+		for j := 0; j <= db; j++ {
+			r[i-db+j] = f.Sub(r[i-db+j], f.Mul(c, b[j]))
+		}
+	}
+	return q, Trim(f, r)
+}
+
+// Derivative returns p'.
+func Derivative(f *field.Field, p []field.Element) []field.Element {
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make([]field.Element, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		out[i-1] = f.Mul(p[i], f.FromUint64(uint64(i)))
+	}
+	return out
+}

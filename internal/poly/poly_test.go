@@ -1,0 +1,352 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+
+	"zaatar/internal/field"
+)
+
+type testReader struct{ r *rand.Rand }
+
+func (t testReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(t.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func randPoly(f *field.Field, rng testReader, deg int) []field.Element {
+	if deg < 0 {
+		return nil
+	}
+	p := f.RandVector(deg+1, rng)
+	// Force the leading coefficient non-zero so degrees are exact.
+	for f.IsZero(p[deg]) {
+		p[deg] = f.Rand(rng)
+	}
+	return p
+}
+
+func TestTrimAndDegree(t *testing.T) {
+	f := field.F128()
+	z := f.Zero()
+	one := f.One()
+	cases := []struct {
+		p    []field.Element
+		want int
+	}{
+		{nil, -1},
+		{[]field.Element{z}, -1},
+		{[]field.Element{z, z, z}, -1},
+		{[]field.Element{one}, 0},
+		{[]field.Element{z, one, z}, 1},
+	}
+	for i, c := range cases {
+		if got := Degree(f, c.p); got != c.want {
+			t.Errorf("case %d: Degree = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestAddSubScaleEval(t *testing.T) {
+	f := field.F128()
+	rng := testReader{rand.New(rand.NewSource(1))}
+	for i := 0; i < 30; i++ {
+		a := randPoly(f, rng, rng.r.Intn(20))
+		b := randPoly(f, rng, rng.r.Intn(20))
+		x := f.Rand(rng)
+		sum := Add(f, a, b)
+		if got, want := Eval(f, sum, x), f.Add(Eval(f, a, x), Eval(f, b, x)); !f.Equal(got, want) {
+			t.Fatal("(a+b)(x) != a(x)+b(x)")
+		}
+		diff := Sub(f, a, b)
+		if got, want := Eval(f, diff, x), f.Sub(Eval(f, a, x), Eval(f, b, x)); !f.Equal(got, want) {
+			t.Fatal("(a-b)(x) != a(x)-b(x)")
+		}
+		s := f.Rand(rng)
+		if got, want := Eval(f, Scale(f, s, a), x), f.Mul(s, Eval(f, a, x)); !f.Equal(got, want) {
+			t.Fatal("(s·a)(x) != s·a(x)")
+		}
+	}
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	for _, f := range []*field.Field{field.F128(), field.F220(), field.FTiny()} {
+		rng := testReader{rand.New(rand.NewSource(2))}
+		for _, n := range []int{1, 2, 4, 64, 512} {
+			a := f.RandVector(n, rng)
+			b := append([]field.Element(nil), a...)
+			NTT(f, b, false)
+			NTT(f, b, true)
+			for i := range a {
+				if !f.Equal(a[i], b[i]) {
+					t.Fatalf("%s: NTT round trip failed at n=%d i=%d", f.Name(), n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestNTTMatchesDFT(t *testing.T) {
+	// Direct DFT definition check at small size.
+	f := field.FTiny()
+	rng := testReader{rand.New(rand.NewSource(3))}
+	n := 8
+	a := f.RandVector(n, rng)
+	w := f.RootOfUnity(3) // 8th root
+	want := make([]field.Element, n)
+	for k := 0; k < n; k++ {
+		acc := f.Zero()
+		for j := 0; j < n; j++ {
+			acc = f.Add(acc, f.Mul(a[j], f.ExpUint(w, uint64(j*k))))
+		}
+		want[k] = acc
+	}
+	got := append([]field.Element(nil), a...)
+	NTT(f, got, false)
+	for k := 0; k < n; k++ {
+		if !f.Equal(got[k], want[k]) {
+			t.Fatalf("NTT[%d] = %v, want %v", k, f.ToBig(got[k]), f.ToBig(want[k]))
+		}
+	}
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	f := field.F128()
+	rng := testReader{rand.New(rand.NewSource(4))}
+	for _, da := range []int{-1, 0, 1, 5, 63, 64, 100, 257} {
+		for _, db := range []int{-1, 0, 3, 64, 129} {
+			a := randPoly(f, rng, da)
+			b := randPoly(f, rng, db)
+			if !Equal(f, Mul(f, a, b), MulNaive(f, a, b)) {
+				t.Fatalf("Mul mismatch at deg %d×%d", da, db)
+			}
+			if !Equal(f, MulNTT(f, a, b), MulNaive(f, a, b)) {
+				t.Fatalf("MulNTT mismatch at deg %d×%d", da, db)
+			}
+		}
+	}
+}
+
+func TestMulEvalProperty(t *testing.T) {
+	f := field.F220()
+	rng := testReader{rand.New(rand.NewSource(5))}
+	for i := 0; i < 20; i++ {
+		a := randPoly(f, rng, 40+rng.r.Intn(100))
+		b := randPoly(f, rng, 40+rng.r.Intn(100))
+		x := f.Rand(rng)
+		if got, want := Eval(f, Mul(f, a, b), x), f.Mul(Eval(f, a, x), Eval(f, b, x)); !f.Equal(got, want) {
+			t.Fatal("(ab)(x) != a(x)b(x)")
+		}
+	}
+}
+
+func TestDivRem(t *testing.T) {
+	f := field.F128()
+	rng := testReader{rand.New(rand.NewSource(6))}
+	for _, da := range []int{0, 1, 10, 100, 255} {
+		for _, db := range []int{1, 2, 17, 100} {
+			a := randPoly(f, rng, da)
+			b := randPoly(f, rng, db)
+			q, r := DivRem(f, a, b)
+			qn, rn := DivRemNaive(f, a, b)
+			if !Equal(f, q, qn) || !Equal(f, r, rn) {
+				t.Fatalf("DivRem disagrees with naive at deg %d/%d", da, db)
+			}
+			// a = qb + r and deg r < deg b
+			recon := Add(f, Mul(f, q, b), r)
+			if !Equal(f, recon, a) {
+				t.Fatalf("DivRem reconstruction failed at deg %d/%d", da, db)
+			}
+			if Degree(f, r) >= Degree(f, b) {
+				t.Fatalf("remainder degree %d >= divisor degree %d", Degree(f, r), Degree(f, b))
+			}
+		}
+	}
+}
+
+func TestDivRemExact(t *testing.T) {
+	// Exact divisibility: (x-1)(x-2)...(x-n) / ∏ subsets.
+	f := field.F128()
+	pts := make([]field.Element, 33)
+	for i := range pts {
+		pts[i] = f.FromUint64(uint64(i + 1))
+	}
+	full := ZeroPoly(f, pts)
+	half := ZeroPoly(f, pts[:16])
+	q, r := DivRem(f, full, half)
+	if Degree(f, r) != -1 {
+		t.Fatal("exact division left a remainder")
+	}
+	if !Equal(f, Mul(f, q, half), full) {
+		t.Fatal("quotient reconstruction failed")
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DivRem by zero did not panic")
+		}
+	}()
+	f := field.F128()
+	DivRem(f, []field.Element{f.One()}, nil)
+}
+
+func TestZeroPolyRoots(t *testing.T) {
+	f := field.F128()
+	pts := make([]field.Element, 20)
+	for i := range pts {
+		pts[i] = f.FromUint64(uint64(3*i + 1))
+	}
+	z := ZeroPoly(f, pts)
+	if Degree(f, z) != len(pts) {
+		t.Fatalf("ZeroPoly degree = %d, want %d", Degree(f, z), len(pts))
+	}
+	for _, u := range pts {
+		if !f.IsZero(Eval(f, z, u)) {
+			t.Fatalf("ZeroPoly does not vanish at %v", f.ToBig(u))
+		}
+	}
+	// Monic.
+	if !f.IsOne(z[len(z)-1]) {
+		t.Fatal("ZeroPoly is not monic")
+	}
+}
+
+func TestEvalMulti(t *testing.T) {
+	f := field.F128()
+	rng := testReader{rand.New(rand.NewSource(7))}
+	for _, n := range []int{1, 2, 3, 7, 8, 33, 100} {
+		pts := make([]field.Element, n)
+		for i := range pts {
+			pts[i] = f.FromUint64(uint64(i))
+		}
+		tree := NewSubproductTree(f, pts)
+		p := randPoly(f, rng, n+5)
+		got := tree.EvalMulti(p)
+		for i, u := range pts {
+			want := Eval(f, p, u)
+			if !f.Equal(got[i], want) {
+				t.Fatalf("n=%d: EvalMulti[%d] mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	f := field.F128()
+	rng := testReader{rand.New(rand.NewSource(8))}
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 64, 100} {
+		pts := make([]field.Element, n)
+		for i := range pts {
+			pts[i] = f.FromUint64(uint64(i)) // arithmetic progression incl. 0, like the QAP
+		}
+		vals := f.RandVector(n, rng)
+		tree := NewSubproductTree(f, pts)
+		p := tree.Interpolate(vals)
+		if Degree(f, p) >= n {
+			t.Fatalf("n=%d: interpolant degree %d too high", n, Degree(f, p))
+		}
+		for i := range pts {
+			if !f.Equal(Eval(f, p, pts[i]), vals[i]) {
+				t.Fatalf("n=%d: interpolant misses point %d", n, i)
+			}
+		}
+		if n <= 17 {
+			if !Equal(f, p, InterpolateNaive(f, pts, vals)) {
+				t.Fatalf("n=%d: Interpolate disagrees with naive Lagrange", n)
+			}
+		}
+	}
+}
+
+func TestInterpolateRoundTrip(t *testing.T) {
+	// Interpolating the evaluations of a known polynomial recovers it.
+	f := field.F220()
+	rng := testReader{rand.New(rand.NewSource(9))}
+	n := 50
+	p := randPoly(f, rng, n-1)
+	pts := make([]field.Element, n)
+	for i := range pts {
+		pts[i] = f.FromUint64(uint64(i))
+	}
+	tree := NewSubproductTree(f, pts)
+	vals := tree.EvalMulti(p)
+	q := tree.Interpolate(vals)
+	if !Equal(f, p, q) {
+		t.Fatal("interpolation round trip failed")
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	f := field.F128()
+	// d/dx (3 + 2x + 5x³) = 2 + 15x²
+	p := []field.Element{f.FromUint64(3), f.FromUint64(2), f.Zero(), f.FromUint64(5)}
+	want := []field.Element{f.FromUint64(2), f.Zero(), f.FromUint64(15)}
+	if !Equal(f, Derivative(f, p), want) {
+		t.Fatal("Derivative mismatch")
+	}
+	if Derivative(f, []field.Element{f.One()}) != nil {
+		t.Fatal("derivative of constant should be nil")
+	}
+}
+
+func BenchmarkMulNTT(b *testing.B) {
+	f := field.F128()
+	rng := testReader{rand.New(rand.NewSource(10))}
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			x := f.RandVector(n, rng)
+			y := f.RandVector(n, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulNTT(f, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMulNaive(b *testing.B) {
+	f := field.F128()
+	rng := testReader{rand.New(rand.NewSource(11))}
+	for _, n := range []int{256, 1024} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			x := f.RandVector(n, rng)
+			y := f.RandVector(n, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulNaive(f, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkInterpolate(b *testing.B) {
+	f := field.F128()
+	rng := testReader{rand.New(rand.NewSource(12))}
+	for _, n := range []int{256, 1024} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			pts := make([]field.Element, n)
+			for i := range pts {
+				pts[i] = f.FromUint64(uint64(i))
+			}
+			tree := NewSubproductTree(f, pts)
+			vals := f.RandVector(n, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tree.Interpolate(vals)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1024:
+		return string(rune('0'+n/1024)) + "k"
+	default:
+		return "n" + string(rune('0'+n/100)) + "xx"
+	}
+}

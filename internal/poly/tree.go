@@ -1,0 +1,236 @@
+package poly
+
+import (
+	"sync"
+
+	"zaatar/internal/field"
+)
+
+// SubproductTree supports multipoint evaluation and interpolation at an
+// arbitrary set of points in O(M(n) log n) field operations, where M is the
+// polynomial multiplication cost. The prover uses it to interpolate the
+// aggregate polynomials A(t), B(t), C(t) from their evaluations at the QAP's
+// interpolation points σ_0..σ_|C| (§A.3).
+//
+// The tree is layered bottom-up: layer 0 holds the monic linear factors
+// (x - u_i); each higher layer holds products of adjacent pairs; the top
+// layer holds M(x) = ∏(x - u_i).
+type SubproductTree struct {
+	f      *field.Field
+	points []field.Element
+	layers [][][]field.Element // layers[0][i] = (x - u_i)
+
+	mu      sync.Mutex      // guards the lazy caches below
+	divs    [][]*Divisor    // lazily built per-node fixed divisors, parallel to layers
+	weights []field.Element // lazily built 1/M'(u_i) interpolation weights
+}
+
+// NewSubproductTree builds the tree for the given points.
+func NewSubproductTree(f *field.Field, points []field.Element) *SubproductTree {
+	t := &SubproductTree{f: f, points: append([]field.Element(nil), points...)}
+	if len(points) == 0 {
+		return t
+	}
+	layer := make([][]field.Element, len(points))
+	for i, u := range points {
+		layer[i] = []field.Element{f.Neg(u), f.One()}
+	}
+	t.layers = append(t.layers, layer)
+	for len(layer) > 1 {
+		next := make([][]field.Element, (len(layer)+1)/2)
+		for i := 0; i < len(layer)/2; i++ {
+			next[i] = Mul(f, layer[2*i], layer[2*i+1])
+		}
+		if len(layer)%2 == 1 {
+			next[len(next)-1] = layer[len(layer)-1]
+		}
+		t.layers = append(t.layers, next)
+		layer = next
+	}
+	return t
+}
+
+// Len returns the number of points.
+func (t *SubproductTree) Len() int { return len(t.points) }
+
+// Root returns M(x) = ∏ (x - u_i).
+func (t *SubproductTree) Root() []field.Element {
+	if len(t.layers) == 0 {
+		return []field.Element{t.f.One()}
+	}
+	top := t.layers[len(t.layers)-1]
+	return top[0]
+}
+
+// EvalMulti evaluates p at every point using a remainder tree.
+func (t *SubproductTree) EvalMulti(p []field.Element) []field.Element {
+	f := t.f
+	n := len(t.points)
+	out := make([]field.Element, n)
+	if n == 0 {
+		return out
+	}
+	// If deg p is small, Horner at each point is cheaper and simpler.
+	if len(Trim(f, p)) <= 8 {
+		for i, u := range t.points {
+			out[i] = Eval(f, p, u)
+		}
+		return out
+	}
+	t.goDown(p, len(t.layers)-1, 0, out)
+	return out
+}
+
+// nodeDiv returns the cached fixed divisor for a tree node. In a remainder
+// tree the dividend degree never exceeds twice the node degree, so the
+// node's own degree bounds the precision needed.
+func (t *SubproductTree) nodeDiv(layer, idx int) *Divisor {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.divs == nil {
+		t.divs = make([][]*Divisor, len(t.layers))
+		for i := range t.layers {
+			t.divs[i] = make([]*Divisor, len(t.layers[i]))
+		}
+	}
+	if d := t.divs[layer][idx]; d != nil {
+		return d
+	}
+	node := t.layers[layer][idx]
+	d := NewDivisor(t.f, node, len(node))
+	t.divs[layer][idx] = d
+	return d
+}
+
+// goDown pushes the remainder of p modulo the node at (layer, idx) toward
+// the leaves under that node.
+func (t *SubproductTree) goDown(p []field.Element, layer, idx int, out []field.Element) {
+	f := t.f
+	var r []field.Element
+	if len(p) >= 2*len(t.layers[layer][idx]) {
+		// Dividend too large for the cached precision (only possible at the
+		// root); fall back to a one-off division.
+		_, r = DivRem(f, p, t.layers[layer][idx])
+	} else {
+		_, r = t.nodeDiv(layer, idx).DivRem(f, p)
+	}
+	if layer == 0 {
+		// r is a constant: p mod (x - u_idx) = p(u_idx).
+		if len(r) == 0 {
+			out[idx] = f.Zero()
+		} else {
+			out[idx] = r[0]
+		}
+		return
+	}
+	childLayer := t.layers[layer-1]
+	left := 2 * idx
+	right := 2*idx + 1
+	if right >= len(childLayer) {
+		// Odd node carried up unchanged; descend straight through.
+		t.goDown(r, layer-1, left, out)
+		return
+	}
+	t.goDown(r, layer-1, left, out)
+	t.goDown(r, layer-1, right, out)
+}
+
+// SetWeights installs precomputed barycentric weights 1/M'(u_i), skipping
+// the generic remainder-tree computation. Callers with structured points
+// (e.g. the QAP's arithmetic progression, whose weights are factorial
+// products — §A.3) use this to avoid the most expensive part of
+// interpolation setup.
+func (t *SubproductTree) SetWeights(w []field.Element) {
+	if len(w) != len(t.points) {
+		panic("poly: SetWeights length mismatch")
+	}
+	t.mu.Lock()
+	t.weights = w
+	t.mu.Unlock()
+}
+
+// Interpolate returns the unique polynomial of degree < n passing through
+// (u_i, values[i]). The points must be distinct.
+func (t *SubproductTree) Interpolate(values []field.Element) []field.Element {
+	f := t.f
+	n := len(t.points)
+	if len(values) != n {
+		panic("poly: Interpolate values/points length mismatch")
+	}
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []field.Element{values[0]}
+	}
+	// s_i = M'(u_i); weights c_i = v_i / s_i. The 1/s_i are value-independent
+	// and cached across Interpolate calls (the prover interpolates three
+	// polynomials per proof over the same points).
+	t.mu.Lock()
+	if t.weights == nil {
+		mPrime := Derivative(f, t.Root())
+		t.mu.Unlock() // EvalMulti takes the lock for its node caches
+		s := t.EvalMulti(mPrime)
+		f.BatchInv(s, s)
+		t.mu.Lock()
+		t.weights = s
+	}
+	w := t.weights
+	t.mu.Unlock()
+	weights := make([]field.Element, n)
+	for i := range weights {
+		weights[i] = f.Mul(values[i], w[i])
+	}
+	// Combine up the tree: node poly = left·M_right + right·M_left.
+	polys := make([][]field.Element, n)
+	for i := range polys {
+		polys[i] = []field.Element{weights[i]}
+	}
+	for layer := 0; layer < len(t.layers)-1; layer++ {
+		mods := t.layers[layer]
+		next := make([][]field.Element, (len(polys)+1)/2)
+		for i := 0; i < len(polys)/2; i++ {
+			l := Mul(f, polys[2*i], mods[2*i+1])
+			r := Mul(f, polys[2*i+1], mods[2*i])
+			next[i] = Add(f, l, r)
+		}
+		if len(polys)%2 == 1 {
+			next[len(next)-1] = polys[len(polys)-1]
+		}
+		polys = next
+	}
+	return Trim(f, polys[0])
+}
+
+// ZeroPoly returns ∏ (x - u_i) for the given points — the divisor polynomial
+// D(t) when the points are the QAP's σ_1..σ_|C|.
+func ZeroPoly(f *field.Field, points []field.Element) []field.Element {
+	return NewSubproductTree(f, points).Root()
+}
+
+// InterpolateNaive is Lagrange interpolation in O(n²), the correctness
+// oracle for Interpolate.
+func InterpolateNaive(f *field.Field, points, values []field.Element) []field.Element {
+	n := len(points)
+	if len(values) != n {
+		panic("poly: InterpolateNaive length mismatch")
+	}
+	out := make([]field.Element, n)
+	for i := 0; i < n; i++ {
+		// basis_i(x) = ∏_{j≠i} (x - u_j)/(u_i - u_j)
+		basis := []field.Element{f.One()}
+		denom := f.One()
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			basis = MulNaive(f, basis, []field.Element{f.Neg(points[j]), f.One()})
+			denom = f.Mul(denom, f.Sub(points[i], points[j]))
+		}
+		c := f.Mul(values[i], f.Inv(denom))
+		for k := range basis {
+			out[k] = f.Add(out[k], f.Mul(c, basis[k]))
+		}
+	}
+	return Trim(f, out)
+}

@@ -1,0 +1,148 @@
+// Package prg provides a ChaCha20-based pseudorandom generator.
+//
+// The paper (§5.1) uses the ChaCha stream cipher as the verifier's
+// pseudorandom generator: PCP queries are long vectors of field elements, and
+// deriving them from a short seed both speeds up the verifier (the parameter
+// c in Figure 3) and collapses network cost — V ships a seed instead of full
+// query vectors ([53], Apdx A.3), so the prover regenerates
+// computation-oblivious queries locally.
+//
+// This is a from-scratch implementation of the ChaCha20 core (D. J.
+// Bernstein, "ChaCha, a variant of Salsa20") exposing an io.Reader. It is
+// used as a PRG, not as an encryption primitive.
+package prg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+)
+
+const (
+	// KeySize is the ChaCha20 key size in bytes.
+	KeySize = 32
+	// NonceSize is the ChaCha20 nonce size in bytes (the original 64-bit
+	// nonce variant, leaving a 64-bit block counter).
+	NonceSize = 8
+	blockSize = 64
+	rounds    = 20
+)
+
+// ChaCha is a deterministic pseudorandom byte stream. It implements
+// io.Reader and never returns an error. A ChaCha value is not safe for
+// concurrent use; derive independent streams with Fork instead.
+type ChaCha struct {
+	state [16]uint32 // input block: constants, key, counter, nonce
+	buf   [blockSize]byte
+	used  int // bytes of buf already consumed
+}
+
+var sigma = [4]uint32{0x61707865, 0x3320646e, 0x79622d32, 0x6b206574} // "expand 32-byte k"
+
+// New returns a ChaCha20 stream for the given 32-byte key and 8-byte nonce.
+func New(key [KeySize]byte, nonce [NonceSize]byte) *ChaCha {
+	c := &ChaCha{used: blockSize}
+	copy(c.state[:4], sigma[:])
+	for i := 0; i < 8; i++ {
+		c.state[4+i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	c.state[12] = 0 // block counter low
+	c.state[13] = 0 // block counter high
+	c.state[14] = binary.LittleEndian.Uint32(nonce[0:])
+	c.state[15] = binary.LittleEndian.Uint32(nonce[4:])
+	return c
+}
+
+// NewFromSeed derives a stream from an arbitrary-length seed by hashing it
+// into a key. The nonce distinguishes independent streams from one seed.
+func NewFromSeed(seed []byte, nonce uint64) *ChaCha {
+	var key [KeySize]byte
+	sum := sha256.Sum256(seed)
+	copy(key[:], sum[:])
+	var n [NonceSize]byte
+	binary.LittleEndian.PutUint64(n[:], nonce)
+	return New(key, n)
+}
+
+// Fork returns an independent stream derived from this stream's key material
+// and the given label; the receiver is not advanced.
+func (c *ChaCha) Fork(label uint64) *ChaCha {
+	var key [KeySize]byte
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint32(key[4*i:], c.state[4+i])
+	}
+	h := sha256.New()
+	h.Write(key[:])
+	var lb [8]byte
+	binary.LittleEndian.PutUint64(lb[:], label)
+	h.Write(lb[:])
+	sum := h.Sum(nil)
+	copy(key[:], sum)
+	var n [NonceSize]byte
+	binary.LittleEndian.PutUint64(n[:], label)
+	return New(key, n)
+}
+
+func quarterRound(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d ^= a
+	d = d<<16 | d>>16
+	c += d
+	b ^= c
+	b = b<<12 | b>>20
+	a += b
+	d ^= a
+	d = d<<8 | d>>24
+	c += d
+	b ^= c
+	b = b<<7 | b>>25
+	return a, b, c, d
+}
+
+func (c *ChaCha) block() {
+	x := c.state
+	for i := 0; i < rounds; i += 2 {
+		// column rounds
+		x[0], x[4], x[8], x[12] = quarterRound(x[0], x[4], x[8], x[12])
+		x[1], x[5], x[9], x[13] = quarterRound(x[1], x[5], x[9], x[13])
+		x[2], x[6], x[10], x[14] = quarterRound(x[2], x[6], x[10], x[14])
+		x[3], x[7], x[11], x[15] = quarterRound(x[3], x[7], x[11], x[15])
+		// diagonal rounds
+		x[0], x[5], x[10], x[15] = quarterRound(x[0], x[5], x[10], x[15])
+		x[1], x[6], x[11], x[12] = quarterRound(x[1], x[6], x[11], x[12])
+		x[2], x[7], x[8], x[13] = quarterRound(x[2], x[7], x[8], x[13])
+		x[3], x[4], x[9], x[14] = quarterRound(x[3], x[4], x[9], x[14])
+	}
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(c.buf[4*i:], x[i]+c.state[i])
+	}
+	// 64-bit block counter in words 12..13.
+	c.state[12]++
+	if c.state[12] == 0 {
+		c.state[13]++
+	}
+	c.used = 0
+}
+
+// Read fills p with pseudorandom bytes. It never fails.
+func (c *ChaCha) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if c.used == blockSize {
+			c.block()
+		}
+		k := copy(p, c.buf[c.used:])
+		c.used += k
+		p = p[k:]
+	}
+	return n, nil
+}
+
+// Uint64 returns the next 8 bytes of the stream as a little-endian uint64.
+func (c *ChaCha) Uint64() uint64 {
+	var b [8]byte
+	_, _ = c.Read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+var _ io.Reader = (*ChaCha)(nil)

@@ -1,0 +1,201 @@
+// Package qap implements the Quadratic Arithmetic Program encoding of
+// quadratic-form constraints, the core of Zaatar's linear PCP (§3 and
+// Appendix A.1 of the paper; Gennaro et al. [27]).
+//
+// Given a constraint set C over variables W = (X, Y, Z) in canonical order
+// (unbound variables Z at wires 1..n′, then inputs and outputs; wire 0 is
+// the constant 1), the QAP assigns each constraint j a distinguished point
+// σ_j and defines degree-|C| polynomials A_i, B_i, C_i per variable row by
+// interpolation:
+//
+//	A_i(σ_j) = a_{i,j}   (coefficient of W_i in pA of constraint j)
+//	A_i(0)   = 0
+//
+// and the divisor polynomial D(t) = ∏ (t - σ_j). Claim A.1: D(t) divides
+//
+//	P_w(t) = (Σ w_i·A_i(t)) · (Σ w_i·B_i(t)) - (Σ w_i·C_i(t))
+//
+// iff w satisfies the constraints. The prover materializes H(t) = P_w/D;
+// the verifier checks the factorization at a random point τ.
+//
+// Following §A.3 the interpolation points are the arithmetic progression
+// σ_j = j, which makes the barycentric weights computable with one field
+// inversion plus O(|C|) multiplications.
+package qap
+
+import (
+	"errors"
+	"fmt"
+
+	"zaatar/internal/constraint"
+	"zaatar/internal/field"
+	"zaatar/internal/poly"
+)
+
+// Entry is a non-zero evaluation a_{i,j} of a row polynomial at σ_j.
+type Entry struct {
+	J int // constraint index, 1-based (σ_j = j)
+	V field.Element
+}
+
+// QAP is the polynomial encoding of one constraint system. It is immutable
+// after construction and safe for concurrent use by a batch of prover
+// workers.
+type QAP struct {
+	F  *field.Field
+	NC int // |C|, number of constraints
+	N  int // number of variables (wires 1..N)
+	NZ int // n′, number of unbound variables (wires 1..NZ)
+
+	// Sparse rows: rows[i] lists the non-zero evaluations of row i's
+	// polynomial, for i in 0..N (0 is the constant row).
+	A, B, C [][]Entry
+
+	nnz    int                  // total non-zero entries (≤ K + 3K2, §A.3)
+	tree   *poly.SubproductTree // over points 0, 1, ..., NC
+	div    []field.Element      // D(t) coefficients
+	divPre *poly.Divisor        // D with precomputed inverse series
+}
+
+// New builds the QAP for a canonical quadratic-form system.
+func New(f *field.Field, qs *constraint.QuadSystem) (*QAP, error) {
+	if !qs.IsCanonical() {
+		return nil, errors.New("qap: constraint system is not in canonical wire order (call Normalize)")
+	}
+	if qs.NumConstraints() == 0 {
+		return nil, errors.New("qap: empty constraint system")
+	}
+	q := &QAP{
+		F:  f,
+		NC: qs.NumConstraints(),
+		N:  qs.NumVars,
+		NZ: qs.NumUnbound(),
+		A:  make([][]Entry, qs.NumVars+1),
+		B:  make([][]Entry, qs.NumVars+1),
+		C:  make([][]Entry, qs.NumVars+1),
+	}
+	add := func(rows [][]Entry, lc constraint.LinComb, j int) {
+		// Sum repeated variables within one linear combination.
+		for _, t := range lc {
+			if f.IsZero(t.Coeff) {
+				continue
+			}
+			row := rows[t.Var]
+			if n := len(row); n > 0 && row[n-1].J == j {
+				row[n-1].V = f.Add(row[n-1].V, t.Coeff)
+				if f.IsZero(row[n-1].V) {
+					row = row[:n-1]
+					q.nnz--
+				}
+				rows[t.Var] = row
+				continue
+			}
+			rows[t.Var] = append(row, Entry{J: j, V: t.Coeff})
+			q.nnz++
+		}
+	}
+	for idx, c := range qs.Cons {
+		j := idx + 1 // σ_j = j, non-zero as required by §A.1
+		add(q.A, c.A, j)
+		add(q.B, c.B, j)
+		add(q.C, c.C, j)
+	}
+
+	// Interpolation points 0..NC (σ_0 = 0 carries the A_i(0) = 0 condition).
+	pts := make([]field.Element, q.NC+1)
+	for j := 0; j <= q.NC; j++ {
+		pts[j] = f.FromUint64(uint64(j))
+	}
+	q.tree = poly.NewSubproductTree(f, pts)
+	q.tree.SetWeights(baryWeights(f, q.NC))
+	q.div = poly.ZeroPoly(f, pts[1:])
+	q.divPre = poly.NewDivisor(f, q.div, q.NC+1)
+	return q, nil
+}
+
+// NNZ returns the number of non-zero row-polynomial evaluations; the
+// verifier's query construction performs one multiplication per entry
+// (the K + 3K₂ term of Figure 3).
+func (q *QAP) NNZ() int { return q.nnz }
+
+// Divisor returns the coefficients of D(t).
+func (q *QAP) Divisor() []field.Element { return q.div }
+
+// EvalD evaluates D(τ).
+func (q *QAP) EvalD(tau field.Element) field.Element {
+	return poly.Eval(q.F, q.div, tau)
+}
+
+// aggregate computes the evaluations (Σ_i w_i·rows[i](σ_j)) for j = 0..NC.
+// The value at σ_0 = 0 is zero by construction.
+func (q *QAP) aggregate(rows [][]Entry, w []field.Element) []field.Element {
+	f := q.F
+	vals := make([]field.Element, q.NC+1)
+	for i, row := range rows {
+		wi := w[i]
+		if f.IsZero(wi) {
+			continue
+		}
+		for _, e := range row {
+			vals[e.J] = f.Add(vals[e.J], f.Mul(wi, e.V))
+		}
+	}
+	return vals
+}
+
+// BuildH computes the coefficient vector h = (h_0, ..., h_|C|) of
+// H(t) = P_w(t)/D(t) for a full assignment w (indexed by wire, w[0] = 1).
+// This is the prover's §A.3 pipeline: three interpolations, one product,
+// one division — ≈ 3·f·|C|·log²|C|. It returns an error if D does not
+// divide P_w, i.e. if w is not a satisfying assignment.
+func (q *QAP) BuildH(w []field.Element) ([]field.Element, error) {
+	f := q.F
+	if len(w) != q.N+1 {
+		return nil, fmt.Errorf("qap: assignment has %d entries, want %d", len(w), q.N+1)
+	}
+	if !f.IsOne(w[0]) {
+		return nil, errors.New("qap: w[0] must be 1")
+	}
+	aw := q.tree.Interpolate(q.aggregate(q.A, w))
+	bw := q.tree.Interpolate(q.aggregate(q.B, w))
+	cw := q.tree.Interpolate(q.aggregate(q.C, w))
+	pw := poly.Sub(f, poly.Mul(f, aw, bw), cw)
+	h, r := q.divPre.DivRem(f, pw)
+	if poly.Degree(f, r) != -1 {
+		return nil, errors.New("qap: assignment does not satisfy the constraints (D ∤ P_w)")
+	}
+	out := make([]field.Element, q.NC+1)
+	copy(out, h)
+	return out, nil
+}
+
+// BuildHNaive is BuildH with O(n²) Lagrange interpolation and schoolbook
+// multiplication/division — the ablation baseline showing why the prover
+// needs the FFT-based pipeline.
+func (q *QAP) BuildHNaive(w []field.Element) ([]field.Element, error) {
+	f := q.F
+	pts := make([]field.Element, q.NC+1)
+	for j := 0; j <= q.NC; j++ {
+		pts[j] = f.FromUint64(uint64(j))
+	}
+	aw := poly.InterpolateNaive(f, pts, q.aggregate(q.A, w))
+	bw := poly.InterpolateNaive(f, pts, q.aggregate(q.B, w))
+	cw := poly.InterpolateNaive(f, pts, q.aggregate(q.C, w))
+	pw := poly.Sub(f, poly.MulNaive(f, aw, bw), cw)
+	h, r := poly.DivRemNaive(f, pw, q.div)
+	if poly.Degree(f, r) != -1 {
+		return nil, errors.New("qap: assignment does not satisfy the constraints (D ∤ P_w)")
+	}
+	out := make([]field.Element, q.NC+1)
+	copy(out, h)
+	return out, nil
+}
+
+// EvalPw evaluates P_w(τ) directly from the definition; used by tests.
+func (q *QAP) EvalPw(w []field.Element, tau field.Element) field.Element {
+	f := q.F
+	a := poly.Eval(f, q.tree.Interpolate(q.aggregate(q.A, w)), tau)
+	b := poly.Eval(f, q.tree.Interpolate(q.aggregate(q.B, w)), tau)
+	c := poly.Eval(f, q.tree.Interpolate(q.aggregate(q.C, w)), tau)
+	return f.Sub(f.Mul(a, b), c)
+}

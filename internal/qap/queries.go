@@ -1,0 +1,123 @@
+package qap
+
+import (
+	"errors"
+
+	"zaatar/internal/field"
+)
+
+// Queries holds everything the verifier derives from one random point τ:
+// the divisibility-correction query vectors over the unbound variables
+// (q_a, q_b, q_c of Figure 10), the power query q_d for the H oracle, the
+// per-input/output row evaluations used to form L_a, L_b, L_c, and D(τ).
+type Queries struct {
+	Tau field.Element
+
+	// QA[i-1] = A_i(τ) for unbound wires i = 1..NZ; likewise QB, QC.
+	QA, QB, QC []field.Element
+	// IOA[k] = A_{NZ+1+k}(τ) for the bound (input/output) wires; V dots
+	// these with the instance's x, y values — the 3·(|x|+|y|) per-instance
+	// multiplications of Figure 3.
+	IOA, IOB, IOC []field.Element
+	// ConstA = A_0(τ), the constant row's contribution.
+	ConstA, ConstB, ConstC field.Element
+	// QD = (1, τ, τ², ..., τ^|C|), the query to the H oracle.
+	QD []field.Element
+	// DTau = D(τ).
+	DTau field.Element
+}
+
+// ErrTauCollision is returned when τ coincides with an interpolation point
+// σ_j, which would make the barycentric weights undefined. Callers draw a
+// fresh τ; the probability is |C|/|F|.
+var ErrTauCollision = errors.New("qap: τ collides with an interpolation point, redraw")
+
+// BuildQueries evaluates every row polynomial at τ using barycentric
+// Lagrange interpolation over the arithmetic-progression points (§A.3):
+// one field inversion, O(|C|) multiplications for the weights, then one
+// multiplication per non-zero matrix entry (≤ K + 3K₂ total).
+func (q *QAP) BuildQueries(tau field.Element) (*Queries, error) {
+	f := q.F
+	nc := q.NC
+
+	// diffs[j] = τ - σ_j for j = 0..NC; reject τ equal to any σ_j.
+	diffs := make([]field.Element, nc+1)
+	for j := 0; j <= nc; j++ {
+		diffs[j] = f.Sub(tau, f.FromUint64(uint64(j)))
+		if f.IsZero(diffs[j]) {
+			return nil, ErrTauCollision
+		}
+	}
+
+	// ℓ(τ) = ∏_j (τ - σ_j); D(τ) = ℓ(τ)/ (τ - σ_0) = ℓ(τ)/τ.
+	ell := f.One()
+	for _, d := range diffs {
+		ell = f.Mul(ell, d)
+	}
+
+	// Barycentric weights v_j for σ_j = 0..NC (factorial closed form plus
+	// one batched inversion — the (f_div + …)·|C| term of Figure 3), then
+	// λ_j = ℓ(τ)·v_j/(τ - σ_j) with the (τ - σ_j) inverted in one batch too.
+	v := baryWeights(f, nc)
+	invDiff := make([]field.Element, nc+1)
+	copy(invDiff, diffs)
+	f.BatchInv(invDiff, invDiff)
+	lambda := make([]field.Element, nc+1)
+	for j := range lambda {
+		lambda[j] = f.Mul(ell, f.Mul(v[j], invDiff[j]))
+	}
+
+	evalRows := func(rows [][]Entry) []field.Element {
+		out := make([]field.Element, len(rows))
+		for i, row := range rows {
+			acc := f.Zero()
+			for _, e := range row {
+				acc = f.Add(acc, f.Mul(e.V, lambda[e.J]))
+			}
+			out[i] = acc
+		}
+		return out
+	}
+	evalA := evalRows(q.A)
+	evalB := evalRows(q.B)
+	evalC := evalRows(q.C)
+
+	qd := make([]field.Element, nc+1)
+	qd[0] = f.One()
+	for j := 1; j <= nc; j++ {
+		qd[j] = f.Mul(qd[j-1], tau)
+	}
+
+	dTau := f.Mul(ell, f.Inv(diffs[0]))
+
+	return &Queries{
+		Tau:    tau,
+		QA:     evalA[1 : q.NZ+1],
+		QB:     evalB[1 : q.NZ+1],
+		QC:     evalC[1 : q.NZ+1],
+		IOA:    evalA[q.NZ+1:],
+		IOB:    evalB[q.NZ+1:],
+		IOC:    evalC[q.NZ+1:],
+		ConstA: evalA[0],
+		ConstB: evalB[0],
+		ConstC: evalC[0],
+		QD:     qd,
+		DTau:   dTau,
+	}, nil
+}
+
+// IOTerms computes the instance-specific constants L_a, L_b, L_c of §3:
+// the contribution of the constant row plus the bound input/output wires,
+// whose values io must be given in wire order (inputs then outputs).
+func (qr *Queries) IOTerms(f *field.Field, io []field.Element) (la, lb, lc field.Element) {
+	if len(io) != len(qr.IOA) {
+		panic("qap: IOTerms called with wrong number of input/output values")
+	}
+	la, lb, lc = qr.ConstA, qr.ConstB, qr.ConstC
+	for k := range io {
+		la = f.Add(la, f.Mul(io[k], qr.IOA[k]))
+		lb = f.Add(lb, f.Mul(io[k], qr.IOB[k]))
+		lc = f.Add(lc, f.Mul(io[k], qr.IOC[k]))
+	}
+	return la, lb, lc
+}

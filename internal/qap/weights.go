@@ -1,0 +1,28 @@
+package qap
+
+import "zaatar/internal/field"
+
+// baryWeights returns the barycentric weights v_j = 1/∏_{k≠j}(σ_j - σ_k)
+// for the arithmetic-progression points σ_j = j, j = 0..nc:
+//
+//	1/v_j = (-1)^(nc-j) · j! · (nc-j)!
+//
+// computed with running factorials and a single batched inversion — the
+// (f_div + 3f)·|C| cost §A.3 attributes to this step.
+func baryWeights(f *field.Field, nc int) []field.Element {
+	fact := make([]field.Element, nc+1)
+	fact[0] = f.One()
+	for j := 1; j <= nc; j++ {
+		fact[j] = f.Mul(fact[j-1], f.FromUint64(uint64(j)))
+	}
+	w := make([]field.Element, nc+1)
+	for j := 0; j <= nc; j++ {
+		v := f.Mul(fact[j], fact[nc-j])
+		if (nc-j)%2 == 1 {
+			v = f.Neg(v)
+		}
+		w[j] = v
+	}
+	f.BatchInv(w, w)
+	return w
+}

@@ -1,0 +1,323 @@
+// Package transport runs the verified-computation protocol between a
+// verifier and a prover connected by any net.Conn, with gob-encoded
+// messages. This realizes the deployment picture of Figure 1: the verifier
+// ships the computation Ψ and the batch of inputs; per [53] Apdx A.3 the
+// query material crossing the wire is one encrypted commitment vector, a
+// PRG seed, and the consistency points, rather than full query sets.
+//
+// cmd/zaatar-server and cmd/zaatar-client are thin wrappers over ServeConn
+// and RunSession; tests drive both ends over net.Pipe.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+
+	"zaatar/internal/compiler"
+	"zaatar/internal/elgamal"
+	"zaatar/internal/field"
+	"zaatar/internal/pcp"
+	"zaatar/internal/vc"
+)
+
+// Hello opens a session: the verifier ships the computation and protocol
+// parameters (everything except its secret randomness).
+type Hello struct {
+	Source       string
+	Field220     bool
+	Ginger       bool
+	RhoLin, Rho  int
+	NoCommitment bool
+}
+
+// HelloAck reports compilation results (or an error) back to the verifier.
+type HelloAck struct {
+	Err                   string
+	NumInputs, NumOutputs int
+}
+
+// BatchMsg carries the commit request and every instance's inputs.
+type BatchMsg struct {
+	Req       *vc.CommitRequest
+	Instances [][]*big.Int
+}
+
+// CommitmentsMsg returns the per-instance commitments (with claimed
+// outputs).
+type CommitmentsMsg struct {
+	Err   string
+	Items []*vc.Commitment
+}
+
+// DecommitMsg reveals the query seed and consistency points.
+type DecommitMsg struct {
+	Req *vc.DecommitRequest
+}
+
+// ResponsesMsg returns the per-instance query answers.
+type ResponsesMsg struct {
+	Err   string
+	Items []*vc.Response
+}
+
+// SessionResult is the verifier-side outcome.
+type SessionResult struct {
+	Accepted []bool
+	Reasons  []string
+	Outputs  [][]*big.Int
+}
+
+// AllAccepted reports whether every instance verified.
+func (r *SessionResult) AllAccepted() bool {
+	for _, ok := range r.Accepted {
+		if !ok {
+			return false
+		}
+	}
+	return len(r.Accepted) > 0
+}
+
+func (h Hello) fieldOf() *field.Field {
+	if h.Field220 {
+		return field.F220()
+	}
+	return field.F128()
+}
+
+func (h Hello) config(workers int, seed []byte) vc.Config {
+	cfg := vc.Config{
+		Params:       pcp.Params{RhoLin: h.RhoLin, Rho: h.Rho},
+		NoCommitment: h.NoCommitment,
+		Workers:      workers,
+		Seed:         seed,
+	}
+	if h.Ginger {
+		cfg.Protocol = vc.Ginger
+	}
+	return cfg
+}
+
+// ServerOptions configures the prover side.
+type ServerOptions struct {
+	// Workers is the prover's batch parallelism.
+	Workers int
+	// MaxBatch bounds the number of instances a client may submit.
+	MaxBatch int
+}
+
+// ServeConn handles one verifier session on the prover side: compile the
+// received program, commit to every instance, answer the decommit. It
+// returns when the session ends.
+func ServeConn(conn net.Conn, opts ServerOptions) error {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var hello Hello
+	if err := dec.Decode(&hello); err != nil {
+		return fmt.Errorf("transport: reading hello: %w", err)
+	}
+	prog, err := compiler.Compile(hello.fieldOf(), hello.Source)
+	if err != nil {
+		_ = enc.Encode(HelloAck{Err: err.Error()})
+		return err
+	}
+	prover, err := vc.NewProver(prog, hello.config(opts.Workers, nil))
+	if err != nil {
+		_ = enc.Encode(HelloAck{Err: err.Error()})
+		return err
+	}
+	if err := enc.Encode(HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs()}); err != nil {
+		return err
+	}
+
+	var batch BatchMsg
+	if err := dec.Decode(&batch); err != nil {
+		return fmt.Errorf("transport: reading batch: %w", err)
+	}
+	maxBatch := opts.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = 1 << 16
+	}
+	if len(batch.Instances) == 0 || len(batch.Instances) > maxBatch {
+		msg := fmt.Sprintf("transport: batch size %d out of range [1, %d]", len(batch.Instances), maxBatch)
+		_ = enc.Encode(CommitmentsMsg{Err: msg})
+		return errors.New(msg)
+	}
+	prover.HandleCommitRequest(batch.Req)
+
+	states := make([]*vc.InstanceState, len(batch.Instances))
+	cms := CommitmentsMsg{Items: make([]*vc.Commitment, len(batch.Instances))}
+	for i, in := range batch.Instances {
+		cm, st, err := prover.Commit(in)
+		if err != nil {
+			_ = enc.Encode(CommitmentsMsg{Err: err.Error()})
+			return err
+		}
+		cms.Items[i], states[i] = cm, st
+	}
+	if err := enc.Encode(cms); err != nil {
+		return err
+	}
+
+	var decommit DecommitMsg
+	if err := dec.Decode(&decommit); err != nil {
+		return fmt.Errorf("transport: reading decommit: %w", err)
+	}
+	if err := prover.HandleDecommit(decommit.Req); err != nil {
+		_ = enc.Encode(ResponsesMsg{Err: err.Error()})
+		return err
+	}
+	resp := ResponsesMsg{Items: make([]*vc.Response, len(states))}
+	for i, st := range states {
+		r, err := prover.Respond(st)
+		if err != nil {
+			_ = enc.Encode(ResponsesMsg{Err: err.Error()})
+			return err
+		}
+		resp.Items[i] = r
+	}
+	return enc.Encode(resp)
+}
+
+// ClientOptions configures the verifier side of a session.
+type ClientOptions struct {
+	// Seed fixes the verifier's randomness; empty draws fresh randomness.
+	Seed []byte
+	// Group overrides the ElGamal group (tests with non-production fields).
+	Group *elgamal.Group
+}
+
+// RunSession drives the verifier side over an established connection. The
+// protocol parameters come from hello, which both sides see; the verifier's
+// secret randomness does not.
+func RunSession(conn net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (*SessionResult, error) {
+	return RunSessionDistributed([]net.Conn{conn}, hello, opts, batch)
+}
+
+// clientLeg is the verifier's state for one prover connection.
+type clientLeg struct {
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	chunk [][]*big.Int
+	cms   []*vc.Commitment
+	resps []*vc.Response
+}
+
+// RunSessionDistributed splits a batch across several prover connections —
+// the paper's distributed prover (§5.1: "the prover can be distributed over
+// multiple machines, with each machine computing a subset of a batch").
+// Binding is preserved because the query seed is revealed only after every
+// prover's commitments have arrived.
+func RunSessionDistributed(conns []net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (*SessionResult, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("transport: no prover connections")
+	}
+	prog, err := compiler.Compile(hello.fieldOf(), hello.Source)
+	if err != nil {
+		return nil, err
+	}
+	cfg := hello.config(0, opts.Seed)
+	cfg.Group = opts.Group
+	verifier, err := vc.NewVerifier(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Partition the batch into contiguous chunks, one per prover.
+	legs := make([]*clientLeg, 0, len(conns))
+	per := (len(batch) + len(conns) - 1) / len(conns)
+	for i, conn := range conns {
+		lo := i * per
+		if lo >= len(batch) {
+			break
+		}
+		hi := lo + per
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		legs = append(legs, &clientLeg{
+			enc:   gob.NewEncoder(conn),
+			dec:   gob.NewDecoder(conn),
+			chunk: batch[lo:hi],
+		})
+	}
+
+	// Phase 1: hello + commit request + inputs to every prover; collect all
+	// commitments before revealing anything further.
+	req := verifier.Setup()
+	for _, leg := range legs {
+		if err := leg.enc.Encode(hello); err != nil {
+			return nil, err
+		}
+		var ack HelloAck
+		if err := leg.dec.Decode(&ack); err != nil {
+			return nil, err
+		}
+		if ack.Err != "" {
+			return nil, fmt.Errorf("transport: prover rejected program: %s", ack.Err)
+		}
+		if ack.NumInputs != prog.NumInputs() || ack.NumOutputs != prog.NumOutputs() {
+			return nil, errors.New("transport: prover disagrees on the io shape")
+		}
+		if err := leg.enc.Encode(BatchMsg{Req: req, Instances: leg.chunk}); err != nil {
+			return nil, err
+		}
+	}
+	for _, leg := range legs {
+		var cms CommitmentsMsg
+		if err := leg.dec.Decode(&cms); err != nil {
+			return nil, err
+		}
+		if cms.Err != "" {
+			return nil, fmt.Errorf("transport: prover commit failed: %s", cms.Err)
+		}
+		if len(cms.Items) != len(leg.chunk) {
+			return nil, errors.New("transport: commitment count mismatch")
+		}
+		leg.cms = cms.Items
+	}
+
+	// Phase 2: decommit to every prover, collect responses.
+	dreq, err := verifier.Decommit()
+	if err != nil {
+		return nil, err
+	}
+	for _, leg := range legs {
+		if err := leg.enc.Encode(DecommitMsg{Req: dreq}); err != nil {
+			return nil, err
+		}
+	}
+	for _, leg := range legs {
+		var resp ResponsesMsg
+		if err := leg.dec.Decode(&resp); err != nil {
+			return nil, err
+		}
+		if resp.Err != "" {
+			return nil, fmt.Errorf("transport: prover respond failed: %s", resp.Err)
+		}
+		if len(resp.Items) != len(leg.chunk) {
+			return nil, errors.New("transport: response count mismatch")
+		}
+		leg.resps = resp.Items
+	}
+
+	// Phase 3: verify everything.
+	out := &SessionResult{
+		Accepted: make([]bool, 0, len(batch)),
+		Reasons:  make([]string, 0, len(batch)),
+		Outputs:  make([][]*big.Int, 0, len(batch)),
+	}
+	for _, leg := range legs {
+		for i := range leg.chunk {
+			ok, reason := verifier.VerifyInstance(leg.chunk[i], leg.cms[i], leg.resps[i])
+			out.Accepted = append(out.Accepted, ok)
+			out.Reasons = append(out.Reasons, reason)
+			out.Outputs = append(out.Outputs, leg.cms[i].Output)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"math/big"
+	"net"
+	"testing"
+
+	"zaatar/internal/elgamal"
+	"zaatar/internal/field"
+	"zaatar/internal/prg"
+)
+
+const sessionSrc = `
+input x : int32;
+output y : int32;
+output sq : int64;
+y = x - 3;
+sq = x * x;
+`
+
+func runPipeSession(t *testing.T, hello Hello, opts ClientOptions, batch [][]*big.Int) (*SessionResult, error) {
+	t.Helper()
+	client, server := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- ServeConn(server, ServerOptions{Workers: 2}) }()
+	res, err := RunSession(client, hello, opts, batch)
+	client.Close()
+	<-errCh
+	return res, err
+}
+
+func TestSessionNoCrypto(t *testing.T) {
+	hello := Hello{Source: sessionSrc, RhoLin: 2, Rho: 2, NoCommitment: true}
+	batch := [][]*big.Int{{big.NewInt(10)}, {big.NewInt(-4)}}
+	res, err := runPipeSession(t, hello, ClientOptions{Seed: []byte("t")}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAccepted() {
+		t.Fatalf("rejected: %v", res.Reasons)
+	}
+	if res.Outputs[0][0].Int64() != 7 || res.Outputs[0][1].Int64() != 100 {
+		t.Fatalf("outputs: %v", res.Outputs[0])
+	}
+	if res.Outputs[1][0].Int64() != -7 || res.Outputs[1][1].Int64() != 16 {
+		t.Fatalf("outputs: %v", res.Outputs[1])
+	}
+}
+
+func TestSessionWithCrypto(t *testing.T) {
+	g, err := elgamal.GenerateGroup(field.F128().Modulus(), 320, prg.NewFromSeed([]byte("tg"), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1}
+	batch := [][]*big.Int{{big.NewInt(5)}}
+	res, err := runPipeSession(t, hello, ClientOptions{Seed: []byte("c"), Group: g}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAccepted() {
+		t.Fatalf("rejected: %v", res.Reasons)
+	}
+	if res.Outputs[0][0].Int64() != 2 || res.Outputs[0][1].Int64() != 25 {
+		t.Fatalf("outputs: %v", res.Outputs[0])
+	}
+}
+
+func TestSessionGinger(t *testing.T) {
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true, Ginger: true}
+	res, err := runPipeSession(t, hello, ClientOptions{Seed: []byte("g")}, [][]*big.Int{{big.NewInt(6)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAccepted() || res.Outputs[0][1].Int64() != 36 {
+		t.Fatalf("ginger session failed: %v %v", res.Reasons, res.Outputs)
+	}
+}
+
+func TestSessionBadProgram(t *testing.T) {
+	hello := Hello{Source: "not a program", RhoLin: 1, Rho: 1, NoCommitment: true}
+	client, server := net.Pipe()
+	go func() { _ = ServeConn(server, ServerOptions{}) }()
+	_, err := RunSession(client, hello, ClientOptions{}, [][]*big.Int{{big.NewInt(1)}})
+	client.Close()
+	if err == nil {
+		t.Fatal("bad program accepted")
+	}
+}
+
+func TestSessionOversizedBatch(t *testing.T) {
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	client, server := net.Pipe()
+	go func() { _ = ServeConn(server, ServerOptions{MaxBatch: 1}) }()
+	batch := [][]*big.Int{{big.NewInt(1)}, {big.NewInt(2)}}
+	_, err := RunSession(client, hello, ClientOptions{Seed: []byte("x")}, batch)
+	client.Close()
+	if err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestDistributedProvers(t *testing.T) {
+	// Three provers each take a slice of the batch (the paper's
+	// multi-machine prover); one verifier checks everything.
+	const nProvers = 3
+	conns := make([]net.Conn, nProvers)
+	for i := range conns {
+		client, server := net.Pipe()
+		conns[i] = client
+		go func() { _ = ServeConn(server, ServerOptions{}) }()
+	}
+	hello := Hello{Source: sessionSrc, RhoLin: 2, Rho: 2, NoCommitment: true}
+	batch := make([][]*big.Int, 7) // uneven split: 3+3+1
+	for i := range batch {
+		batch[i] = []*big.Int{big.NewInt(int64(i))}
+	}
+	res, err := RunSessionDistributed(conns, hello, ClientOptions{Seed: []byte("d")}, batch)
+	for _, c := range conns {
+		c.Close()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 7 || !res.AllAccepted() {
+		t.Fatalf("distributed batch failed: %v", res.Reasons)
+	}
+	for i := range batch {
+		if res.Outputs[i][0].Int64() != int64(i)-3 {
+			t.Fatalf("instance %d output %v", i, res.Outputs[i])
+		}
+	}
+}
+
+func TestDistributedNoConns(t *testing.T) {
+	if _, err := RunSessionDistributed(nil, Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}, ClientOptions{}, [][]*big.Int{{big.NewInt(1)}}); err == nil {
+		t.Fatal("no connections accepted")
+	}
+}
+
+func TestSessionOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = ServeConn(conn, ServerOptions{Workers: 2})
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := Hello{Source: sessionSrc, RhoLin: 2, Rho: 2, NoCommitment: true}
+	res, err := RunSession(conn, hello, ClientOptions{Seed: []byte("tcp")}, [][]*big.Int{{big.NewInt(8)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAccepted() || res.Outputs[0][0].Int64() != 5 {
+		t.Fatalf("tcp session failed: %v %v", res.Reasons, res.Outputs)
+	}
+}

@@ -1,0 +1,162 @@
+package vc
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"zaatar/internal/compiler"
+)
+
+// BatchResult aggregates one batch's outcomes and measurements.
+type BatchResult struct {
+	Accepted []bool
+	Reasons  []string
+	Outputs  [][]*big.Int
+
+	ProverTimes []ProverTimes
+	// ProverWall is the wall-clock time of the prover's parallel phases for
+	// the whole batch — with enough workers, close to one instance's
+	// latency (§5.2, Figure 6).
+	ProverWall time.Duration
+	// VerifierSetup is the amortized query/key construction time.
+	VerifierSetup time.Duration
+	// VerifierPerInstance is the total per-instance verification time
+	// across the batch (consistency + PCP checks).
+	VerifierPerInstance time.Duration
+}
+
+// AllAccepted reports whether every instance verified.
+func (r *BatchResult) AllAccepted() bool {
+	for _, ok := range r.Accepted {
+		if !ok {
+			return false
+		}
+	}
+	return len(r.Accepted) > 0
+}
+
+// RunBatch drives the full protocol for a batch of instances of one
+// computation, spreading the prover's work over cfg.Workers goroutines
+// (the paper's distributed prover; Figure 6).
+func RunBatch(prog *compiler.Program, cfg Config, inputs [][]*big.Int) (*BatchResult, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("vc: empty batch")
+	}
+	verifier, err := NewVerifier(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	prover, err := NewProver(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	prover.HandleCommitRequest(verifier.Setup())
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	beta := len(inputs)
+	res := &BatchResult{
+		Accepted:    make([]bool, beta),
+		Reasons:     make([]string, beta),
+		Outputs:     make([][]*big.Int, beta),
+		ProverTimes: make([]ProverTimes, beta),
+	}
+	commitments := make([]*Commitment, beta)
+	states := make([]*InstanceState, beta)
+	responses := make([]*Response, beta)
+
+	// Phase 1 (parallel): solve, build proofs, commit.
+	proverStart := time.Now()
+	if err := parallelFor(beta, workers, func(i int) error {
+		cm, st, err := prover.Commit(inputs[i])
+		if err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+		commitments[i], states[i] = cm, st
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the verifier reveals queries only after all commitments.
+	dec, err := verifier.Decommit()
+	if err != nil {
+		return nil, err
+	}
+	if err := prover.HandleDecommit(dec); err != nil {
+		return nil, err
+	}
+
+	// Phase 3 (parallel): answer queries.
+	if err := parallelFor(beta, workers, func(i int) error {
+		r, err := prover.Respond(states[i])
+		if err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+		responses[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.ProverWall = time.Since(proverStart)
+
+	// Phase 4: verification.
+	vStart := time.Now()
+	for i := range inputs {
+		ok, reason := verifier.VerifyInstance(inputs[i], commitments[i], responses[i])
+		res.Accepted[i] = ok
+		res.Reasons[i] = reason
+		res.Outputs[i] = commitments[i].Output
+		res.ProverTimes[i] = states[i].Times
+	}
+	res.VerifierPerInstance = time.Since(vStart)
+	res.VerifierSetup = verifier.SetupDuration()
+	return res, nil
+}
+
+// parallelFor runs fn(0..n-1) over the given number of workers, returning
+// the first error.
+func parallelFor(n, workers int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,152 @@
+package vc
+
+import (
+	"errors"
+	"math/big"
+	"time"
+
+	"zaatar/internal/commit"
+	"zaatar/internal/compiler"
+	"zaatar/internal/field"
+	"zaatar/internal/pcp"
+	"zaatar/internal/qap"
+)
+
+// ProverTimes decomposes one instance's prover cost, mirroring the columns
+// of Figure 5.
+type ProverTimes struct {
+	Solve      time.Duration // execute Ψ and solve the constraints
+	ConstructU time.Duration // build the proof vector (H(t) for Zaatar, z⊗z for Ginger)
+	Crypto     time.Duration // homomorphic commitment evaluation
+	Answer     time.Duration // PCP + consistency query responses
+}
+
+// E2E is the total prover time for the instance.
+func (t ProverTimes) E2E() time.Duration {
+	return t.Solve + t.ConstructU + t.Crypto + t.Answer
+}
+
+// Prover holds a prover's batch state for one computation.
+type Prover struct {
+	Prog *compiler.Program
+	Cfg  Config
+
+	q   *qap.QAP
+	req *CommitRequest
+
+	// query regeneration state after decommit
+	queries1, queries2 [][]field.Element
+	t1, t2             []field.Element
+}
+
+// InstanceState carries a single instance's proof between the commit and
+// respond phases.
+type InstanceState struct {
+	U1, U2 []field.Element // the two proof vectors
+	Times  ProverTimes
+}
+
+// NewProver prepares the prover for a computation.
+func NewProver(prog *compiler.Program, cfg Config) (*Prover, error) {
+	p := &Prover{Prog: prog, Cfg: cfg}
+	if cfg.Protocol == Zaatar {
+		var err error
+		if p.q, err = qap.New(prog.Field, prog.Quad); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// HandleCommitRequest stores the batch's encrypted commitment vectors.
+func (p *Prover) HandleCommitRequest(req *CommitRequest) {
+	p.req = req
+}
+
+// Commit executes the computation on one instance's inputs and commits to
+// the resulting proof. This performs the first three phases of Figure 5:
+// solving the constraints, constructing the proof vector, and the
+// cryptographic commitment.
+func (p *Prover) Commit(inputs []*big.Int) (*Commitment, *InstanceState, error) {
+	if p.req == nil {
+		return nil, nil, errPhase
+	}
+	st := &InstanceState{}
+	cm := &Commitment{}
+	f := p.Prog.Field
+
+	start := time.Now()
+	var w []field.Element
+	var err error
+	if p.Cfg.Protocol == Zaatar {
+		cm.Output, w, err = p.Prog.SolveQuad(inputs)
+	} else {
+		cm.Output, w, err = p.Prog.SolveGinger(inputs)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Times.Solve = time.Since(start)
+
+	start = time.Now()
+	if p.Cfg.Protocol == Zaatar {
+		st.U1, st.U2, err = pcp.BuildProof(p.q, w)
+	} else {
+		st.U1, st.U2, err = pcp.BuildGingerProof(f, p.Prog.Ginger, w)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Times.ConstructU = time.Since(start)
+
+	start = time.Now()
+	if len(p.req.EncR1) > 0 {
+		group := p.req.PK.Group
+		if cm.C1, err = commit.Commit(group, f, p.req.EncR1, st.U1); err != nil {
+			return nil, nil, err
+		}
+		if cm.C2, err = commit.Commit(group, f, p.req.EncR2, st.U2); err != nil {
+			return nil, nil, err
+		}
+	}
+	st.Times.Crypto = time.Since(start)
+	return cm, st, nil
+}
+
+// HandleDecommit regenerates the batch queries from the revealed seed.
+func (p *Prover) HandleDecommit(req *DecommitRequest) error {
+	z, g, err := queriesFromSeed(p.Prog, p.Cfg, p.q, req.Seed)
+	if err != nil {
+		return err
+	}
+	if p.Cfg.Protocol == Zaatar {
+		p.queries1, p.queries2 = z.ZQueries, z.HQueries
+	} else {
+		p.queries1, p.queries2 = g.Z1Queries, g.Z2Queries
+	}
+	p.t1, p.t2 = req.T1, req.T2
+	return nil
+}
+
+// Respond answers every query (and the consistency points) for one
+// committed instance — the "answer queries" phase of Figure 5.
+func (p *Prover) Respond(st *InstanceState) (*Response, error) {
+	if p.queries1 == nil {
+		return nil, errPhase
+	}
+	f := p.Prog.Field
+	start := time.Now()
+	resp := &Response{
+		R1: pcp.Answer(f, st.U1, p.queries1),
+		R2: pcp.Answer(f, st.U2, p.queries2),
+	}
+	if p.t1 != nil {
+		if len(p.t1) != len(st.U1) || len(p.t2) != len(st.U2) {
+			return nil, errors.New("vc: consistency point length mismatch")
+		}
+		resp.T1 = f.InnerProduct(p.t1, st.U1)
+		resp.T2 = f.InnerProduct(p.t2, st.U2)
+	}
+	st.Times.Answer = time.Since(start)
+	return resp, nil
+}

@@ -1,0 +1,167 @@
+// Package vc implements Zaatar's efficient argument system: the interactive
+// protocol of Figures 1 and 2 that composes a linear PCP (internal/pcp) with
+// the linear commitment primitive (internal/commit), batched over β
+// instances of one computation.
+//
+// Message flow, per batch:
+//
+//	V → P  CommitRequest    Enc(r_z), Enc(r_h)           (amortized over β)
+//	P → V  Commitment       y, Enc(π_z(r_z)), Enc(π_h(r_h))   (per instance)
+//	V → P  DecommitRequest  query seed + consistency points t  (amortized)
+//	P → V  Response         π(q_1)..π(q_µ), π(t)              (per instance)
+//
+// As in [53] Apdx A.3, the decommit message carries a short PRG seed rather
+// than the query vectors; the prover regenerates the queries locally, so the
+// per-batch network cost is one full-length vector (t) per oracle plus the
+// seed. Binding holds because every instance's commitment is collected
+// before the seed is revealed.
+//
+// The prover supports both protocols of the paper — the QAP-based Zaatar
+// PCP and Ginger's classical PCP — behind one Config switch, and can spread
+// a batch over a worker pool (the paper's GPU/cluster parallelism; Figure 6).
+package vc
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"zaatar/internal/compiler"
+	"zaatar/internal/constraint"
+	"zaatar/internal/elgamal"
+	"zaatar/internal/field"
+	"zaatar/internal/pcp"
+	"zaatar/internal/prg"
+	"zaatar/internal/qap"
+)
+
+// Protocol selects the proof encoding.
+type Protocol int
+
+const (
+	// Zaatar is the QAP-based linear PCP (§3); proof vector |Z| + |C|.
+	Zaatar Protocol = iota
+	// Ginger is the classical linear PCP baseline (§2.2); proof vector
+	// |Z| + |Z|².
+	Ginger
+)
+
+func (p Protocol) String() string {
+	if p == Ginger {
+		return "ginger"
+	}
+	return "zaatar"
+}
+
+// Config controls one verifier/prover pair.
+type Config struct {
+	// Protocol picks Zaatar or Ginger. Default Zaatar.
+	Protocol Protocol
+	// Params are the PCP repetition counts. Zero value means
+	// pcp.DefaultParams().
+	Params pcp.Params
+	// NoCommitment disables the cryptographic commitment, leaving only the
+	// PCP (for ablations and fast tests); the protocol is then only sound
+	// against provers that honestly fix a linear function.
+	NoCommitment bool
+	// Workers is the prover's parallelism over a batch; 0 means 1.
+	Workers int
+	// Seed fixes the verifier's randomness (for reproducible experiments).
+	// Empty means fresh randomness from crypto/rand.
+	Seed []byte
+	// Group overrides the ElGamal group (tests with small fields); nil
+	// selects the production group for the program's field.
+	Group *elgamal.Group
+}
+
+func (c Config) params() pcp.Params {
+	if c.Params.Rho == 0 && c.Params.RhoLin == 0 {
+		return pcp.DefaultParams()
+	}
+	return c.Params
+}
+
+// CommitRequest opens a batch: the encrypted commitment vectors for the two
+// proof oracles.
+type CommitRequest struct {
+	EncR1 []elgamal.Ciphertext // for π_z (Zaatar) or π₁ (Ginger)
+	EncR2 []elgamal.Ciphertext // for π_h (Zaatar) or π₂ (Ginger)
+	// PK lets the prover verify ciphertext well-formedness if desired.
+	PK *elgamal.PublicKey
+}
+
+// Commitment is the prover's per-instance reply to the commit phase.
+type Commitment struct {
+	Output []*big.Int
+	C1, C2 elgamal.Ciphertext
+}
+
+// DecommitRequest reveals the queries (via seed) and consistency points.
+type DecommitRequest struct {
+	Seed []byte
+	T1   []field.Element
+	T2   []field.Element
+}
+
+// Response carries the prover's per-instance PCP and consistency answers.
+type Response struct {
+	R1, R2 []field.Element
+	T1, T2 field.Element
+}
+
+const seedLen = 32
+
+// queriesFromSeed deterministically regenerates the batch's PCP queries.
+// Both parties call this with the same seed.
+func queriesFromSeed(prog *compiler.Program, cfg Config, q *qap.QAP, seed []byte) (z *pcp.ZaatarPCP, g *pcp.GingerPCP, err error) {
+	src := prg.NewFromSeed(seed, 1)
+	if cfg.Protocol == Ginger {
+		g, err = pcp.NewGinger(prog.Field, prog.Ginger, cfg.params(), src)
+		return nil, g, err
+	}
+	z, err = pcp.NewZaatar(q, cfg.params(), src)
+	return z, nil, err
+}
+
+// group returns the ElGamal group for the configuration.
+func (c Config) group(f *field.Field) (*elgamal.Group, error) {
+	if c.Group != nil {
+		return c.Group, nil
+	}
+	if g := elgamal.GroupFor(f); g != nil {
+		return g, nil
+	}
+	return nil, fmt.Errorf("vc: no built-in ElGamal group for field %s; set Config.Group", f.Name())
+}
+
+func freshSeed(cfg Config) ([]byte, error) {
+	if len(cfg.Seed) > 0 {
+		return cfg.Seed, nil
+	}
+	s := make([]byte, seedLen)
+	if _, err := io.ReadFull(rand.Reader, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+var errPhase = errors.New("vc: protocol phase violation")
+
+// RecommendProtocol implements footnote 5 of §4 (the hybrid idea later
+// developed by Vu et al. [57]): the degenerate computations for which
+// Ginger's encoding beats Zaatar's — dense degree-2 forms where K₂
+// approaches (|Z|²−|Z|)/2 — are detectable from the compiled constraint
+// statistics, so the system can simply pick the encoding with the smaller
+// proof vector. Programs produced by this repository's compiler always
+// recommend Zaatar (the compiler materializes every product into a fresh
+// variable, keeping K₂ ≤ |C|); hand-written constraint systems can tip the
+// other way.
+func RecommendProtocol(gs *constraint.GingerSystem, qs *constraint.QuadSystem) Protocol {
+	ug, uz := constraint.ProofVectorSizes(gs, qs)
+	if ug < uz {
+		return Ginger
+	}
+	return Zaatar
+}

@@ -1,0 +1,264 @@
+package vc
+
+import (
+	"math/big"
+	"testing"
+
+	"zaatar/internal/compiler"
+	"zaatar/internal/elgamal"
+	"zaatar/internal/field"
+	"zaatar/internal/pcp"
+	"zaatar/internal/prg"
+)
+
+// testProgram compiles a small computation over the tiny field with a
+// generated ElGamal group, so full-crypto tests stay fast.
+const testSrc = `
+const N = 4;
+input x[N] : int8;
+output s : int32;
+output m : int8;
+s = 0;
+m = x[0];
+for i = 0 to N-1 {
+	s = s + x[i] * x[i];
+	if (x[i] > m) { m = x[i]; }
+}
+`
+
+func testSetup(t *testing.T, protocol Protocol, noCommit bool) (*compiler.Program, Config) {
+	t.Helper()
+	f := field.FTest()
+	prog, err := compiler.Compile(f, testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Protocol:     protocol,
+		Params:       pcp.TestParams(),
+		NoCommitment: noCommit,
+		Seed:         []byte("vc-test-seed"),
+	}
+	if !noCommit {
+		g, err := elgamal.GenerateGroup(f.Modulus(), 256, prg.NewFromSeed([]byte("vc-group"), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Group = g
+	}
+	return prog, cfg
+}
+
+func inputsFor(vals ...int64) []*big.Int {
+	out := make([]*big.Int, len(vals))
+	for i, v := range vals {
+		out[i] = big.NewInt(v)
+	}
+	return out
+}
+
+func TestEndToEndZaatarWithCrypto(t *testing.T) {
+	prog, cfg := testSetup(t, Zaatar, false)
+	batch := [][]*big.Int{
+		inputsFor(1, 2, 3, 4),
+		inputsFor(-5, 0, 5, 2),
+		inputsFor(7, 7, 7, 7),
+	}
+	res, err := RunBatch(prog, cfg, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAccepted() {
+		t.Fatalf("honest batch rejected: %v", res.Reasons)
+	}
+	// Outputs decode correctly: s = Σx², m = max.
+	if res.Outputs[0][0].Int64() != 30 || res.Outputs[0][1].Int64() != 4 {
+		t.Errorf("instance 0 outputs = %v", res.Outputs[0])
+	}
+	if res.Outputs[1][0].Int64() != 54 || res.Outputs[1][1].Int64() != 5 {
+		t.Errorf("instance 1 outputs = %v", res.Outputs[1])
+	}
+}
+
+func TestEndToEndGingerWithCrypto(t *testing.T) {
+	prog, cfg := testSetup(t, Ginger, false)
+	res, err := RunBatch(prog, cfg, [][]*big.Int{inputsFor(1, 2, 3, 4), inputsFor(0, -1, -2, -3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAccepted() {
+		t.Fatalf("honest ginger batch rejected: %v", res.Reasons)
+	}
+}
+
+func TestEndToEndNoCommitment(t *testing.T) {
+	for _, proto := range []Protocol{Zaatar, Ginger} {
+		prog, cfg := testSetup(t, proto, true)
+		res, err := RunBatch(prog, cfg, [][]*big.Int{inputsFor(3, 1, 4, 1)})
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if !res.AllAccepted() {
+			t.Fatalf("%v: rejected: %v", proto, res.Reasons)
+		}
+	}
+}
+
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	prog, cfg := testSetup(t, Zaatar, false)
+	batch := make([][]*big.Int, 8)
+	for i := range batch {
+		batch[i] = inputsFor(int64(i), int64(i+1), int64(-i), 3)
+	}
+	cfg.Workers = 4
+	res, err := RunBatch(prog, cfg, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAccepted() {
+		t.Fatalf("parallel batch rejected: %v", res.Reasons)
+	}
+	for i := range batch {
+		want := int64(0)
+		for _, v := range batch[i] {
+			want += v.Int64() * v.Int64()
+		}
+		if res.Outputs[i][0].Int64() != want {
+			t.Errorf("instance %d: s = %v, want %d", i, res.Outputs[i][0], want)
+		}
+	}
+}
+
+// cheatingProver wraps Prover to corrupt the claimed output after proving a
+// different instance.
+func TestCheatingOutputRejected(t *testing.T) {
+	for _, noCommit := range []bool{false, true} {
+		prog, cfg := testSetup(t, Zaatar, noCommit)
+		verifier, err := NewVerifier(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prover, err := NewProver(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prover.HandleCommitRequest(verifier.Setup())
+		in := inputsFor(1, 2, 3, 4)
+		cm, st, err := prover.Commit(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm.Output[0].Add(cm.Output[0], big.NewInt(1)) // lie about the sum
+		dec, err := verifier.Decommit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prover.HandleDecommit(dec); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := prover.Respond(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := verifier.VerifyInstance(in, cm, resp); ok {
+			t.Fatalf("cheating output accepted (noCommit=%v)", noCommit)
+		}
+	}
+}
+
+func TestTamperedResponseRejectedByConsistency(t *testing.T) {
+	// With commitment on, even a tampered response that would satisfy the
+	// PCP tests (we tamper t answers) is caught by the consistency test.
+	prog, cfg := testSetup(t, Zaatar, false)
+	verifier, _ := NewVerifier(prog, cfg)
+	prover, _ := NewProver(prog, cfg)
+	prover.HandleCommitRequest(verifier.Setup())
+	in := inputsFor(1, 1, 1, 1)
+	cm, st, err := prover.Commit(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := verifier.Decommit()
+	_ = prover.HandleDecommit(dec)
+	resp, _ := prover.Respond(st)
+	resp.T1 = prog.Field.Add(resp.T1, prog.Field.One())
+	if ok, reason := verifier.VerifyInstance(in, cm, resp); ok || reason == "" {
+		t.Fatal("tampered consistency answer accepted")
+	}
+}
+
+func TestPhaseViolations(t *testing.T) {
+	prog, cfg := testSetup(t, Zaatar, true)
+	prover, _ := NewProver(prog, cfg)
+	if _, _, err := prover.Commit(inputsFor(1, 2, 3, 4)); err == nil {
+		t.Error("Commit before HandleCommitRequest accepted")
+	}
+	if _, err := prover.Respond(&InstanceState{}); err == nil {
+		t.Error("Respond before HandleDecommit accepted")
+	}
+	verifier, _ := NewVerifier(prog, cfg)
+	if ok, _ := verifier.VerifyInstance(inputsFor(1, 2, 3, 4), &Commitment{}, &Response{}); ok {
+		t.Error("VerifyInstance before Decommit accepted")
+	}
+}
+
+func TestEmptyBatchRejected(t *testing.T) {
+	prog, cfg := testSetup(t, Zaatar, true)
+	if _, err := RunBatch(prog, cfg, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestMissingGroupError(t *testing.T) {
+	f := field.FTest()
+	prog, err := compiler.Compile(f, testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FTest has no production group and none is configured.
+	cfg := Config{Params: pcp.TestParams(), Seed: []byte("s")}
+	if _, err := NewVerifier(prog, cfg); err == nil {
+		t.Error("missing group not reported")
+	}
+}
+
+func TestProofVectorLen(t *testing.T) {
+	prog, cfg := testSetup(t, Zaatar, true)
+	v, err := NewVerifier(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Stats()
+	if got := v.ProofVectorLen(); got != st.UZaatar+1 {
+		// +1: the h oracle has |C|+1 coefficients while |u_zaatar| counts
+		// |Z|+|C| elements.
+		t.Errorf("ProofVectorLen = %d, want %d", got, st.UZaatar+1)
+	}
+
+	progG, cfgG := testSetup(t, Ginger, true)
+	vg, err := NewVerifier(progG, cfgG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vg.ProofVectorLen(); got != st.UGinger {
+		t.Errorf("Ginger ProofVectorLen = %d, want %d", got, st.UGinger)
+	}
+}
+
+func TestTimingInstrumentation(t *testing.T) {
+	prog, cfg := testSetup(t, Zaatar, false)
+	res, err := RunBatch(prog, cfg, [][]*big.Int{inputsFor(1, 2, 3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.ProverTimes[0]
+	if pt.E2E() <= 0 {
+		t.Error("prover timing not recorded")
+	}
+	if pt.Crypto <= 0 {
+		t.Error("crypto phase timing not recorded with commitment enabled")
+	}
+	if res.VerifierSetup <= 0 || res.VerifierPerInstance <= 0 {
+		t.Error("verifier timings not recorded")
+	}
+}

@@ -1,0 +1,178 @@
+package vc
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"zaatar/internal/commit"
+	"zaatar/internal/compiler"
+	"zaatar/internal/elgamal"
+	"zaatar/internal/field"
+	"zaatar/internal/pcp"
+	"zaatar/internal/prg"
+	"zaatar/internal/qap"
+)
+
+// Verifier holds one batch's verifier state. Create with NewVerifier; then
+// Setup → (collect commitments) → Decommit → VerifyInstance per instance.
+type Verifier struct {
+	Prog *compiler.Program
+	Cfg  Config
+
+	q                  *qap.QAP
+	zaatar             *pcp.ZaatarPCP
+	ginger             *pcp.GingerPCP
+	seed               []byte
+	queries1, queries2 [][]field.Element // flattened per-oracle query lists
+
+	sk       *elgamal.SecretKey
+	key1     *commit.Key
+	key2     *commit.Key
+	dec1     commit.Decommit
+	dec2     commit.Decommit
+	sec1     commit.Secrets
+	sec2     commit.Secrets
+	setupDur time.Duration
+
+	decommitBuilt bool
+}
+
+// NewVerifier compiles the verifier's batch state: the PCP queries (derived
+// from a seed) and, unless disabled, the commitment keys. This is the
+// verifier's amortized per-batch setup — the "construct queries" rows of
+// Figure 3.
+func NewVerifier(prog *compiler.Program, cfg Config) (*Verifier, error) {
+	start := time.Now()
+	v := &Verifier{Prog: prog, Cfg: cfg}
+	var err error
+	if v.seed, err = freshSeed(cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Protocol == Zaatar {
+		if v.q, err = qap.New(prog.Field, prog.Quad); err != nil {
+			return nil, err
+		}
+	}
+	if v.zaatar, v.ginger, err = queriesFromSeed(prog, cfg, v.q, v.seed); err != nil {
+		return nil, err
+	}
+	if cfg.Protocol == Zaatar {
+		v.queries1, v.queries2 = v.zaatar.ZQueries, v.zaatar.HQueries
+	} else {
+		v.queries1, v.queries2 = v.ginger.Z1Queries, v.ginger.Z2Queries
+	}
+
+	if !cfg.NoCommitment {
+		group, err := cfg.group(prog.Field)
+		if err != nil {
+			return nil, err
+		}
+		// Key randomness is separate from the query seed: queries are later
+		// revealed to the prover, the commitment vectors r never are.
+		krnd := prg.NewFromSeed(append(append([]byte("commit-keys"), v.seed...), 0x01), 2)
+		if v.sk, err = group.GenerateKey(krnd); err != nil {
+			return nil, err
+		}
+		n1, n2 := v.oracleLens()
+		if v.key1, err = commit.NewKey(prog.Field, group, v.sk, n1, krnd); err != nil {
+			return nil, err
+		}
+		if v.key2, err = commit.NewKey(prog.Field, group, v.sk, n2, krnd); err != nil {
+			return nil, err
+		}
+	}
+	v.setupDur = time.Since(start)
+	return v, nil
+}
+
+// oracleLens returns the two proof-vector lengths |u₁|, |u₂|.
+func (v *Verifier) oracleLens() (int, int) {
+	if v.Cfg.Protocol == Zaatar {
+		return v.q.NZ, v.q.NC + 1
+	}
+	nz := v.Prog.Ginger.NumUnbound()
+	return nz, nz * nz
+}
+
+// ProofVectorLen returns |u| = |u₁| + |u₂| for the configured protocol.
+func (v *Verifier) ProofVectorLen() int {
+	a, b := v.oracleLens()
+	return a + b
+}
+
+// SetupDuration reports the time spent in NewVerifier (query + key setup),
+// the amortized cost that determines break-even batch sizes.
+func (v *Verifier) SetupDuration() time.Duration { return v.setupDur }
+
+// Setup emits the commit request opening the batch.
+func (v *Verifier) Setup() *CommitRequest {
+	req := &CommitRequest{}
+	if v.key1 != nil {
+		req.EncR1 = v.key1.EncR
+		req.EncR2 = v.key2.EncR
+		req.PK = &v.sk.PublicKey
+	}
+	return req
+}
+
+// Decommit reveals the query seed and consistency points. It must be called
+// only after every instance's Commitment has been received; the Verifier
+// does not enforce reception ordering across the transport, but calling
+// VerifyInstance before Decommit fails.
+func (v *Verifier) Decommit() (*DecommitRequest, error) {
+	req := &DecommitRequest{Seed: v.seed}
+	if v.key1 != nil {
+		srnd := prg.NewFromSeed(append(append([]byte("decommit-alphas"), v.seed...), 0x02), 3)
+		var err error
+		if v.dec1, v.sec1, err = v.key1.BuildDecommit(v.queries1, srnd); err != nil {
+			return nil, err
+		}
+		if v.dec2, v.sec2, err = v.key2.BuildDecommit(v.queries2, srnd); err != nil {
+			return nil, err
+		}
+		req.T1 = v.dec1.T
+		req.T2 = v.dec2.T
+	}
+	v.decommitBuilt = true
+	return req, nil
+}
+
+// VerifyInstance runs all checks for one instance: the commitment
+// consistency test and the PCP tests. inputs are the instance's inputs (the
+// verifier knows them; §2.1), and the commitment carries the claimed
+// outputs.
+func (v *Verifier) VerifyInstance(inputs []*big.Int, cm *Commitment, resp *Response) (bool, string) {
+	if !v.decommitBuilt {
+		return false, errPhase.Error()
+	}
+	if len(resp.R1) != len(v.queries1) || len(resp.R2) != len(v.queries2) {
+		return false, "response count mismatch"
+	}
+	// Consistency tests bind the revealed answers to the committed linear
+	// functions.
+	if v.key1 != nil {
+		ok1 := v.key1.VerifyConsistency(cm.C1, v.sec1, commit.Response{Answers: resp.R1, AT: resp.T1})
+		if !ok1 {
+			return false, "commitment consistency test failed for oracle 1"
+		}
+		ok2 := v.key2.VerifyConsistency(cm.C2, v.sec2, commit.Response{Answers: resp.R2, AT: resp.T2})
+		if !ok2 {
+			return false, "commitment consistency test failed for oracle 2"
+		}
+	}
+	io, err := v.Prog.IOValues(inputs, cm.Output)
+	if err != nil {
+		return false, fmt.Sprintf("bad io: %v", err)
+	}
+	var res pcp.CheckResult
+	if v.Cfg.Protocol == Zaatar {
+		res = v.zaatar.Check(resp.R1, resp.R2, io)
+	} else {
+		res = v.ginger.Check(resp.R1, resp.R2, io)
+	}
+	if !res.OK {
+		return false, res.Reason
+	}
+	return true, ""
+}

@@ -1,0 +1,177 @@
+// Package zaatar is a verified-computation library reproducing the system
+// of "Resolving the conflict between generality and plausibility in
+// verified computation" (Setty, Braun, Vu, Blumberg, Parno, Walfish —
+// EuroSys 2013).
+//
+// A verifier outsources a computation Ψ, written in a small C-like language,
+// to an untrusted prover. The prover returns the output y together with an
+// interactive argument that y = Ψ(x); the argument composes a linear PCP
+// with a homomorphic-encryption-based linear commitment. Two proof encodings
+// are provided:
+//
+//   - Zaatar (the paper's contribution): a QAP-based linear PCP whose proof
+//     vector is linear (|Z| + |C|) in the computation size; and
+//   - Ginger (the baseline): the classical PCP with a quadratic
+//     (|Z| + |Z|²) proof vector.
+//
+// Quick start:
+//
+//	prog, err := zaatar.Compile(`
+//	    input x : int32;
+//	    output y : int32;
+//	    y = x - 3;
+//	`)
+//	res, err := zaatar.Run(prog, [][]*big.Int{{big.NewInt(10)}})
+//	// res.Accepted[0] == true, res.Outputs[0][0].Int64() == 7
+//
+// Run drives a whole batch in-process. For a real deployment split the two
+// ends with NewVerifier and NewProver, moving the exported message types
+// (CommitRequest, Commitment, DecommitRequest, Response) across the wire;
+// cmd/zaatar-server and cmd/zaatar-client do exactly that over TCP with gob
+// encoding.
+package zaatar
+
+import (
+	"math/big"
+
+	"zaatar/internal/compiler"
+	"zaatar/internal/elgamal"
+	"zaatar/internal/field"
+	"zaatar/internal/pcp"
+	"zaatar/internal/vc"
+)
+
+// Program is a compiled computation. See Compile.
+type Program = compiler.Program
+
+// Protocol message types, for callers that run the phases over a transport.
+type (
+	// CommitRequest opens a batch (verifier → prover).
+	CommitRequest = vc.CommitRequest
+	// Commitment is the per-instance commit reply (prover → verifier).
+	Commitment = vc.Commitment
+	// DecommitRequest reveals the query seed and consistency points.
+	DecommitRequest = vc.DecommitRequest
+	// Response carries per-instance query answers (prover → verifier).
+	Response = vc.Response
+	// InstanceState is the prover's per-instance state between phases.
+	InstanceState = vc.InstanceState
+	// Result aggregates a batch's outcomes and timings.
+	Result = vc.BatchResult
+	// Verifier is one batch's verifier; see NewVerifier.
+	Verifier = vc.Verifier
+	// Prover is one computation's prover; see NewProver.
+	Prover = vc.Prover
+)
+
+// Option configures compilation and protocol runs.
+type Option func(*options)
+
+type options struct {
+	field *field.Field
+	cfg   vc.Config
+}
+
+func buildOptions(opts []Option) options {
+	o := options{field: field.F128()}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithField220 selects the 220-bit field of §5.1 (larger integer capacity,
+// slower arithmetic) instead of the default 128-bit field.
+func WithField220() Option {
+	return func(o *options) { o.field = field.F220() }
+}
+
+// WithGingerProtocol selects the baseline quadratic proof encoding instead
+// of the QAP-based one — useful only for comparison; it is restricted to
+// small computations because the proof vector is |Z|².
+func WithGingerProtocol() Option {
+	return func(o *options) { o.cfg.Protocol = vc.Ginger }
+}
+
+// WithParams overrides the PCP repetition counts (ρ_lin, ρ). The default is
+// the paper's production setting (20, 8) with soundness error below
+// 9.6×10⁻⁷; tests use smaller values for speed.
+func WithParams(rhoLin, rho int) Option {
+	return func(o *options) { o.cfg.Params = pcp.Params{RhoLin: rhoLin, Rho: rho} }
+}
+
+// WithWorkers sets the prover's parallelism over a batch (the paper's
+// distributed/GPU prover, Figure 6).
+func WithWorkers(n int) Option {
+	return func(o *options) { o.cfg.Workers = n }
+}
+
+// WithSeed fixes the verifier's randomness for reproducible runs. Do not
+// use a fixed seed when soundness matters.
+func WithSeed(seed []byte) Option {
+	return func(o *options) { o.cfg.Seed = append([]byte(nil), seed...) }
+}
+
+// WithoutCommitment disables the cryptographic commitment, leaving the bare
+// PCP. Orders of magnitude faster, but sound only against provers that
+// honestly fix a linear proof function; intended for experiments.
+func WithoutCommitment() Option {
+	return func(o *options) { o.cfg.NoCommitment = true }
+}
+
+// WithGroup overrides the ElGamal group (e.g. a test group over a small
+// field).
+func WithGroup(g *elgamal.Group) Option {
+	return func(o *options) { o.cfg.Group = g }
+}
+
+// DefaultParams returns the production PCP parameters (ρ_lin = 20, ρ = 8).
+func DefaultParams() pcp.Params { return pcp.DefaultParams() }
+
+// Compile translates a mini-SFDL program (see the language reference in the
+// README) into constraint systems and a witness solver.
+func Compile(src string, opts ...Option) (*Program, error) {
+	o := buildOptions(opts)
+	return compiler.Compile(o.field, src)
+}
+
+// Run drives the full batched protocol in-process: one verifier, one prover
+// (with the configured worker parallelism), len(batch) instances. It
+// returns per-instance acceptance, outputs, and timing decompositions.
+func Run(prog *Program, batch [][]*big.Int, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	return vc.RunBatch(prog, o.cfg, batch)
+}
+
+// NewVerifier creates one batch's verifier for a compiled program.
+func NewVerifier(prog *Program, opts ...Option) (*Verifier, error) {
+	o := buildOptions(opts)
+	return vc.NewVerifier(prog, o.cfg)
+}
+
+// NewProver creates a prover for a compiled program.
+func NewProver(prog *Program, opts ...Option) (*Prover, error) {
+	o := buildOptions(opts)
+	return vc.NewProver(prog, o.cfg)
+}
+
+// Protocol identifies a proof encoding; see the vc package constants
+// re-exported here.
+type Protocol = vc.Protocol
+
+// Protocol values.
+const (
+	// ProtocolZaatar is the QAP-based linear encoding (the default).
+	ProtocolZaatar = vc.Zaatar
+	// ProtocolGinger is the quadratic baseline encoding.
+	ProtocolGinger = vc.Ginger
+)
+
+// RecommendProtocol picks the encoding with the smaller proof vector for a
+// compiled program — §4's observation that the (rare, degenerate) cases
+// where Ginger wins are detectable at compile time. Compiler-produced
+// programs always recommend Zaatar; the degenerate cases arise only for
+// hand-written constraint systems with dense degree-2 forms.
+func RecommendProtocol(prog *Program) Protocol {
+	return vc.RecommendProtocol(prog.Ginger, prog.Quad)
+}
