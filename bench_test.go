@@ -21,6 +21,7 @@
 package zaatar
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -153,7 +154,7 @@ func BenchmarkFig3ModelValidation(b *testing.B) {
 	b.ResetTimer()
 	var measured float64
 	for i := 0; i < b.N; i++ {
-		res, err := vc.RunBatch(prog, quickCfg(1, false), batch)
+		res, err := vc.RunBatch(context.Background(), prog, quickCfg(1, false), batch)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func BenchmarkFig4Prover(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := vc.RunBatch(prog, quickCfg(1, false), batch); err != nil {
+				if _, err := vc.RunBatch(context.Background(), prog, quickCfg(1, false), batch); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -201,7 +202,7 @@ func BenchmarkFig5Phases(b *testing.B) {
 	var solve, cons, answer float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := vc.RunBatch(prog, quickCfg(1, false), batch)
+		res, err := vc.RunBatch(context.Background(), prog, quickCfg(1, false), batch)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -229,11 +230,49 @@ func BenchmarkFig6Workers(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := vc.RunBatch(prog, quickCfg(workers, false), batch)
+				res, err := vc.RunBatch(context.Background(), prog, quickCfg(workers, false), batch)
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(res.ProverWall.Seconds()*1e3, "batch-wall-ms")
+				b.ReportMetric(res.ProverWall().Seconds()*1e3, "batch-wall-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineOverlap measures what the respond→verify overlap buys:
+// the same batch with the pipeline disabled (respond everything, then
+// verify serially — the pre-pipeline engine) vs the staged pipeline that
+// streams responded instances into parallel verification. Crypto is on so
+// per-instance verification is substantial enough to overlap.
+func BenchmarkPipelineOverlap(b *testing.B) {
+	bench := benchprogs.FloydWarshall(4)
+	prog := compiled(b, bench)
+	rng := rand.New(rand.NewSource(6))
+	batch := make([][]*big.Int, 8)
+	for i := range batch {
+		batch[i] = bench.GenInputs(rng)
+	}
+	for _, mode := range []struct {
+		name       string
+		workers    int
+		noPipeline bool
+	}{
+		{"serial", 1, true},
+		{"pipeline-4", 4, false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := quickCfg(mode.workers, true)
+			cfg.NoPipeline = mode.noPipeline
+			for i := 0; i < b.N; i++ {
+				res, err := vc.RunBatch(context.Background(), prog, cfg, batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllAccepted() {
+					b.Fatal("batch rejected")
+				}
+				b.ReportMetric(res.Metrics.RespondVerify.Seconds()*1e3, "respond+verify-ms")
 			}
 		})
 	}
@@ -278,7 +317,7 @@ func BenchmarkFig8Scaling(b *testing.B) {
 			b.ReportMetric(float64(prog.Quad.NumConstraints()), "constraints")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := vc.RunBatch(prog, quickCfg(1, false), batch); err != nil {
+				if _, err := vc.RunBatch(context.Background(), prog, quickCfg(1, false), batch); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -390,7 +429,7 @@ func BenchmarkAblationCommitment(b *testing.B) {
 		}
 		b.Run("crypto-"+name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := vc.RunBatch(prog, quickCfg(1, crypto), batch); err != nil {
+				if _, err := vc.RunBatch(context.Background(), prog, quickCfg(1, crypto), batch); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -411,7 +450,7 @@ func BenchmarkProtocols(b *testing.B) {
 			cfg := quickCfg(1, false)
 			cfg.Protocol = proto
 			for i := 0; i < b.N; i++ {
-				if _, err := vc.RunBatch(prog, cfg, batch); err != nil {
+				if _, err := vc.RunBatch(context.Background(), prog, cfg, batch); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"zaatar/internal/transport"
 )
@@ -32,6 +35,8 @@ func main() {
 		f220     = flag.Bool("f220", false, "use the 220-bit field")
 		ginger   = flag.Bool("ginger", false, "use the Ginger baseline encoding")
 		noCrypto = flag.Bool("nocrypto", false, "skip the ElGamal commitment")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
+		workers  = flag.Int("workers", 1, "verifier parallelism over per-instance checks")
 	)
 	flag.Parse()
 	if *srcPath == "" || *inputs == "" {
@@ -59,7 +64,11 @@ func main() {
 		Rho:          *rho,
 		NoCommitment: *noCrypto,
 	}
-	res, err := transport.RunSessionDistributed(conns, hello, transport.ClientOptions{}, batch)
+	// Ctrl-C cancels the session, closing the prover connections.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	copts := transport.ClientOptions{IOTimeout: *timeout, Workers: *workers}
+	res, err := transport.RunSessionDistributed(ctx, conns, hello, copts, batch)
 	check(err)
 
 	allOK := true

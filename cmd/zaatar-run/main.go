@@ -82,7 +82,10 @@ func main() {
 		fmt.Printf("\nencoding: |Z_ginger|=%d |C_ginger|=%d |Z_zaatar|=%d |C_zaatar|=%d K=%d K2=%d |u_ginger|=%d |u_zaatar|=%d\n",
 			st.GingerVars, st.GingerConstraints, st.ZaatarVars, st.ZaatarConstraints,
 			st.K, st.K2, st.UGinger, st.UZaatar)
-		fmt.Printf("verifier: setup %v, verification %v\n", res.VerifierSetup, res.VerifierPerInstance)
+		m := res.Metrics
+		fmt.Printf("verifier: setup %v, verification %v\n", m.Setup, m.VerifyTotal)
+		fmt.Printf("pipeline: commit %v, decommit %v, respond %v, respond+verify %v, total %v (%d workers)\n",
+			m.Commit, m.Decommit, m.Respond, m.RespondVerify, m.Total, m.Workers)
 		for i, pt := range res.ProverTimes {
 			fmt.Printf("prover instance %d: solve %v, construct u %v, crypto %v, answer %v (e2e %v)\n",
 				i, pt.Solve, pt.ConstructU, pt.Crypto, pt.Answer, pt.E2E())

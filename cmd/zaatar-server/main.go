@@ -2,18 +2,31 @@
 // TCP: each session receives a computation and a batch of inputs, executes
 // them, and produces the verified-computation argument.
 //
+// The server installs a per-message I/O deadline on every connection
+// (-timeout), drains in-flight sessions on SIGINT/SIGTERM before exiting,
+// and can expose its metrics registry over HTTP (-metrics) in an
+// expvar-style text form.
+//
 // Usage:
 //
-//	zaatar-server -listen :7001 -workers 8
+//	zaatar-server -listen :7001 -workers 8 -timeout 2m -metrics :7002
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
+	"sync"
+	"syscall"
+	"time"
 
+	"zaatar/internal/obs"
 	"zaatar/internal/transport"
 )
 
@@ -22,27 +35,67 @@ func main() {
 		listen   = flag.String("listen", ":7001", "address to listen on")
 		workers  = flag.Int("workers", runtime.NumCPU(), "prover worker pool size per session")
 		maxBatch = flag.Int("maxbatch", 4096, "maximum batch size per session")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
+		metrics  = flag.String("metrics", "", "address for the HTTP metrics endpoint (empty disables)")
+		drain    = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight sessions on shutdown")
 	)
 	flag.Parse()
+
+	reg := obs.Default()
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		msrv := &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("zaatar-server: metrics endpoint: %v", err)
+			}
+		}()
+		log.Printf("zaatar-server: metrics on http://%s/metrics", *metrics)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("zaatar-server: %v", err)
 	}
 	fmt.Printf("zaatar-server: proving on %s (%d workers)\n", ln.Addr(), *workers)
+
+	// SIGINT/SIGTERM: stop accepting, cancel the session context after the
+	// drain window, exit once every in-flight session has returned.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("zaatar-server: %v: draining sessions (up to %v)", sig, *drain)
+		ln.Close()
+		time.AfterFunc(*drain, cancel)
+	}()
+
+	opts := transport.ServerOptions{
+		Workers:   *workers,
+		MaxBatch:  *maxBatch,
+		IOTimeout: *timeout,
+		Obs:       reg,
+	}
+	var sessions sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("zaatar-server: accept: %v", err)
-			continue
+			break // listener closed by the signal handler
 		}
+		sessions.Add(1)
 		go func(c net.Conn) {
+			defer sessions.Done()
 			log.Printf("zaatar-server: session from %s", c.RemoteAddr())
-			if err := transport.ServeConn(c, transport.ServerOptions{Workers: *workers, MaxBatch: *maxBatch}); err != nil {
+			if err := transport.ServeConn(ctx, c, opts); err != nil {
 				log.Printf("zaatar-server: session from %s failed: %v", c.RemoteAddr(), err)
 				return
 			}
 			log.Printf("zaatar-server: session from %s complete", c.RemoteAddr())
 		}(conn)
 	}
+	sessions.Wait()
+	log.Printf("zaatar-server: drained, exiting")
 }

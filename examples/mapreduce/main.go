@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -55,7 +56,7 @@ func main() {
 			if err != nil {
 				return
 			}
-			_ = transport.ServeConn(conn, transport.ServerOptions{Workers: 2})
+			_ = transport.ServeConn(context.Background(), conn, transport.ServerOptions{Workers: 2})
 		}(ln)
 		conn, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
@@ -81,7 +82,7 @@ func main() {
 	// Map phase: one verified batch across the three provers. Reduced PCP
 	// repetitions keep the demo snappy; use 20/8 for production soundness.
 	hello := transport.Hello{Source: mapSrc, RhoLin: 2, Rho: 2}
-	res, err := transport.RunSessionDistributed(conns, hello, transport.ClientOptions{}, batch)
+	res, err := transport.RunSessionDistributed(context.Background(), conns, hello, transport.ClientOptions{}, batch)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -201,7 +202,7 @@ func RunFig6(o Options, beta int, workerCounts []int) ([]Fig6Row, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", b.Name, err)
 			}
-			wall := res.ProverWall.Seconds()
+			wall := res.ProverWall().Seconds()
 			if workers == workerCounts[0] {
 				base = wall
 			}
@@ -274,8 +275,8 @@ func RunFig7(o Options) ([]Fig7Row, error) {
 			BreakevenZaatar: bz,
 			BreakevenGinger: bg,
 			OrdersOfMag:     math.Log10(bg / bz),
-			MeasuredVSetup:  res.VerifierSetup.Seconds(),
-			MeasuredVPerInst: res.VerifierPerInstance.Seconds() /
+			MeasuredVSetup:  res.VerifierSetup().Seconds(),
+			MeasuredVPerInst: res.VerifierPerInstance().Seconds() /
 				float64(len(res.ProverTimes)),
 		})
 	}
@@ -380,7 +381,7 @@ func gingerProverTime(prog *compiler.Program, b *benchprogs.Benchmark, o Options
 	memBytes := float64(nz) * float64(nz) * float64(queryVecs+2) * 32
 	if nz <= pcp.MaxGingerProofVars && memBytes < 3e8 {
 		cfg := o.vcConfig(vc.Ginger)
-		res, err := vc.RunBatch(prog, cfg, genBatch(b, rng, 1))
+		res, err := vc.RunBatch(context.Background(), prog, cfg, genBatch(b, rng, 1))
 		if err != nil {
 			return 0, false, err
 		}
@@ -502,9 +503,9 @@ func RunModel(o Options) ([]ModelRow, error) {
 			ProverMeasured:    e2e,
 			ProverModel:       pm,
 			ProverRatio:       e2e / pm,
-			VerifierSetupMeas: res.VerifierSetup.Seconds(),
+			VerifierSetupMeas: res.VerifierSetup().Seconds(),
 			VerifierSetupModl: vm,
-			VerifierRatio:     res.VerifierSetup.Seconds() / vm,
+			VerifierRatio:     res.VerifierSetup().Seconds() / vm,
 		})
 	}
 	return rows, nil

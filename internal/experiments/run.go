@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -21,7 +22,7 @@ func genBatch(b *benchprogs.Benchmark, rng *rand.Rand, beta int) [][]*big.Int {
 
 // runZaatarBatch runs a measured Zaatar batch and verifies it end to end.
 func runZaatarBatch(prog *compiler.Program, b *benchprogs.Benchmark, o Options, rng *rand.Rand, beta int) (*vc.BatchResult, error) {
-	res, err := vc.RunBatch(prog, o.vcConfig(vc.Zaatar), genBatch(b, rng, beta))
+	res, err := vc.RunBatch(context.Background(), prog, o.vcConfig(vc.Zaatar), genBatch(b, rng, beta))
 	if err != nil {
 		return nil, err
 	}

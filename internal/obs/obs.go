@@ -1,0 +1,306 @@
+// Package obs is the system's observability substrate: atomic counters,
+// log-scale latency histograms, and named span timers, collected in a
+// Registry and rendered as expvar-style text (one "name value" pair per
+// line). The protocol driver (internal/vc), the wire layer
+// (internal/transport), and the cmd/ binaries all record into a registry;
+// cmd/zaatar-server optionally serves its registry over HTTP.
+//
+// Everything is safe for concurrent use and allocation-free on the hot
+// paths (Counter.Add, Histogram.Observe, Span.End), so instruments can sit
+// inside the prover's worker pool without distorting what they measure. A
+// pluggable Sink receives every completed span for callers that want to
+// stream events (logs, traces) instead of polling aggregates.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic (or gauge-style, with negative deltas) atomic
+// 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// numBuckets covers 1ns..2^47ns (~1.6 days) in power-of-two buckets —
+// bucket i counts observations whose nanosecond value has bit length i.
+const numBuckets = 48
+
+// Histogram aggregates durations into power-of-two latency buckets with
+// exact count, sum, min, and max. All methods are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; math.MaxInt64 when empty
+	max     atomic.Int64 // nanoseconds
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketOf(ns)].Add(1)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's aggregates.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Buckets [numBuckets]int64 // Buckets[i] counts observations with 2^(i-1) ≤ ns < 2^i
+}
+
+// Snapshot copies the histogram's current state. Concurrent observers may
+// land between the field loads, so the snapshot is consistent only in the
+// quiescent case; aggregate monitoring does not need more.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	if mn := h.min.Load(); mn != math.MaxInt64 {
+		s.Min = time.Duration(mn)
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observed duration, or 0 for an empty histogram.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) from the
+// power-of-two buckets: the top of the bucket holding the q-th observation,
+// so the true quantile is within a factor of two below the returned value.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			ub := time.Duration(int64(1)<<uint(i)) - 1
+			if ub > s.Max {
+				ub = s.Max
+			}
+			return ub
+		}
+	}
+	return s.Max
+}
+
+// Sink receives every completed span. Implementations must be safe for
+// concurrent use; a nil sink (the default) drops events.
+type Sink interface {
+	// Span is called once per Span.End with the span's name and duration.
+	Span(name string, d time.Duration)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(name string, d time.Duration)
+
+// Span calls f.
+func (f SinkFunc) Span(name string, d time.Duration) { f(name, d) }
+
+// Registry is a named collection of counters and histograms with an
+// optional event sink. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	sink     atomic.Value // sinkHolder
+}
+
+type sinkHolder struct{ s Sink }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, used when a component is not
+// given an explicit one.
+func Default() *Registry { return defaultRegistry }
+
+// SetSink installs s as the registry's span sink (nil disables).
+func (r *Registry) SetSink(s Sink) { r.sink.Store(sinkHolder{s}) }
+
+func (r *Registry) emit(name string, d time.Duration) {
+	if h, ok := r.sink.Load().(sinkHolder); ok && h.s != nil {
+		h.s.Span(name, d)
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Span is a started named timer. End it exactly once.
+type Span struct {
+	r     *Registry
+	h     *Histogram
+	name  string
+	start time.Time
+}
+
+// StartSpan starts a timer whose End records into the histogram of the
+// same name and notifies the registry's sink.
+func (r *Registry) StartSpan(name string) Span {
+	return Span{r: r, h: r.Histogram(name), name: name, start: time.Now()}
+}
+
+// End stops the span, records its duration, and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.h.Observe(d)
+	s.r.emit(s.name, d)
+	return d
+}
+
+// WriteText renders every metric as expvar-style "name value" lines,
+// sorted by name. Counters render as a single line; each histogram renders
+// count, sum, min, max, avg, and approximate p50/p99 (nanoseconds).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	lines := make([]string, 0, len(counters)+7*len(hists))
+	for name, c := range counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, h := range hists {
+		s := h.Snapshot()
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", name, s.Count),
+			fmt.Sprintf("%s.sum_ns %d", name, int64(s.Sum)),
+			fmt.Sprintf("%s.min_ns %d", name, int64(s.Min)),
+			fmt.Sprintf("%s.max_ns %d", name, int64(s.Max)),
+			fmt.Sprintf("%s.avg_ns %d", name, int64(s.Mean())),
+			fmt.Sprintf("%s.p50_ns %d", name, int64(s.Quantile(0.50))),
+			fmt.Sprintf("%s.p99_ns %d", name, int64(s.Quantile(0.99))),
+		)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as text/plain — the body behind
+// zaatar-server's -metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

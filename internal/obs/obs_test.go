@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("Value = %d, want 3", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("Counter did not return the existing instance")
+	}
+}
+
+func TestHistogramAggregates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, d := range []time.Duration{time.Microsecond, 2 * time.Microsecond, 10 * time.Microsecond} {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Min != time.Microsecond || s.Max != 10*time.Microsecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if want := 13 * time.Microsecond / 3; s.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", s.Mean(), want)
+	}
+	// The p100 upper bound is clamped to the observed max.
+	if q := s.Quantile(1.0); q != 10*time.Microsecond {
+		t.Fatalf("Quantile(1.0) = %v", q)
+	}
+	if q := s.Quantile(0.5); q < 2*time.Microsecond || q > 4*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, want within bucket of 2µs", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := newHistogram().Snapshot()
+	if s.Min != 0 || s.Max != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram snapshot not zeroed: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	var wg sync.WaitGroup
+	const per = 1000
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*per+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8*per {
+		t.Fatalf("Count = %d, want %d", s.Count, 8*per)
+	}
+	if s.Min != 0 || s.Max != time.Duration(8*per-1) {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSpanAndSink(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	var events []string
+	r.SetSink(SinkFunc(func(name string, d time.Duration) {
+		mu.Lock()
+		events = append(events, name)
+		mu.Unlock()
+	}))
+	sp := r.StartSpan("phase.commit")
+	if d := sp.End(); d < 0 {
+		t.Fatalf("span duration %v", d)
+	}
+	if s := r.Histogram("phase.commit").Snapshot(); s.Count != 1 {
+		t.Fatalf("span not recorded: %+v", s)
+	}
+	if len(events) != 1 || events[0] != "phase.commit" {
+		t.Fatalf("sink events = %v", events)
+	}
+	r.SetSink(nil) // must not panic on the next span
+	r.StartSpan("x").End()
+}
+
+func TestWriteTextAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vc.batches").Add(2)
+	r.Histogram("vc.verify").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"vc.batches 2", "vc.verify.count 1", "vc.verify.p99_ns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	// Lines are sorted for diff-friendly scraping.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("output not sorted: %q > %q", lines[i-1], lines[i])
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "vc.batches 2") {
+		t.Fatalf("handler response %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDefaultRegistryIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default registry not a singleton")
+	}
+}

@@ -258,13 +258,6 @@ func InvSeries(f *field.Field, p []field.Element, n int) []field.Element {
 	return g[:min(len(g), n)]
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Divisor is a fixed divisor polynomial with its reversed power-series
 // inverse precomputed to a given precision, letting repeated divisions by
 // the same polynomial skip the Newton iteration. The QAP divisor D(t) and

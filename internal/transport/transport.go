@@ -5,22 +5,64 @@
 // query material crossing the wire is one encrypted commitment vector, a
 // PRG seed, and the consistency points, rather than full query sets.
 //
+// Both ends are context-aware: cancelling the context closes the
+// connection, unblocking any in-flight read or write, and per-message I/O
+// deadlines bound how long a stalled peer can hold a session. Failures
+// reported by the peer surface as *RemoteError; local protocol violations
+// wrap the Err* sentinel errors.
+//
 // cmd/zaatar-server and cmd/zaatar-client are thin wrappers over ServeConn
 // and RunSession; tests drive both ends over net.Pipe.
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/big"
 	"net"
+	"strings"
+	"time"
 
 	"zaatar/internal/compiler"
 	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
+	"zaatar/internal/obs"
 	"zaatar/internal/pcp"
 	"zaatar/internal/vc"
+)
+
+// Typed failures. Peer-reported errors are *RemoteError; local validation
+// failures wrap the sentinels.
+var (
+	// ErrBatchTooLarge reports a batch outside the server's [1, MaxBatch]
+	// window.
+	ErrBatchTooLarge = errors.New("transport: batch size out of range")
+	// ErrMalformedHello reports a session-opening message that fails
+	// validation (empty or oversized source, out-of-range parameters).
+	ErrMalformedHello = errors.New("transport: malformed hello")
+)
+
+// RemoteError is a failure the peer reported over the wire, tagged with the
+// protocol phase ("hello", "commit", "respond") in which it occurred.
+type RemoteError struct {
+	Phase string
+	Msg   string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: prover failed in %s phase: %s", e.Phase, e.Msg)
+}
+
+// Metric names recorded into the obs registry by the transport layer.
+const (
+	MetricSessions       = "transport.sessions"        // counter: server sessions opened
+	MetricSessionErrors  = "transport.session.errors"  // counter: server sessions failed
+	MetricServedInstance = "transport.instances"       // counter: instances served
+	MetricSpanSession    = "transport.session"         // histogram: server session wall
+	MetricClientSessions = "transport.client.sessions" // counter: client sessions run
+	MetricSpanClient     = "transport.client.session"  // histogram: client session wall
 )
 
 // Hello opens a session: the verifier ships the computation and protocol
@@ -31,6 +73,26 @@ type Hello struct {
 	Ginger       bool
 	RhoLin, Rho  int
 	NoCommitment bool
+}
+
+// Sanity bounds on Hello fields; beyond these the message is malformed
+// rather than merely expensive.
+const (
+	maxSourceBytes = 1 << 20
+	maxRepetitions = 1 << 12
+)
+
+func (h Hello) validate() error {
+	switch {
+	case strings.TrimSpace(h.Source) == "":
+		return fmt.Errorf("%w: empty source", ErrMalformedHello)
+	case len(h.Source) > maxSourceBytes:
+		return fmt.Errorf("%w: source is %d bytes (max %d)", ErrMalformedHello, len(h.Source), maxSourceBytes)
+	case h.RhoLin < 0 || h.Rho < 0 || h.RhoLin > maxRepetitions || h.Rho > maxRepetitions:
+		return fmt.Errorf("%w: PCP repetitions (ρ_lin=%d, ρ=%d) out of range [0, %d]",
+			ErrMalformedHello, h.RhoLin, h.Rho, maxRepetitions)
+	}
+	return nil
 }
 
 // HelloAck reports compilation results (or an error) back to the verifier.
@@ -102,40 +164,116 @@ func (h Hello) config(workers int, seed []byte) vc.Config {
 
 // ServerOptions configures the prover side.
 type ServerOptions struct {
-	// Workers is the prover's batch parallelism.
+	// Workers is the prover's per-session parallelism over a batch.
 	Workers int
 	// MaxBatch bounds the number of instances a client may submit.
 	MaxBatch int
+	// IOTimeout, when positive, is the per-message read/write deadline on
+	// the connection; a peer stalling longer than this fails the session.
+	IOTimeout time.Duration
+	// Obs receives the transport's counters and spans; nil uses
+	// obs.Default().
+	Obs *obs.Registry
+}
+
+func (o ServerOptions) registry() *obs.Registry {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Default()
+}
+
+// timedCodec arms a fresh connection deadline before every gob message, so
+// one stalled peer cannot pin a session goroutine forever.
+type timedCodec struct {
+	conn    net.Conn
+	timeout time.Duration
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+}
+
+func newTimedCodec(conn net.Conn, timeout time.Duration) *timedCodec {
+	return &timedCodec{conn: conn, timeout: timeout, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (c *timedCodec) arm() {
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+func (c *timedCodec) send(v any) error {
+	c.arm()
+	return c.enc.Encode(v)
+}
+
+func (c *timedCodec) recv(v any) error {
+	c.arm()
+	return c.dec.Decode(v)
+}
+
+// watch closes conn when ctx is cancelled, unblocking in-flight gob I/O;
+// the returned stop func releases the watcher.
+func watch(ctx context.Context, conn net.Conn) (stop func() bool) {
+	return context.AfterFunc(ctx, func() { _ = conn.Close() })
+}
+
+// ctxErr maps an I/O error on a cancelled session to the context's error,
+// so callers see ctx.Err() rather than "use of closed network connection".
+func ctxErr(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
 }
 
 // ServeConn handles one verifier session on the prover side: compile the
-// received program, commit to every instance, answer the decommit. It
-// returns when the session ends.
-func ServeConn(conn net.Conn, opts ServerOptions) error {
+// received program, commit to every instance (in parallel, over
+// opts.Workers), answer the decommit. It returns when the session ends,
+// the context is cancelled, or the peer stalls past opts.IOTimeout.
+func ServeConn(ctx context.Context, conn net.Conn, opts ServerOptions) (err error) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	defer watch(ctx, conn)()
+	reg := opts.registry()
+	reg.Counter(MetricSessions).Inc()
+	span := reg.StartSpan(MetricSpanSession)
+	defer func() {
+		span.End()
+		err = ctxErr(ctx, err)
+		if err != nil {
+			reg.Counter(MetricSessionErrors).Inc()
+		}
+	}()
+	cc := newTimedCodec(conn, opts.IOTimeout)
 
 	var hello Hello
-	if err := dec.Decode(&hello); err != nil {
+	if err := cc.recv(&hello); err != nil {
 		return fmt.Errorf("transport: reading hello: %w", err)
+	}
+	if err := hello.validate(); err != nil {
+		_ = cc.send(HelloAck{Err: err.Error()})
+		return err
 	}
 	prog, err := compiler.Compile(hello.fieldOf(), hello.Source)
 	if err != nil {
-		_ = enc.Encode(HelloAck{Err: err.Error()})
+		_ = cc.send(HelloAck{Err: err.Error()})
 		return err
 	}
-	prover, err := vc.NewProver(prog, hello.config(opts.Workers, nil))
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	prover, err := vc.NewProver(prog, hello.config(workers, nil))
 	if err != nil {
-		_ = enc.Encode(HelloAck{Err: err.Error()})
+		_ = cc.send(HelloAck{Err: err.Error()})
 		return err
 	}
-	if err := enc.Encode(HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs()}); err != nil {
+	if err := cc.send(HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs()}); err != nil {
 		return err
 	}
 
 	var batch BatchMsg
-	if err := dec.Decode(&batch); err != nil {
+	if err := cc.recv(&batch); err != nil {
 		return fmt.Errorf("transport: reading batch: %w", err)
 	}
 	maxBatch := opts.MaxBatch
@@ -143,44 +281,52 @@ func ServeConn(conn net.Conn, opts ServerOptions) error {
 		maxBatch = 1 << 16
 	}
 	if len(batch.Instances) == 0 || len(batch.Instances) > maxBatch {
-		msg := fmt.Sprintf("transport: batch size %d out of range [1, %d]", len(batch.Instances), maxBatch)
-		_ = enc.Encode(CommitmentsMsg{Err: msg})
-		return errors.New(msg)
+		err := fmt.Errorf("%w: %d not in [1, %d]", ErrBatchTooLarge, len(batch.Instances), maxBatch)
+		_ = cc.send(CommitmentsMsg{Err: err.Error()})
+		return err
 	}
 	prover.HandleCommitRequest(batch.Req)
 
-	states := make([]*vc.InstanceState, len(batch.Instances))
-	cms := CommitmentsMsg{Items: make([]*vc.Commitment, len(batch.Instances))}
-	for i, in := range batch.Instances {
-		cm, st, err := prover.Commit(in)
+	n := len(batch.Instances)
+	states := make([]*vc.InstanceState, n)
+	cms := CommitmentsMsg{Items: make([]*vc.Commitment, n)}
+	if err := vc.ForEach(ctx, n, workers, func(i int) error {
+		cm, st, err := prover.Commit(ctx, batch.Instances[i])
 		if err != nil {
-			_ = enc.Encode(CommitmentsMsg{Err: err.Error()})
-			return err
+			return fmt.Errorf("instance %d: %w", i, err)
 		}
 		cms.Items[i], states[i] = cm, st
+		return nil
+	}); err != nil {
+		_ = cc.send(CommitmentsMsg{Err: err.Error()})
+		return err
 	}
-	if err := enc.Encode(cms); err != nil {
+	if err := cc.send(cms); err != nil {
 		return err
 	}
 
 	var decommit DecommitMsg
-	if err := dec.Decode(&decommit); err != nil {
+	if err := cc.recv(&decommit); err != nil {
 		return fmt.Errorf("transport: reading decommit: %w", err)
 	}
 	if err := prover.HandleDecommit(decommit.Req); err != nil {
-		_ = enc.Encode(ResponsesMsg{Err: err.Error()})
+		_ = cc.send(ResponsesMsg{Err: err.Error()})
 		return err
 	}
-	resp := ResponsesMsg{Items: make([]*vc.Response, len(states))}
-	for i, st := range states {
-		r, err := prover.Respond(st)
+	resp := ResponsesMsg{Items: make([]*vc.Response, n)}
+	if err := vc.ForEach(ctx, n, workers, func(i int) error {
+		r, err := prover.Respond(ctx, states[i])
 		if err != nil {
-			_ = enc.Encode(ResponsesMsg{Err: err.Error()})
-			return err
+			return fmt.Errorf("instance %d: %w", i, err)
 		}
 		resp.Items[i] = r
+		return nil
+	}); err != nil {
+		_ = cc.send(ResponsesMsg{Err: err.Error()})
+		return err
 	}
-	return enc.Encode(resp)
+	reg.Counter(MetricServedInstance).Add(int64(n))
+	return cc.send(resp)
 }
 
 // ClientOptions configures the verifier side of a session.
@@ -189,19 +335,34 @@ type ClientOptions struct {
 	Seed []byte
 	// Group overrides the ElGamal group (tests with non-production fields).
 	Group *elgamal.Group
+	// Workers is the verifier's parallelism over per-instance checks;
+	// 0 or 1 verifies serially.
+	Workers int
+	// IOTimeout, when positive, is the per-message read/write deadline on
+	// every prover connection.
+	IOTimeout time.Duration
+	// Obs receives the client's counters and spans; nil uses
+	// obs.Default().
+	Obs *obs.Registry
+}
+
+func (o ClientOptions) registry() *obs.Registry {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Default()
 }
 
 // RunSession drives the verifier side over an established connection. The
 // protocol parameters come from hello, which both sides see; the verifier's
 // secret randomness does not.
-func RunSession(conn net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (*SessionResult, error) {
-	return RunSessionDistributed([]net.Conn{conn}, hello, opts, batch)
+func RunSession(ctx context.Context, conn net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (*SessionResult, error) {
+	return RunSessionDistributed(ctx, []net.Conn{conn}, hello, opts, batch)
 }
 
 // clientLeg is the verifier's state for one prover connection.
 type clientLeg struct {
-	enc   *gob.Encoder
-	dec   *gob.Decoder
+	cc    *timedCodec
 	chunk [][]*big.Int
 	cms   []*vc.Commitment
 	resps []*vc.Response
@@ -211,17 +372,33 @@ type clientLeg struct {
 // the paper's distributed prover (§5.1: "the prover can be distributed over
 // multiple machines, with each machine computing a subset of a batch").
 // Binding is preserved because the query seed is revealed only after every
-// prover's commitments have arrived.
-func RunSessionDistributed(conns []net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (*SessionResult, error) {
+// prover's commitments have arrived. Cancelling ctx closes the connections
+// and returns ctx.Err().
+func RunSessionDistributed(ctx context.Context, conns []net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (res *SessionResult, err error) {
 	if len(conns) == 0 {
 		return nil, errors.New("transport: no prover connections")
 	}
+	if err := hello.validate(); err != nil {
+		return nil, err
+	}
+	for _, conn := range conns {
+		defer watch(ctx, conn)()
+	}
+	reg := opts.registry()
+	reg.Counter(MetricClientSessions).Inc()
+	span := reg.StartSpan(MetricSpanClient)
+	defer func() {
+		span.End()
+		err = ctxErr(ctx, err)
+	}()
+
 	prog, err := compiler.Compile(hello.fieldOf(), hello.Source)
 	if err != nil {
 		return nil, err
 	}
 	cfg := hello.config(0, opts.Seed)
 	cfg.Group = opts.Group
+	cfg.Obs = opts.Obs
 	verifier, err := vc.NewVerifier(prog, cfg)
 	if err != nil {
 		return nil, err
@@ -235,45 +412,42 @@ func RunSessionDistributed(conns []net.Conn, hello Hello, opts ClientOptions, ba
 		if lo >= len(batch) {
 			break
 		}
-		hi := lo + per
-		if hi > len(batch) {
-			hi = len(batch)
-		}
+		hi := min(lo+per, len(batch))
 		legs = append(legs, &clientLeg{
-			enc:   gob.NewEncoder(conn),
-			dec:   gob.NewDecoder(conn),
+			cc:    newTimedCodec(conn, opts.IOTimeout),
 			chunk: batch[lo:hi],
 		})
 	}
 
-	// Phase 1: hello + commit request + inputs to every prover; collect all
-	// commitments before revealing anything further.
+	// Stage 1: hello + commit request + inputs to every prover; collect all
+	// commitments before revealing anything further (the soundness
+	// barrier).
 	req := verifier.Setup()
 	for _, leg := range legs {
-		if err := leg.enc.Encode(hello); err != nil {
+		if err := leg.cc.send(hello); err != nil {
 			return nil, err
 		}
 		var ack HelloAck
-		if err := leg.dec.Decode(&ack); err != nil {
+		if err := leg.cc.recv(&ack); err != nil {
 			return nil, err
 		}
 		if ack.Err != "" {
-			return nil, fmt.Errorf("transport: prover rejected program: %s", ack.Err)
+			return nil, &RemoteError{Phase: "hello", Msg: ack.Err}
 		}
 		if ack.NumInputs != prog.NumInputs() || ack.NumOutputs != prog.NumOutputs() {
 			return nil, errors.New("transport: prover disagrees on the io shape")
 		}
-		if err := leg.enc.Encode(BatchMsg{Req: req, Instances: leg.chunk}); err != nil {
+		if err := leg.cc.send(BatchMsg{Req: req, Instances: leg.chunk}); err != nil {
 			return nil, err
 		}
 	}
 	for _, leg := range legs {
 		var cms CommitmentsMsg
-		if err := leg.dec.Decode(&cms); err != nil {
+		if err := leg.cc.recv(&cms); err != nil {
 			return nil, err
 		}
 		if cms.Err != "" {
-			return nil, fmt.Errorf("transport: prover commit failed: %s", cms.Err)
+			return nil, &RemoteError{Phase: "commit", Msg: cms.Err}
 		}
 		if len(cms.Items) != len(leg.chunk) {
 			return nil, errors.New("transport: commitment count mismatch")
@@ -281,23 +455,23 @@ func RunSessionDistributed(conns []net.Conn, hello Hello, opts ClientOptions, ba
 		leg.cms = cms.Items
 	}
 
-	// Phase 2: decommit to every prover, collect responses.
+	// Stage 2: decommit to every prover, collect responses.
 	dreq, err := verifier.Decommit()
 	if err != nil {
 		return nil, err
 	}
 	for _, leg := range legs {
-		if err := leg.enc.Encode(DecommitMsg{Req: dreq}); err != nil {
+		if err := leg.cc.send(DecommitMsg{Req: dreq}); err != nil {
 			return nil, err
 		}
 	}
 	for _, leg := range legs {
 		var resp ResponsesMsg
-		if err := leg.dec.Decode(&resp); err != nil {
+		if err := leg.cc.recv(&resp); err != nil {
 			return nil, err
 		}
 		if resp.Err != "" {
-			return nil, fmt.Errorf("transport: prover respond failed: %s", resp.Err)
+			return nil, &RemoteError{Phase: "respond", Msg: resp.Err}
 		}
 		if len(resp.Items) != len(leg.chunk) {
 			return nil, errors.New("transport: response count mismatch")
@@ -305,19 +479,32 @@ func RunSessionDistributed(conns []net.Conn, hello Hello, opts ClientOptions, ba
 		leg.resps = resp.Items
 	}
 
-	// Phase 3: verify everything.
-	out := &SessionResult{
-		Accepted: make([]bool, 0, len(batch)),
-		Reasons:  make([]string, 0, len(batch)),
-		Outputs:  make([][]*big.Int, 0, len(batch)),
+	// Stage 3: verify everything — in parallel over opts.Workers; the
+	// verifier's state is read-only after Decommit.
+	type flat struct {
+		in   []*big.Int
+		cm   *vc.Commitment
+		resp *vc.Response
 	}
+	items := make([]flat, 0, len(batch))
 	for _, leg := range legs {
 		for i := range leg.chunk {
-			ok, reason := verifier.VerifyInstance(leg.chunk[i], leg.cms[i], leg.resps[i])
-			out.Accepted = append(out.Accepted, ok)
-			out.Reasons = append(out.Reasons, reason)
-			out.Outputs = append(out.Outputs, leg.cms[i].Output)
+			items = append(items, flat{leg.chunk[i], leg.cms[i], leg.resps[i]})
 		}
+	}
+	out := &SessionResult{
+		Accepted: make([]bool, len(items)),
+		Reasons:  make([]string, len(items)),
+		Outputs:  make([][]*big.Int, len(items)),
+	}
+	if err := vc.ForEach(ctx, len(items), opts.Workers, func(i int) error {
+		ok, reason := verifier.VerifyInstance(ctx, items[i].in, items[i].cm, items[i].resp)
+		out.Accepted[i] = ok
+		out.Reasons[i] = reason
+		out.Outputs[i] = items[i].cm.Output
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,12 +1,62 @@
 package vc
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zaatar/internal/compiler"
+)
+
+// BatchMetrics is the structured per-phase measurement record for one
+// batch. The same spans are aggregated across batches in the obs registry
+// (see the metric name constants); this struct is the single-batch view
+// that the figures and the -stats output consume.
+type BatchMetrics struct {
+	// Instances is the batch size β; Workers the pool size used.
+	Instances int
+	Workers   int
+
+	// Setup is the verifier's amortized query/key construction time.
+	Setup time.Duration
+	// Commit is the wall-clock of pipeline stage 1: solve, build proofs,
+	// commit — parallel across instances, barrier at the end.
+	Commit time.Duration
+	// Decommit is stage 2: building and exchanging the decommit message
+	// (runs only after every commitment; the soundness barrier).
+	Decommit time.Duration
+	// Respond is the wall-clock of stage 3: answering queries, parallel,
+	// streaming finished instances into stage 4.
+	Respond time.Duration
+	// RespondVerify is the combined wall-clock of the overlapped stages
+	// 3+4 — with the pipeline this is less than Respond + VerifyTotal.
+	RespondVerify time.Duration
+	// VerifyTotal is the summed per-instance verification time
+	// (consistency + PCP checks) across the batch.
+	VerifyTotal time.Duration
+	// ProverWall spans stages 1–3: commit start to the last response —
+	// with enough workers, close to one instance's latency (§5.2,
+	// Figure 6).
+	ProverWall time.Duration
+	// Total is the whole RunBatch wall-clock.
+	Total time.Duration
+}
+
+// Metric names exported to the obs registry by RunBatch, documented in
+// docs/PROTOCOL.md ("Pipeline stages").
+const (
+	MetricBatches      = "vc.batches"   // counter: batches driven
+	MetricInstances    = "vc.instances" // counter: instances proved
+	MetricRejected     = "vc.rejected"  // counter: instances rejected
+	MetricSpanSetup    = "vc.setup"     // histogram: verifier setup per batch
+	MetricSpanCommit   = "vc.commit"    // histogram: stage-1 wall per batch
+	MetricSpanDecommit = "vc.decommit"  // histogram: stage-2 wall per batch
+	MetricSpanRespond  = "vc.respond"   // histogram: stage-3 wall per batch
+	MetricSpanVerify   = "vc.verify"    // histogram: per-instance verification
+	MetricSpanBatch    = "vc.batch"     // histogram: whole batch wall
 )
 
 // BatchResult aggregates one batch's outcomes and measurements.
@@ -15,16 +65,10 @@ type BatchResult struct {
 	Reasons  []string
 	Outputs  [][]*big.Int
 
+	// ProverTimes decomposes each instance's prover cost (Figure 5).
 	ProverTimes []ProverTimes
-	// ProverWall is the wall-clock time of the prover's parallel phases for
-	// the whole batch — with enough workers, close to one instance's
-	// latency (§5.2, Figure 6).
-	ProverWall time.Duration
-	// VerifierSetup is the amortized query/key construction time.
-	VerifierSetup time.Duration
-	// VerifierPerInstance is the total per-instance verification time
-	// across the batch (consistency + PCP checks).
-	VerifierPerInstance time.Duration
+	// Metrics holds the structured per-phase measurements.
+	Metrics BatchMetrics
 }
 
 // AllAccepted reports whether every instance verified.
@@ -37,13 +81,50 @@ func (r *BatchResult) AllAccepted() bool {
 	return len(r.Accepted) > 0
 }
 
+// ProverWall is a compatibility accessor for Metrics.ProverWall, the
+// wall-clock time of the prover's phases for the whole batch.
+func (r *BatchResult) ProverWall() time.Duration { return r.Metrics.ProverWall }
+
+// VerifierSetup is a compatibility accessor for Metrics.Setup, the
+// amortized query/key construction time.
+func (r *BatchResult) VerifierSetup() time.Duration { return r.Metrics.Setup }
+
+// VerifierPerInstance is a compatibility accessor for Metrics.VerifyTotal,
+// the total per-instance verification time across the batch.
+func (r *BatchResult) VerifierPerInstance() time.Duration { return r.Metrics.VerifyTotal }
+
+// Test hooks, nil outside tests. testHookAfterCommit runs after each
+// instance's commitment is produced (and may tamper with it);
+// testHookPreDecommit runs at the barrier, after every commitment and
+// before the decommit is built.
+var (
+	testHookAfterCommit func(i int, cm *Commitment)
+	testHookPreDecommit func()
+)
+
 // RunBatch drives the full protocol for a batch of instances of one
-// computation, spreading the prover's work over cfg.Workers goroutines
-// (the paper's distributed prover; Figure 6).
-func RunBatch(prog *compiler.Program, cfg Config, inputs [][]*big.Int) (*BatchResult, error) {
+// computation as a staged pipeline, spreading the prover's work over
+// cfg.Workers goroutines (the paper's distributed prover; Figure 6):
+//
+//	stage 1  Commit          parallel, barrier (soundness: all commitments
+//	                         precede the query seed)
+//	stage 2  Decommit        single exchange
+//	stage 3  Respond         parallel, streams each finished instance ↓
+//	stage 4  VerifyInstance  parallel, overlapped with stage 3
+//
+// Cancelling ctx aborts promptly between per-instance steps and surfaces
+// ctx.Err().
+func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs [][]*big.Int) (*BatchResult, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("vc: empty batch")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	reg := cfg.registry()
+	batchSpan := reg.StartSpan(MetricSpanBatch)
+
+	setupSpan := reg.StartSpan(MetricSpanSetup)
 	verifier, err := NewVerifier(prog, cfg)
 	if err != nil {
 		return nil, err
@@ -53,6 +134,7 @@ func RunBatch(prog *compiler.Program, cfg Config, inputs [][]*big.Int) (*BatchRe
 		return nil, err
 	}
 	prover.HandleCommitRequest(verifier.Setup())
+	setupSpan.End()
 
 	workers := cfg.Workers
 	if workers < 1 {
@@ -64,25 +146,37 @@ func RunBatch(prog *compiler.Program, cfg Config, inputs [][]*big.Int) (*BatchRe
 		Reasons:     make([]string, beta),
 		Outputs:     make([][]*big.Int, beta),
 		ProverTimes: make([]ProverTimes, beta),
+		Metrics:     BatchMetrics{Instances: beta, Workers: workers, Setup: verifier.SetupDuration()},
 	}
 	commitments := make([]*Commitment, beta)
 	states := make([]*InstanceState, beta)
 	responses := make([]*Response, beta)
 
-	// Phase 1 (parallel): solve, build proofs, commit.
+	// Stage 1 (parallel, barrier): solve, build proofs, commit. The barrier
+	// is soundness-critical — the query seed is revealed only after every
+	// instance's commitment exists (binding; §2.2).
 	proverStart := time.Now()
-	if err := parallelFor(beta, workers, func(i int) error {
-		cm, st, err := prover.Commit(inputs[i])
+	commitSpan := reg.StartSpan(MetricSpanCommit)
+	if err := ForEach(ctx, beta, workers, func(i int) error {
+		cm, st, err := prover.Commit(ctx, inputs[i])
 		if err != nil {
 			return fmt.Errorf("instance %d: %w", i, err)
+		}
+		if testHookAfterCommit != nil {
+			testHookAfterCommit(i, cm)
 		}
 		commitments[i], states[i] = cm, st
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	res.Metrics.Commit = commitSpan.End()
 
-	// Phase 2: the verifier reveals queries only after all commitments.
+	// Stage 2: the verifier reveals queries only after all commitments.
+	if testHookPreDecommit != nil {
+		testHookPreDecommit()
+	}
+	decommitSpan := reg.StartSpan(MetricSpanDecommit)
 	dec, err := verifier.Decommit()
 	if err != nil {
 		return nil, err
@@ -90,73 +184,94 @@ func RunBatch(prog *compiler.Program, cfg Config, inputs [][]*big.Int) (*BatchRe
 	if err := prover.HandleDecommit(dec); err != nil {
 		return nil, err
 	}
+	res.Metrics.Decommit = decommitSpan.End()
 
-	// Phase 3 (parallel): answer queries.
-	if err := parallelFor(beta, workers, func(i int) error {
-		r, err := prover.Respond(states[i])
+	// Stages 3+4: answer queries and verify. The pipelined path streams
+	// each responded instance through a bounded channel into a parallel
+	// verification stage, overlapping prover answers with verifier checks;
+	// the serial path (NoPipeline) preserves the pre-pipeline behavior —
+	// respond everything, then verify in one loop — as an ablation and
+	// equivalence reference.
+	overlapStart := time.Now()
+	respond := func(i int) error {
+		r, err := prover.Respond(ctx, states[i])
 		if err != nil {
 			return fmt.Errorf("instance %d: %w", i, err)
 		}
 		responses[i] = r
 		return nil
-	}); err != nil {
-		return nil, err
 	}
-	res.ProverWall = time.Since(proverStart)
-
-	// Phase 4: verification.
-	vStart := time.Now()
-	for i := range inputs {
-		ok, reason := verifier.VerifyInstance(inputs[i], commitments[i], responses[i])
+	verifyOne := func(i int) {
+		t0 := time.Now()
+		ok, reason := verifier.VerifyInstance(ctx, inputs[i], commitments[i], responses[i])
+		d := time.Since(t0)
+		reg.Histogram(MetricSpanVerify).Observe(d)
+		atomic.AddInt64((*int64)(&res.Metrics.VerifyTotal), int64(d))
 		res.Accepted[i] = ok
 		res.Reasons[i] = reason
 		res.Outputs[i] = commitments[i].Output
-		res.ProverTimes[i] = states[i].Times
 	}
-	res.VerifierPerInstance = time.Since(vStart)
-	res.VerifierSetup = verifier.SetupDuration()
-	return res, nil
-}
 
-// parallelFor runs fn(0..n-1) over the given number of workers, returning
-// the first error.
-func parallelFor(n, workers int, fn func(int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+	if cfg.NoPipeline {
+		respondSpan := reg.StartSpan(MetricSpanRespond)
+		if err := ForEach(ctx, beta, workers, respond); err != nil {
+			return nil, err
+		}
+		res.Metrics.Respond = respondSpan.End()
+		res.Metrics.ProverWall = time.Since(proverStart)
+		for i := range inputs {
+			verifyOne(i)
+		}
+	} else {
+		ready := make(chan int, 2*workers)
+		var vwg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			vwg.Add(1)
+			go func() {
+				defer vwg.Done()
+				for i := range ready {
+					if ctx.Err() != nil {
+						continue // drain without verifying; the batch errors out
+					}
+					verifyOne(i)
+				}
+			}()
+		}
+		respondSpan := reg.StartSpan(MetricSpanRespond)
+		rerr := ForEach(ctx, beta, workers, func(i int) error {
+			if err := respond(i); err != nil {
 				return err
 			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
+			select {
+			case ready <- i:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
 			}
-		}()
+		})
+		res.Metrics.Respond = respondSpan.End()
+		res.Metrics.ProverWall = time.Since(proverStart)
+		close(ready)
+		vwg.Wait()
+		if rerr != nil {
+			return nil, rerr
+		}
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	res.Metrics.RespondVerify = time.Since(overlapStart)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	close(next)
-	wg.Wait()
-	return firstErr
+
+	for i := range inputs {
+		res.ProverTimes[i] = states[i].Times
+	}
+	res.Metrics.Total = batchSpan.End()
+	reg.Counter(MetricBatches).Inc()
+	reg.Counter(MetricInstances).Add(int64(beta))
+	for _, ok := range res.Accepted {
+		if !ok {
+			reg.Counter(MetricRejected).Inc()
+		}
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package vc
 
 import (
+	"context"
 	"errors"
 	"math/big"
 	"time"
@@ -66,8 +67,12 @@ func (p *Prover) HandleCommitRequest(req *CommitRequest) {
 // Commit executes the computation on one instance's inputs and commits to
 // the resulting proof. This performs the first three phases of Figure 5:
 // solving the constraints, constructing the proof vector, and the
-// cryptographic commitment.
-func (p *Prover) Commit(inputs []*big.Int) (*Commitment, *InstanceState, error) {
+// cryptographic commitment. A cancelled ctx aborts before the work starts;
+// the per-instance steps themselves are not interruptible.
+func (p *Prover) Commit(ctx context.Context, inputs []*big.Int) (*Commitment, *InstanceState, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if p.req == nil {
 		return nil, nil, errPhase
 	}
@@ -129,8 +134,12 @@ func (p *Prover) HandleDecommit(req *DecommitRequest) error {
 }
 
 // Respond answers every query (and the consistency points) for one
-// committed instance — the "answer queries" phase of Figure 5.
-func (p *Prover) Respond(st *InstanceState) (*Response, error) {
+// committed instance — the "answer queries" phase of Figure 5. A cancelled
+// ctx aborts before the work starts.
+func (p *Prover) Respond(ctx context.Context, st *InstanceState) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.queries1 == nil {
 		return nil, errPhase
 	}

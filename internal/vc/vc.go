@@ -32,6 +32,7 @@ import (
 	"zaatar/internal/constraint"
 	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
+	"zaatar/internal/obs"
 	"zaatar/internal/pcp"
 	"zaatar/internal/prg"
 	"zaatar/internal/qap"
@@ -74,6 +75,20 @@ type Config struct {
 	// Group overrides the ElGamal group (tests with small fields); nil
 	// selects the production group for the program's field.
 	Group *elgamal.Group
+	// NoPipeline disables the respond→verify overlap in RunBatch, running
+	// the two stages back-to-back with a serial verification loop — the
+	// pre-pipeline engine, kept as an ablation and equivalence reference.
+	NoPipeline bool
+	// Obs receives the driver's counters and phase spans; nil uses
+	// obs.Default().
+	Obs *obs.Registry
+}
+
+func (c Config) registry() *obs.Registry {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	return obs.Default()
 }
 
 func (c Config) params() pcp.Params {

@@ -1,6 +1,7 @@
 package vc
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestEndToEndZaatarWithCrypto(t *testing.T) {
 		inputsFor(-5, 0, 5, 2),
 		inputsFor(7, 7, 7, 7),
 	}
-	res, err := RunBatch(prog, cfg, batch)
+	res, err := RunBatch(context.Background(), prog, cfg, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestEndToEndZaatarWithCrypto(t *testing.T) {
 
 func TestEndToEndGingerWithCrypto(t *testing.T) {
 	prog, cfg := testSetup(t, Ginger, false)
-	res, err := RunBatch(prog, cfg, [][]*big.Int{inputsFor(1, 2, 3, 4), inputsFor(0, -1, -2, -3)})
+	res, err := RunBatch(context.Background(), prog, cfg, [][]*big.Int{inputsFor(1, 2, 3, 4), inputsFor(0, -1, -2, -3)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestEndToEndGingerWithCrypto(t *testing.T) {
 func TestEndToEndNoCommitment(t *testing.T) {
 	for _, proto := range []Protocol{Zaatar, Ginger} {
 		prog, cfg := testSetup(t, proto, true)
-		res, err := RunBatch(prog, cfg, [][]*big.Int{inputsFor(3, 1, 4, 1)})
+		res, err := RunBatch(context.Background(), prog, cfg, [][]*big.Int{inputsFor(3, 1, 4, 1)})
 		if err != nil {
 			t.Fatalf("%v: %v", proto, err)
 		}
@@ -111,7 +112,7 @@ func TestParallelWorkersMatchSerial(t *testing.T) {
 		batch[i] = inputsFor(int64(i), int64(i+1), int64(-i), 3)
 	}
 	cfg.Workers = 4
-	res, err := RunBatch(prog, cfg, batch)
+	res, err := RunBatch(context.Background(), prog, cfg, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestCheatingOutputRejected(t *testing.T) {
 		}
 		prover.HandleCommitRequest(verifier.Setup())
 		in := inputsFor(1, 2, 3, 4)
-		cm, st, err := prover.Commit(in)
+		cm, st, err := prover.Commit(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,11 +157,11 @@ func TestCheatingOutputRejected(t *testing.T) {
 		if err := prover.HandleDecommit(dec); err != nil {
 			t.Fatal(err)
 		}
-		resp, err := prover.Respond(st)
+		resp, err := prover.Respond(context.Background(), st)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if ok, _ := verifier.VerifyInstance(in, cm, resp); ok {
+		if ok, _ := verifier.VerifyInstance(context.Background(), in, cm, resp); ok {
 			t.Fatalf("cheating output accepted (noCommit=%v)", noCommit)
 		}
 	}
@@ -174,15 +175,15 @@ func TestTamperedResponseRejectedByConsistency(t *testing.T) {
 	prover, _ := NewProver(prog, cfg)
 	prover.HandleCommitRequest(verifier.Setup())
 	in := inputsFor(1, 1, 1, 1)
-	cm, st, err := prover.Commit(in)
+	cm, st, err := prover.Commit(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dec, _ := verifier.Decommit()
 	_ = prover.HandleDecommit(dec)
-	resp, _ := prover.Respond(st)
+	resp, _ := prover.Respond(context.Background(), st)
 	resp.T1 = prog.Field.Add(resp.T1, prog.Field.One())
-	if ok, reason := verifier.VerifyInstance(in, cm, resp); ok || reason == "" {
+	if ok, reason := verifier.VerifyInstance(context.Background(), in, cm, resp); ok || reason == "" {
 		t.Fatal("tampered consistency answer accepted")
 	}
 }
@@ -190,21 +191,21 @@ func TestTamperedResponseRejectedByConsistency(t *testing.T) {
 func TestPhaseViolations(t *testing.T) {
 	prog, cfg := testSetup(t, Zaatar, true)
 	prover, _ := NewProver(prog, cfg)
-	if _, _, err := prover.Commit(inputsFor(1, 2, 3, 4)); err == nil {
+	if _, _, err := prover.Commit(context.Background(), inputsFor(1, 2, 3, 4)); err == nil {
 		t.Error("Commit before HandleCommitRequest accepted")
 	}
-	if _, err := prover.Respond(&InstanceState{}); err == nil {
+	if _, err := prover.Respond(context.Background(), &InstanceState{}); err == nil {
 		t.Error("Respond before HandleDecommit accepted")
 	}
 	verifier, _ := NewVerifier(prog, cfg)
-	if ok, _ := verifier.VerifyInstance(inputsFor(1, 2, 3, 4), &Commitment{}, &Response{}); ok {
+	if ok, _ := verifier.VerifyInstance(context.Background(), inputsFor(1, 2, 3, 4), &Commitment{}, &Response{}); ok {
 		t.Error("VerifyInstance before Decommit accepted")
 	}
 }
 
 func TestEmptyBatchRejected(t *testing.T) {
 	prog, cfg := testSetup(t, Zaatar, true)
-	if _, err := RunBatch(prog, cfg, nil); err == nil {
+	if _, err := RunBatch(context.Background(), prog, cfg, nil); err == nil {
 		t.Error("empty batch accepted")
 	}
 }
@@ -247,7 +248,7 @@ func TestProofVectorLen(t *testing.T) {
 
 func TestTimingInstrumentation(t *testing.T) {
 	prog, cfg := testSetup(t, Zaatar, false)
-	res, err := RunBatch(prog, cfg, [][]*big.Int{inputsFor(1, 2, 3, 4)})
+	res, err := RunBatch(context.Background(), prog, cfg, [][]*big.Int{inputsFor(1, 2, 3, 4)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,12 @@ func TestTimingInstrumentation(t *testing.T) {
 	if pt.Crypto <= 0 {
 		t.Error("crypto phase timing not recorded with commitment enabled")
 	}
-	if res.VerifierSetup <= 0 || res.VerifierPerInstance <= 0 {
+	if res.VerifierSetup() <= 0 || res.VerifierPerInstance() <= 0 {
 		t.Error("verifier timings not recorded")
+	}
+	m := res.Metrics
+	if m.Instances != 1 || m.Commit <= 0 || m.Respond <= 0 || m.RespondVerify <= 0 ||
+		m.ProverWall <= 0 || m.Total <= 0 {
+		t.Errorf("batch metrics not recorded: %+v", m)
 	}
 }

@@ -1,6 +1,7 @@
 package vc
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"time"
@@ -141,8 +142,13 @@ func (v *Verifier) Decommit() (*DecommitRequest, error) {
 // VerifyInstance runs all checks for one instance: the commitment
 // consistency test and the PCP tests. inputs are the instance's inputs (the
 // verifier knows them; §2.1), and the commitment carries the claimed
-// outputs.
-func (v *Verifier) VerifyInstance(inputs []*big.Int, cm *Commitment, resp *Response) (bool, string) {
+// outputs. After Decommit the verifier's state is read-only, so instances
+// may be verified concurrently — the pipeline engine's stage 4 does. A
+// cancelled ctx rejects without running the checks.
+func (v *Verifier) VerifyInstance(ctx context.Context, inputs []*big.Int, cm *Commitment, resp *Response) (bool, string) {
+	if err := ctx.Err(); err != nil {
+		return false, err.Error()
+	}
 	if !v.decommitBuilt {
 		return false, errPhase.Error()
 	}

@@ -32,11 +32,13 @@
 package zaatar
 
 import (
+	"context"
 	"math/big"
 
 	"zaatar/internal/compiler"
 	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
+	"zaatar/internal/obs"
 	"zaatar/internal/pcp"
 	"zaatar/internal/vc"
 )
@@ -125,6 +127,18 @@ func WithGroup(g *elgamal.Group) Option {
 	return func(o *options) { o.cfg.Group = g }
 }
 
+// WithMetrics directs the run's counters and per-phase latency histograms
+// into r instead of the process-wide default registry. See Metrics for the
+// default registry and the exported metric names in the vc package.
+func WithMetrics(r *obs.Registry) Option {
+	return func(o *options) { o.cfg.Obs = r }
+}
+
+// Metrics returns the process-wide metrics registry that protocol runs
+// record into unless WithMetrics overrides it. Its WriteText/Handler render
+// the counters and histograms in an expvar-style text form.
+func Metrics() *obs.Registry { return obs.Default() }
+
 // DefaultParams returns the production PCP parameters (ρ_lin = 20, ρ = 8).
 func DefaultParams() pcp.Params { return pcp.DefaultParams() }
 
@@ -139,8 +153,15 @@ func Compile(src string, opts ...Option) (*Program, error) {
 // (with the configured worker parallelism), len(batch) instances. It
 // returns per-instance acceptance, outputs, and timing decompositions.
 func Run(prog *Program, batch [][]*big.Int, opts ...Option) (*Result, error) {
+	return RunContext(context.Background(), prog, batch, opts...)
+}
+
+// RunContext is Run with cancellation: the staged pipeline checks ctx
+// between per-instance steps and aborts promptly with ctx.Err() when it is
+// cancelled.
+func RunContext(ctx context.Context, prog *Program, batch [][]*big.Int, opts ...Option) (*Result, error) {
 	o := buildOptions(opts)
-	return vc.RunBatch(prog, o.cfg, batch)
+	return vc.RunBatch(ctx, prog, o.cfg, batch)
 }
 
 // NewVerifier creates one batch's verifier for a compiled program.

@@ -1,12 +1,17 @@
 package zaatar
 
 import (
+	"context"
+	"errors"
 	"math/big"
+	"strings"
 	"testing"
 
 	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
+	"zaatar/internal/obs"
 	"zaatar/internal/prg"
+	"zaatar/internal/vc"
 )
 
 func testGroup(t *testing.T) *elgamal.Group {
@@ -61,7 +66,7 @@ func TestSplitVerifierProver(t *testing.T) {
 	}
 	p.HandleCommitRequest(v.Setup())
 	in := []*big.Int{big.NewInt(6), big.NewInt(7)}
-	cm, st, err := p.Commit(in)
+	cm, st, err := p.Commit(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +77,11 @@ func TestSplitVerifierProver(t *testing.T) {
 	if err := p.HandleDecommit(dec); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := p.Respond(st)
+	resp, err := p.Respond(context.Background(), st)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, reason := v.VerifyInstance(in, cm, resp)
+	ok, reason := v.VerifyInstance(context.Background(), in, cm, resp)
 	if !ok {
 		t.Fatalf("rejected: %s", reason)
 	}
@@ -126,5 +131,40 @@ func TestDefaultParamsExported(t *testing.T) {
 	p := DefaultParams()
 	if p.RhoLin != 20 || p.Rho != 8 {
 		t.Fatalf("DefaultParams = %+v", p)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	prog, err := Compile(`input x : int32; output y : int32; y = x + 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = RunContext(ctx, prog, [][]*big.Int{{big.NewInt(1)}},
+		WithParams(1, 1), WithoutCommitment(), WithSeed([]byte("c")))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWithMetrics(t *testing.T) {
+	prog, err := Compile(`input x : int32; output y : int32; y = x + 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	res, err := Run(prog, [][]*big.Int{{big.NewInt(4)}, {big.NewInt(5)}},
+		WithParams(1, 1), WithoutCommitment(), WithSeed([]byte("m")), WithMetrics(reg))
+	if err != nil || !res.AllAccepted() {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := reg.Counter(vc.MetricInstances).Value(); got != 2 {
+		t.Fatalf("%s = %d, want 2", vc.MetricInstances, got)
+	}
+	var buf strings.Builder
+	reg.WriteText(&buf)
+	if !strings.Contains(buf.String(), vc.MetricSpanBatch) {
+		t.Fatalf("metrics text missing %s:\n%s", vc.MetricSpanBatch, buf.String())
 	}
 }
