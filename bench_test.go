@@ -114,6 +114,10 @@ func BenchmarkTableMicroEncrypt(b *testing.B) {
 		b.Fatal(err)
 	}
 	m := f.Rand(rnd)
+	// Warm up the G and H fixed-base tables; e is the steady-state cost.
+	if _, err := sk.Encrypt(f, m, rnd); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sk.Encrypt(f, m, rnd); err != nil {
@@ -122,18 +126,40 @@ func BenchmarkTableMicroEncrypt(b *testing.B) {
 	}
 }
 
+// BenchmarkTableMicroCiphertextOp measures h two ways: "naive" is one
+// isolated Add + ScalarMul (how the seed measured it); "kernel" is the
+// per-term cost of the multi-exponentiation-backed InnerProduct that the
+// prover actually pays, amortized over a proof-sized vector.
 func BenchmarkTableMicroCiphertextOp(b *testing.B) {
 	f := field.F128()
 	g := elgamal.GroupF128()
 	rnd := prg.NewFromSeed([]byte("h"), 0)
 	sk, _ := g.GenerateKey(rnd)
 	ct, _ := sk.Encrypt(f, f.Rand(rnd), rnd)
-	s := f.Rand(rnd)
-	acc := g.One()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		acc = g.Add(acc, g.ScalarMul(ct, f, s))
-	}
+	b.Run("naive", func(b *testing.B) {
+		s := f.Rand(rnd)
+		acc := g.One()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			acc = g.Add(acc, g.ScalarMul(ct, f, s))
+		}
+	})
+	b.Run("kernel", func(b *testing.B) {
+		const n = 256
+		cts := make([]elgamal.Ciphertext, n)
+		for i := range cts {
+			cts[i] = ct
+		}
+		u := f.RandVector(n, rnd)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.InnerProduct(cts, f, u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// ns/op is the whole length-256 product; this is the h comparison.
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/term")
+	})
 }
 
 // --- Figure 3: model validation ---
@@ -434,6 +460,64 @@ func BenchmarkAblationCommitment(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// multiexpInputs caches the shared ablation fixture: n subgroup elements
+// and exponents for the production F128 group (generating 4096 bases costs
+// thousands of modexps; do it once across sub-benchmarks).
+var multiexpInputs = struct {
+	sync.Mutex
+	bases, exps map[int][]*big.Int
+}{bases: map[int][]*big.Int{}, exps: map[int][]*big.Int{}}
+
+func multiexpFixture(b *testing.B, n int) ([]*big.Int, []*big.Int) {
+	b.Helper()
+	multiexpInputs.Lock()
+	defer multiexpInputs.Unlock()
+	if bs, ok := multiexpInputs.bases[n]; ok {
+		return bs, multiexpInputs.exps[n]
+	}
+	g := elgamal.GroupF128()
+	f := field.F128()
+	rnd := prg.NewFromSeed([]byte("multiexp-ablation"), uint64(n))
+	bases := make([]*big.Int, n)
+	exps := make([]*big.Int, n)
+	for i := range bases {
+		bases[i] = new(big.Int).Exp(g.G, f.ToBig(f.Rand(rnd)), g.P)
+		exps[i] = f.ToBig(f.Rand(rnd))
+	}
+	multiexpInputs.bases[n] = bases
+	multiexpInputs.exps[n] = exps
+	return bases, exps
+}
+
+// BenchmarkAblationMultiexp compares the homomorphic inner product's
+// engine room across algorithms and sizes: naive exp-and-multiply (one
+// full-width modexp per base — the seed's ScalarMul+Add path), Straus
+// interleaved windows, Pippenger buckets, and the sharded parallel kernel.
+func BenchmarkAblationMultiexp(b *testing.B) {
+	g := elgamal.GroupF128()
+	algos := []struct {
+		name string
+		run  func(bases, exps []*big.Int) *big.Int
+	}{
+		{"naive", g.MultiExpNaive},
+		{"straus", g.MultiExpStraus},
+		{"pippenger", g.MultiExpPippenger},
+		{"parallel", func(bases, exps []*big.Int) *big.Int {
+			return g.MultiExpParallel(bases, exps, 4)
+		}},
+	}
+	for _, n := range []int{64, 256, 1024, 4096} {
+		bases, exps := multiexpFixture(b, n)
+		for _, algo := range algos {
+			b.Run(fmt.Sprintf("%s/n=%d", algo.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = algo.run(bases, exps)
+				}
+			})
+		}
 	}
 }
 

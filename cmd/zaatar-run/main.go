@@ -19,12 +19,18 @@ import (
 	"fmt"
 	"math/big"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"zaatar"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so deferred profile writers flush before the
+// process exits with a status code.
+func run() int {
 	var (
 		srcPath  = flag.String("src", "", "path to the mini-SFDL source file")
 		inputs   = flag.String("inputs", "", "instance inputs: comma-separated ints; ';' separates instances")
@@ -34,11 +40,28 @@ func main() {
 		workers  = flag.Int("workers", 1, "prover worker pool size")
 		ginger   = flag.Bool("ginger", false, "use the Ginger baseline encoding (small computations only)")
 		stats    = flag.Bool("stats", false, "print encoding statistics and timing decomposition")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *srcPath == "" || *inputs == "" {
 		fmt.Fprintln(os.Stderr, "usage: zaatar-run -src prog.zr -inputs \"1,2,3; 4,5,6\"")
-		os.Exit(2)
+		return 2
+	}
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		check(err)
+		check(pprof.StartCPUProfile(pf))
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			pf, err := os.Create(*memProf)
+			check(err)
+			defer pf.Close()
+			runtime.GC()
+			check(pprof.WriteHeapProfile(pf))
+		}()
 	}
 	src, err := os.ReadFile(*srcPath)
 	check(err)
@@ -92,8 +115,9 @@ func main() {
 		}
 	}
 	if !res.AllAccepted() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func parseBatch(s string, want int) ([][]*big.Int, error) {

@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"syscall"
 	"time"
@@ -38,8 +39,35 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
 		metrics  = flag.String("metrics", "", "address for the HTTP metrics endpoint (empty disables)")
 		drain    = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight sessions on shutdown")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (covers the whole server lifetime)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on shutdown")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("zaatar-server: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatalf("zaatar-server: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			pf, err := os.Create(*memProf)
+			if err != nil {
+				log.Printf("zaatar-server: heap profile: %v", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				log.Printf("zaatar-server: heap profile: %v", err)
+			}
+		}()
+	}
 
 	reg := obs.Default()
 	if *metrics != "" {

@@ -41,11 +41,18 @@ type Key struct {
 
 // NewKey draws a fresh secret vector of length n and encrypts it.
 func NewKey(f *field.Field, group *elgamal.Group, sk *elgamal.SecretKey, n int, rnd io.Reader) (*Key, error) {
+	return NewKeyParallel(f, group, sk, n, rnd, 1)
+}
+
+// NewKeyParallel is NewKey with the Enc(r) setup sharded over workers
+// goroutines. The random stream is consumed in element order regardless of
+// worker count, so the key is deterministic for a seeded rnd.
+func NewKeyParallel(f *field.Field, group *elgamal.Group, sk *elgamal.SecretKey, n int, rnd io.Reader, workers int) (*Key, error) {
 	if group.Q.Cmp(f.Modulus()) != 0 {
 		return nil, errors.New("commit: group order does not match field modulus")
 	}
 	r := f.RandVector(n, rnd)
-	encR, err := sk.EncryptVector(f, r, rnd)
+	encR, err := sk.EncryptVectorParallel(f, r, rnd, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +66,12 @@ type Commitment = elgamal.Ciphertext
 // function defined by u on the encrypted vector.
 func Commit(group *elgamal.Group, f *field.Field, encR []elgamal.Ciphertext, u []field.Element) (Commitment, error) {
 	return group.InnerProduct(encR, f, u)
+}
+
+// CommitParallel is Commit with the homomorphic inner product sharded over
+// workers goroutines; the result is identical for every worker count.
+func CommitParallel(group *elgamal.Group, f *field.Field, encR []elgamal.Ciphertext, u []field.Element, workers int) (Commitment, error) {
+	return group.InnerProductParallel(encR, f, u, workers)
 }
 
 // Decommit carries the revealed queries plus the consistency point t.

@@ -66,8 +66,11 @@ func Calibrate(f *field.Field, group *elgamal.Group, reps int) OpCosts {
 			cryptoReps = 4
 		}
 		m := f.Rand(rnd)
+		// Warm up the fixed-base tables for G and H so E measures the
+		// steady-state (table-backed) cost the protocol actually pays, not
+		// the one-time table build.
+		ct, _ := sk.Encrypt(f, m, rnd)
 		start = time.Now()
-		var ct elgamal.Ciphertext
 		for i := 0; i < cryptoReps; i++ {
 			ct, _ = sk.Encrypt(f, m, rnd)
 		}
@@ -79,13 +82,24 @@ func Calibrate(f *field.Field, group *elgamal.Group, reps int) OpCosts {
 		}
 		p.D = seconds(start, cryptoReps)
 
-		s := f.Rand(rnd)
-		acc := group.One()
-		start = time.Now()
-		for i := 0; i < cryptoReps; i++ {
-			acc = group.Add(acc, group.ScalarMul(ct, f, s))
+		// h: amortized per-term cost of the homomorphic inner product. The
+		// prover pays this through the multi-exponentiation kernel over the
+		// whole proof vector, so measure the kernel over a representative
+		// length and divide — not one isolated Add+ScalarMul.
+		const hLen = 128
+		cts := make([]elgamal.Ciphertext, hLen)
+		for i := range cts {
+			cts[i] = ct
 		}
-		p.H = seconds(start, cryptoReps)
+		ws := f.RandVector(hLen, rnd)
+		hReps := cryptoReps/hLen + 1
+		start = time.Now()
+		for i := 0; i < hReps; i++ {
+			if _, err := group.InnerProduct(cts, f, ws); err != nil {
+				panic("costmodel: inner product failed: " + err.Error())
+			}
+		}
+		p.H = seconds(start, hReps*hLen)
 	}
 	return p
 }

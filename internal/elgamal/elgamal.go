@@ -16,18 +16,30 @@
 package elgamal
 
 import (
+	"context"
 	"errors"
 	"io"
 	"math/big"
+	"sync"
 
 	"zaatar/internal/field"
+	"zaatar/internal/par"
 )
 
 // Group describes a prime-order subgroup of Z_P*.
+//
+// A Group also owns lazily-built kernel state (a Montgomery context for P
+// and a fixed-base table cache; see multiexp.go and table.go). The state is
+// unexported, so gob-transported Groups (transport.Hello carries one inside
+// the commit request's public key) arrive empty and rebuild it on first
+// use. Groups must not be copied by value once in use.
 type Group struct {
 	P *big.Int // group prime modulus
 	G *big.Int // generator of the order-q subgroup
 	Q *big.Int // subgroup order = PCP field modulus
+
+	konce   sync.Once
+	kernels *kernels
 }
 
 // PublicKey is an ElGamal public key h = g^x.
@@ -75,30 +87,57 @@ func randExponent(q *big.Int, rnd io.Reader) (*big.Int, error) {
 	}
 }
 
-// Encrypt encrypts the field element m (in the exponent).
+// Encrypt encrypts the field element m (in the exponent). The three
+// fixed-base powers (g^k, h^k, g^m) run off the shared windowed tables for
+// G and H — the parameter e of Figure 3 is dominated by exactly these.
 func (pk *PublicKey) Encrypt(f *field.Field, m field.Element, rnd io.Reader) (Ciphertext, error) {
 	k, err := randExponent(pk.Group.Q, rnd)
 	if err != nil {
 		return Ciphertext{}, err
 	}
 	P := pk.Group.P
-	a := new(big.Int).Exp(pk.Group.G, k, P)
-	b := new(big.Int).Exp(pk.H, k, P)
-	gm := new(big.Int).Exp(pk.Group.G, f.ToBig(m), P)
+	tG := pk.Group.FixedBase(pk.Group.G)
+	tH := pk.Group.FixedBase(pk.H)
+	a := tG.Exp(k)
+	b := tH.Exp(k)
+	gm := tG.Exp(f.ToBig(m))
 	b.Mul(b, gm).Mod(b, P)
 	return Ciphertext{A: a, B: b}, nil
 }
 
-// EncryptVector encrypts each element of v.
+// EncryptVector encrypts each element of v, serially. It is exactly
+// EncryptVectorParallel with one worker; both consume rnd identically.
 func (pk *PublicKey) EncryptVector(f *field.Field, v []field.Element, rnd io.Reader) ([]Ciphertext, error) {
-	out := make([]Ciphertext, len(v))
-	for i := range v {
-		ct, err := pk.Encrypt(f, v[i], rnd)
+	return pk.EncryptVectorParallel(f, v, rnd, 1)
+}
+
+// EncryptVectorParallel encrypts v over a pool of workers. The encryption
+// exponents are drawn from rnd serially up front (element order, exactly as
+// the serial path consumes the stream), so for a deterministic rnd the
+// output is identical for every worker count; only the fixed-base
+// exponentiations are sharded. This is the verifier's per-batch Enc(r)
+// setup — the e·|u| term of Figure 3's "construct queries" row.
+func (pk *PublicKey) EncryptVectorParallel(f *field.Field, v []field.Element, rnd io.Reader, workers int) ([]Ciphertext, error) {
+	ks := make([]*big.Int, len(v))
+	for i := range ks {
+		k, err := randExponent(pk.Group.Q, rnd)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = ct
+		ks[i] = k
 	}
+	g := pk.Group
+	tG := g.FixedBase(g.G)
+	tH := g.FixedBase(pk.H)
+	out := make([]Ciphertext, len(v))
+	_ = par.ForEach(context.Background(), len(v), workers, func(i int) error {
+		a := tG.Exp(ks[i])
+		b := tH.Exp(ks[i])
+		gm := tG.Exp(f.ToBig(v[i]))
+		b.Mul(b, gm).Mod(b, g.P)
+		out[i] = Ciphertext{A: a, B: b}
+		return nil
+	})
 	return out, nil
 }
 
@@ -113,9 +152,10 @@ func (sk *SecretKey) DecryptExp(ct Ciphertext) *big.Int {
 }
 
 // ExpOfField returns g^m mod P for a field element m — what DecryptExp would
-// yield for a correct encryption of m.
+// yield for a correct encryption of m. It runs off the generator's shared
+// fixed-base table; the verifier's consistency check calls it per instance.
 func (g *Group) ExpOfField(f *field.Field, m field.Element) *big.Int {
-	return new(big.Int).Exp(g.G, f.ToBig(m), g.P)
+	return g.GeneratorTable().Exp(f.ToBig(m))
 }
 
 // One returns the ciphertext-neutral element Enc(0) with zero randomness —
@@ -145,19 +185,18 @@ func (g *Group) ScalarMul(c Ciphertext, f *field.Field, s field.Element) Ciphert
 // InnerProduct homomorphically computes Enc(Σ u_i·m_i) from Enc(m_i) and
 // plaintext weights u. This is the prover's commitment evaluation — the
 // (h·|u|) term in Figure 3's "Issue responses" row. Zero weights are
-// skipped, which matters for sparse proof vectors.
+// skipped, which matters for sparse proof vectors. The two component
+// products run on the multi-exponentiation kernel (multiexp.go) over a
+// shared scalar reduction, instead of one Add + ScalarMul (two full-width
+// modexps and four allocations) per element.
 func (g *Group) InnerProduct(cts []Ciphertext, f *field.Field, u []field.Element) (Ciphertext, error) {
-	if len(cts) != len(u) {
-		return Ciphertext{}, errors.New("elgamal: InnerProduct length mismatch")
-	}
-	acc := g.One()
-	for i := range u {
-		if f.IsZero(u[i]) {
-			continue
-		}
-		acc = g.Add(acc, g.ScalarMul(cts[i], f, u[i]))
-	}
-	return acc, nil
+	return g.innerProduct(cts, f, u, 1)
+}
+
+// InnerProductParallel is InnerProduct sharded over a worker pool; results
+// are identical for every worker count.
+func (g *Group) InnerProductParallel(cts []Ciphertext, f *field.Field, u []field.Element, workers int) (Ciphertext, error) {
+	return g.innerProduct(cts, f, u, workers)
 }
 
 // GenerateGroup searches for a prime P = k·q + 1 with the given bit length

@@ -1,0 +1,153 @@
+package elgamal
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// montCtx is a variable-length Montgomery multiplication context for the
+// group modulus P. The multi-exponentiation and fixed-base kernels do all
+// of their group multiplications in the Montgomery domain: one CIOS
+// multiply per group mult, instead of big.Int's multiply-then-divide
+// (Mul + Mod), and with zero heap allocations in the inner loops — every
+// operand lives in caller-provided limb slices.
+//
+// The context is sized for any odd modulus (production groups are 1024-bit,
+// the test groups 256-bit); limbs are little-endian uint64.
+type montCtx struct {
+	n    int      // limb count of P
+	p    []uint64 // modulus
+	inv  uint64   // -P⁻¹ mod 2^64
+	one  []uint64 // R mod P: Montgomery form of 1
+	r2   []uint64 // R² mod P: converts into Montgomery form
+	pBig *big.Int
+}
+
+func newMontCtx(p *big.Int) *montCtx {
+	n := (p.BitLen() + 63) / 64
+	m := &montCtx{n: n, pBig: new(big.Int).Set(p)}
+	m.p = limbsFromBig(p, n)
+
+	// inv = -p⁻¹ mod 2^64 by Newton iteration (p odd ⇒ p ≡ p⁻¹ mod 2).
+	x := m.p[0]
+	for i := 0; i < 5; i++ {
+		x *= 2 - m.p[0]*x
+	}
+	m.inv = -x
+
+	r := new(big.Int).Lsh(big.NewInt(1), uint(64*n))
+	r.Mod(r, p)
+	m.one = limbsFromBig(r, n)
+	r2 := new(big.Int).Lsh(big.NewInt(1), uint(2*64*n))
+	r2.Mod(r2, p)
+	m.r2 = limbsFromBig(r2, n)
+	return m
+}
+
+// limbsFromBig returns v as n little-endian limbs; v must be in [0, 2^(64n)).
+func limbsFromBig(v *big.Int, n int) []uint64 {
+	buf := make([]byte, n*8)
+	v.FillBytes(buf)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		b := buf[(n-1-i)*8:]
+		out[i] = uint64(b[7]) | uint64(b[6])<<8 | uint64(b[5])<<16 | uint64(b[4])<<24 |
+			uint64(b[3])<<32 | uint64(b[2])<<40 | uint64(b[1])<<48 | uint64(b[0])<<56
+	}
+	return out
+}
+
+// bigFromLimbs converts little-endian limbs back to a big.Int.
+func bigFromLimbs(a []uint64) *big.Int {
+	buf := make([]byte, len(a)*8)
+	for i, v := range a {
+		b := buf[(len(a)-1-i)*8:]
+		b[0] = byte(v >> 56)
+		b[1] = byte(v >> 48)
+		b[2] = byte(v >> 40)
+		b[3] = byte(v >> 32)
+		b[4] = byte(v >> 24)
+		b[5] = byte(v >> 16)
+		b[6] = byte(v >> 8)
+		b[7] = byte(v)
+	}
+	return new(big.Int).SetBytes(buf)
+}
+
+// madd2m returns a·b + t + c as (hi, lo); cannot overflow 128 bits.
+func madd2m(a, b, t, c uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	var carry uint64
+	lo, carry = bits.Add64(lo, t, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return
+}
+
+// scratch returns a scratch slice sized for mul.
+func (m *montCtx) scratch() []uint64 { return make([]uint64, m.n+2) }
+
+// mul sets dst = a·b·R⁻¹ mod P (the Montgomery product) using CIOS with
+// s+2 working words. dst may alias a or b; t is scratch of length n+2.
+func (m *montCtx) mul(dst, a, b, t []uint64) {
+	n := m.n
+	for i := range t {
+		t[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		// t += a · b[i]
+		var c uint64
+		bi := b[i]
+		for j := 0; j < n; j++ {
+			c, t[j] = madd2m(a[j], bi, t[j], c)
+		}
+		var cr uint64
+		t[n], cr = bits.Add64(t[n], c, 0)
+		t[n+1] = cr
+
+		// Montgomery step: add mu·P so t ≡ 0 mod 2^64, shift one word.
+		mu := t[0] * m.inv
+		c, _ = madd2m(mu, m.p[0], t[0], 0)
+		for j := 1; j < n; j++ {
+			c, t[j-1] = madd2m(mu, m.p[j], t[j], c)
+		}
+		t[n-1], cr = bits.Add64(t[n], c, 0)
+		t[n] = t[n+1] + cr
+		t[n+1] = 0
+	}
+	// The result is < 2P; subtract P once if it overflowed 2^(64n) or is ≥ P.
+	if t[n] != 0 || !lessThan(t[:n], m.p) {
+		var bw uint64
+		for j := 0; j < n; j++ {
+			dst[j], bw = bits.Sub64(t[j], m.p[j], bw)
+		}
+		return
+	}
+	copy(dst, t[:n])
+}
+
+// lessThan reports a < b for equal-length little-endian limbs.
+func lessThan(a, b []uint64) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// toMont sets dst to the Montgomery form of v (a canonical residue mod P).
+func (m *montCtx) toMont(dst []uint64, v *big.Int, t []uint64) {
+	raw := limbsFromBig(v, m.n)
+	m.mul(dst, raw, m.r2, t)
+}
+
+// fromMont converts a out of Montgomery form and returns it as a big.Int.
+func (m *montCtx) fromMont(a []uint64, t []uint64) *big.Int {
+	oneRaw := make([]uint64, m.n)
+	oneRaw[0] = 1
+	out := make([]uint64, m.n)
+	m.mul(out, a, oneRaw, t)
+	return bigFromLimbs(out)
+}

@@ -1,0 +1,148 @@
+package elgamal
+
+import (
+	"math/big"
+	"sync"
+
+	"zaatar/internal/obs"
+)
+
+// FixedBaseTable is a windowed precomputation for repeated exponentiation
+// of one fixed base: entries[j][d] = base^(d·2^(w·j)) in Montgomery form,
+// for every w-bit digit d and window j. One exponentiation then costs at
+// most ceil(qbits/w) − 1 group mults and no squarings — roughly an order of
+// magnitude under a generic modexp. The verifier's per-batch EncryptVector
+// (three fixed-base powers per element: g^k, h^k, g^m) and the consistency
+// check's g^m evaluations are the consumers.
+type FixedBaseTable struct {
+	g       *Group
+	m       *montCtx
+	w       int      // window width in bits
+	nwin    int      // ceil(qbits / w)
+	entries []uint64 // nwin · (2^w − 1) · mn limbs
+}
+
+// fixedBaseWindow is the table window width: 43 windows of 6 bits for a
+// 254-bit subgroup order, ~350 KB per table at 1024-bit P, amortizing its
+// build cost (~2.7k mults) after roughly nine exponentiations.
+const fixedBaseWindow = 6
+
+// tableCacheCap bounds the per-Group table cache. Each batch key brings one
+// fresh H; the generator table is a permanent resident in practice.
+const tableCacheCap = 8
+
+// tableEntry is one MRU cache slot; once guards the build so concurrent
+// encryptors share a single construction.
+type tableEntry struct {
+	base *big.Int
+	once sync.Once
+	tab  *FixedBaseTable
+}
+
+// FixedBase returns the (cached) fixed-base table for base, which must lie
+// in the order-Q subgroup. Tables are built once per Group and shared; the
+// cache keeps the most recently used tableCacheCap bases.
+func (g *Group) FixedBase(base *big.Int) *FixedBaseTable {
+	k := g.kern()
+	k.mu.Lock()
+	var e *tableEntry
+	for i, cand := range k.tables {
+		if cand.base.Cmp(base) == 0 {
+			e = cand
+			// Move to front (MRU).
+			copy(k.tables[1:i+1], k.tables[:i])
+			k.tables[0] = e
+			break
+		}
+	}
+	if e == nil {
+		e = &tableEntry{base: new(big.Int).Set(base)}
+		k.tables = append(k.tables, nil)
+		copy(k.tables[1:], k.tables[:len(k.tables)-1])
+		k.tables[0] = e
+		if len(k.tables) > tableCacheCap {
+			k.tables = k.tables[:tableCacheCap]
+		}
+	}
+	k.mu.Unlock()
+	e.once.Do(func() { e.tab = newFixedBaseTable(g, e.base) })
+	return e.tab
+}
+
+// GeneratorTable returns the fixed-base table for the group generator G.
+func (g *Group) GeneratorTable() *FixedBaseTable { return g.FixedBase(g.G) }
+
+// newFixedBaseTable builds the table: within window j the entries are a
+// running product by base^(2^(w·j)), and the next window's base power is
+// one more multiplication ((2^w−1)+1 = 2^w).
+func newFixedBaseTable(g *Group, base *big.Int) *FixedBaseTable {
+	k := g.kern()
+	m := k.m
+	mn := m.n
+	w := fixedBaseWindow
+	qbits := g.Q.BitLen()
+	nwin := (qbits + w - 1) / w
+	tabLen := 1<<uint(w) - 1
+
+	tb := &FixedBaseTable{g: g, m: m, w: w, nwin: nwin, entries: make([]uint64, nwin*tabLen*mn)}
+	t := m.scratch()
+	cur := make([]uint64, mn)
+	m.toMont(cur, new(big.Int).Mod(base, g.P), t)
+	for j := 0; j < nwin; j++ {
+		row := tb.entries[j*tabLen*mn:]
+		copy(row[:mn], cur)
+		for d := 2; d <= tabLen; d++ {
+			m.mul(row[(d-1)*mn:d*mn], row[(d-2)*mn:(d-1)*mn], cur, t)
+		}
+		if j+1 < nwin {
+			m.mul(cur, row[(tabLen-1)*mn:tabLen*mn], cur, t)
+		}
+	}
+	obs.Default().Counter(MetricFixedBaseTables).Inc()
+	return tb
+}
+
+// expMont accumulates base^e (e given as reduced limbs) into dst in
+// Montgomery form; ok=false means the result is the identity.
+func (tb *FixedBaseTable) expMont(dst []uint64, elimbs []uint64, sc *scalars, t []uint64) bool {
+	m := tb.m
+	mn := m.n
+	tabLen := 1<<uint(tb.w) - 1
+	started := false
+	s := scalars{limbs: elimbs, ql: len(elimbs), bits: sc.bits}
+	for j := 0; j < tb.nwin; j++ {
+		d := int(s.digit(0, j*tb.w, tb.w))
+		if d == 0 {
+			continue
+		}
+		e := tb.entries[(j*tabLen+d-1)*mn : (j*tabLen+d)*mn]
+		if started {
+			m.mul(dst, dst, e, t)
+		} else {
+			copy(dst, e)
+			started = true
+		}
+	}
+	return started
+}
+
+// Exp returns base^e mod P. Exponents are reduced mod Q (the base has
+// order Q), so any non-negative e — including values at or above the
+// subgroup order — matches the generic modexp on a subgroup element.
+func (tb *FixedBaseTable) Exp(e *big.Int) *big.Int {
+	obs.Default().Counter(MetricFixedBaseExps).Inc()
+	g := tb.g
+	if e.Sign() < 0 || e.Cmp(g.Q) >= 0 {
+		e = new(big.Int).Mod(e, g.Q)
+	}
+	m := tb.m
+	qbits := g.Q.BitLen()
+	ql := (qbits + 63) / 64
+	sc := scalars{ql: ql, bits: qbits}
+	t := m.scratch()
+	dst := make([]uint64, m.n)
+	if !tb.expMont(dst, limbsFromBig(e, ql), &sc, t) {
+		return big.NewInt(1)
+	}
+	return m.fromMont(dst, t)
+}

@@ -1,0 +1,80 @@
+// Package par provides the repository's shared data-parallel scheduling
+// primitive: a cancellable fixed-pool ForEach. It sits below every layer
+// that fans work out over cores — the protocol driver (internal/vc), the
+// wire layer (internal/transport), and the group-arithmetic kernels
+// (internal/elgamal), which cannot import vc without a cycle.
+package par
+
+import (
+	"context"
+	"sync"
+)
+
+// ForEach runs fn(0..n-1) over a pool of workers goroutines and returns the
+// first error. The pool is cancellable: after the first error or a context
+// cancellation the feeder stops dispatching new indices and the workers
+// drain promptly, so a failing batch costs one in-flight index per worker
+// rather than the whole range. With workers ≤ 1 the indices run serially on
+// the calling goroutine, still honoring ctx between calls.
+func ForEach(ctx context.Context, n, workers int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if pctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-pctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	// firstErr is safely visible: it is written before cancel(), and every
+	// path here runs after wg.Wait() observed the workers' exit.
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

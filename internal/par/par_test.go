@@ -1,0 +1,80 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 33} {
+		n := 100
+		var hits [100]int32
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error {
+		t.Error("fn called for empty range")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 64, workers, func(i int) error {
+			if i == 13 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: got %v, want sentinel", workers, err)
+		}
+	}
+}
+
+func TestForEachErrorStopsFeeding(t *testing.T) {
+	var ran int32
+	_ = ForEach(context.Background(), 10000, 2, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return errors.New("stop")
+	})
+	if n := atomic.LoadInt32(&ran); n >= 10000 {
+		t.Errorf("all %d items ran despite an early error", n)
+	}
+}
+
+func TestForEachCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := ForEach(ctx, 50, workers, func(int) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if atomic.LoadInt32(&ran) == 50 {
+			t.Errorf("workers=%d: cancelled run completed every item", workers)
+		}
+	}
+}

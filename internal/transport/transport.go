@@ -288,6 +288,9 @@ func ServeConn(ctx context.Context, conn net.Conn, opts ServerOptions) (err erro
 	prover.HandleCommitRequest(batch.Req)
 
 	n := len(batch.Instances)
+	// Small batches leave pool workers idle during the commit phase; hand
+	// the leftovers to each Commit's group-arithmetic kernel.
+	prover.SetKernelWorkers(workers / n)
 	states := make([]*vc.InstanceState, n)
 	cms := CommitmentsMsg{Items: make([]*vc.Commitment, n)}
 	if err := vc.ForEach(ctx, n, workers, func(i int) error {

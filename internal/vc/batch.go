@@ -141,6 +141,9 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		workers = 1
 	}
 	beta := len(inputs)
+	// Small batches can't fill the pool with instance-level parallelism
+	// alone; give each Commit's inner kernel the leftover workers.
+	prover.SetKernelWorkers(workers / beta)
 	res := &BatchResult{
 		Accepted:    make([]bool, beta),
 		Reasons:     make([]string, beta),

@@ -2,78 +2,19 @@ package vc
 
 import (
 	"context"
-	"sync"
+
+	"zaatar/internal/par"
 )
 
 // ForEach runs fn(0..n-1) over a pool of workers goroutines and returns the
-// first error. The pool is cancellable: after the first error or a context
-// cancellation the feeder stops dispatching new indices and the workers
-// drain promptly, so a failing batch costs one in-flight instance per
-// worker rather than the whole batch. With workers ≤ 1 the indices run
-// serially on the calling goroutine, still honoring ctx between calls.
+// first error. It is a thin alias for par.ForEach (the implementation moved
+// to internal/par so the group-arithmetic kernels in internal/elgamal can
+// share the same pool without an import cycle); see that package for the
+// cancellation semantics.
 //
 // This is the scheduling primitive of the pipeline engine: the prover's
 // commit and respond phases in RunBatch, and the per-instance phases of
 // transport.ServeConn, all run on it.
 func ForEach(ctx context.Context, n, workers int, fn func(int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	pctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		wg       sync.WaitGroup
-		once     sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		once.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if pctx.Err() != nil {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-pctx.Done():
-			break feed
-		}
-	}
-	close(next)
-	wg.Wait()
-	// firstErr is safely visible: it is written before cancel(), and every
-	// path here runs after wg.Wait() observed the workers' exit.
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
+	return par.ForEach(ctx, n, workers, fn)
 }

@@ -35,9 +35,24 @@ type Prover struct {
 	q   *qap.QAP
 	req *CommitRequest
 
+	// kernelWorkers shards the homomorphic inner product inside each
+	// Commit call. It defaults to 1 because batch drivers already run one
+	// Commit per instance concurrently; SetKernelWorkers raises it when
+	// instance-level parallelism can't fill the machine (small batches).
+	kernelWorkers int
+
 	// query regeneration state after decommit
 	queries1, queries2 [][]field.Element
 	t1, t2             []field.Element
+}
+
+// SetKernelWorkers sets the number of goroutines used inside a single
+// Commit's group-arithmetic kernel. Values below 1 are treated as 1.
+func (p *Prover) SetKernelWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.kernelWorkers = n
 }
 
 // InstanceState carries a single instance's proof between the commit and
@@ -107,10 +122,14 @@ func (p *Prover) Commit(ctx context.Context, inputs []*big.Int) (*Commitment, *I
 	start = time.Now()
 	if len(p.req.EncR1) > 0 {
 		group := p.req.PK.Group
-		if cm.C1, err = commit.Commit(group, f, p.req.EncR1, st.U1); err != nil {
+		kw := p.kernelWorkers
+		if kw < 1 {
+			kw = 1
+		}
+		if cm.C1, err = commit.CommitParallel(group, f, p.req.EncR1, st.U1, kw); err != nil {
 			return nil, nil, err
 		}
-		if cm.C2, err = commit.Commit(group, f, p.req.EncR2, st.U2); err != nil {
+		if cm.C2, err = commit.CommitParallel(group, f, p.req.EncR2, st.U2, kw); err != nil {
 			return nil, nil, err
 		}
 	}

@@ -76,10 +76,14 @@ func NewVerifier(prog *compiler.Program, cfg Config) (*Verifier, error) {
 			return nil, err
 		}
 		n1, n2 := v.oracleLens()
-		if v.key1, err = commit.NewKey(prog.Field, group, v.sk, n1, krnd); err != nil {
+		kw := cfg.Workers
+		if kw < 1 {
+			kw = 1
+		}
+		if v.key1, err = commit.NewKeyParallel(prog.Field, group, v.sk, n1, krnd, kw); err != nil {
 			return nil, err
 		}
-		if v.key2, err = commit.NewKey(prog.Field, group, v.sk, n2, krnd); err != nil {
+		if v.key2, err = commit.NewKeyParallel(prog.Field, group, v.sk, n2, krnd, kw); err != nil {
 			return nil, err
 		}
 	}
