@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: micro, model, fig4, fig5, fig6, fig7, fig8, fig9, all")
+		exp     = flag.String("exp", "all", "experiment: micro, model, fig4, fig5, fig6, fig7, fig8, fig9, baseline, all")
 		scale   = flag.String("scale", "default", "instance sizes: small, default, paper")
 		rhoLin  = flag.Int("rholin", 0, "linearity test iterations (0 = paper's 20)")
 		rho     = flag.Int("rho", 0, "PCP repetitions (0 = paper's 8)")
@@ -37,6 +37,7 @@ func main() {
 		beta    = flag.Int("beta", 8, "batch size for fig6")
 		seed    = flag.Int64("seed", 1, "randomness seed for reproducible runs")
 		calReps = flag.Int("calreps", 1000, "microbenchmark calibration repetitions")
+		jsonOut = flag.String("json", "", "with -exp baseline: also write the machine-readable baseline to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,22 @@ func main() {
 
 	run := func(name string) {
 		switch name {
+		case "baseline":
+			bo := o
+			bo.Workers = workerCounts[0]
+			b, err := experiments.RunBaseline(bo, *beta)
+			check(err)
+			experiments.RenderBaseline(os.Stdout, b)
+			if *jsonOut != "" {
+				w := os.Stdout
+				if *jsonOut != "-" {
+					f, err := os.Create(*jsonOut)
+					check(err)
+					defer f.Close()
+					w = f
+				}
+				check(b.WriteJSON(w))
+			}
 		case "micro":
 			experiments.RenderMicro(os.Stdout, experiments.RunMicro(o))
 		case "model":

@@ -17,11 +17,14 @@ import (
 	"fmt"
 	"math/big"
 	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"zaatar/internal/obs/trace"
 	"zaatar/internal/transport"
 )
 
@@ -37,6 +40,8 @@ func main() {
 		noCrypto = flag.Bool("nocrypto", false, "skip the ElGamal commitment")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
 		workers  = flag.Int("workers", 1, "verifier parallelism over per-instance checks")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file covering both sides of the session")
+		pprofOn  = flag.String("pprof", "", "address to serve net/http/pprof on for the session's lifetime (empty disables)")
 	)
 	flag.Parse()
 	if *srcPath == "" || *inputs == "" {
@@ -64,12 +69,38 @@ func main() {
 		Rho:          *rho,
 		NoCommitment: *noCrypto,
 	}
+	if *pprofOn != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofOn, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "zaatar-client: pprof endpoint:", err)
+			}
+		}()
+	}
+
 	// Ctrl-C cancels the session, closing the prover connections.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// With -trace, the session's trace context rides the hello to every
+	// prover, whose spans come back with the responses — one trace covers
+	// both sides of the wire.
+	var tc *trace.Ctx
+	if *traceOut != "" {
+		tc = trace.New(trace.NewRecorder(trace.DefaultCapacity), "verifier")
+		ctx = trace.NewContext(ctx, tc)
+	}
 	copts := transport.ClientOptions{IOTimeout: *timeout, Workers: *workers}
 	res, err := transport.RunSessionDistributed(ctx, conns, hello, copts, batch)
 	check(err)
+	if tc != nil {
+		check(writeTrace(*traceOut, tc))
+		fmt.Fprintf(os.Stderr, "zaatar-client: trace written to %s (%d spans, %d dropped)\n",
+			*traceOut, tc.Recorder().Len(), tc.Recorder().Dropped())
+	}
 
 	allOK := true
 	for i := range batch {
@@ -83,6 +114,21 @@ func main() {
 	if !allOK {
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the stitched verifier+prover span tree in Chrome
+// trace-event form.
+func writeTrace(path string, tc *trace.Ctx) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum := map[string]any{"dropped_spans": tc.Recorder().Dropped()}
+	if err := trace.WriteChrome(f, tc.Recorder().Snapshot(), sum); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func parseBatch(s string) ([][]*big.Int, error) {

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"zaatar"
 	"zaatar/internal/constraint"
@@ -24,11 +26,28 @@ func main() {
 		srcPath = flag.String("src", "", "path to the mini-SFDL source file")
 		f220    = flag.Bool("f220", false, "use the 220-bit field")
 		dump    = flag.Bool("dump", false, "dump the quadratic-form constraints")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *srcPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: zaatar-compile -src prog.zr")
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		pf, err := os.Create(*cpuProf)
+		check(err)
+		check(pprof.StartCPUProfile(pf))
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			pf, err := os.Create(*memProf)
+			check(err)
+			defer pf.Close()
+			runtime.GC()
+			check(pprof.WriteHeapProfile(pf))
+		}()
 	}
 	src, err := os.ReadFile(*srcPath)
 	check(err)

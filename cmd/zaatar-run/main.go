@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
@@ -24,6 +25,9 @@ import (
 	"strings"
 
 	"zaatar"
+	"zaatar/internal/costmodel"
+	"zaatar/internal/obs/trace"
+	"zaatar/internal/pcp"
 )
 
 func main() { os.Exit(run()) }
@@ -42,6 +46,7 @@ func run() int {
 		stats    = flag.Bool("stats", false, "print encoding statistics and timing decomposition")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
 	if *srcPath == "" || *inputs == "" {
@@ -87,8 +92,26 @@ func run() int {
 	batch, err := parseBatch(*inputs, prog.NumInputs())
 	check(err)
 
-	res, err := zaatar.Run(prog, batch, opts...)
+	// With -trace, every protocol phase, per-instance step, and kernel call
+	// of the run records a span; without it tc is nil and the context adds
+	// nothing.
+	var tc *trace.Ctx
+	ctx := context.Background()
+	if *traceOut != "" {
+		tc = trace.New(trace.NewRecorder(trace.DefaultCapacity), "zaatar-run")
+		ctx = trace.NewContext(ctx, tc)
+	}
+	res, err := zaatar.RunContext(ctx, prog, batch, opts...)
 	check(err)
+	if tc != nil {
+		params := zaatar.DefaultParams()
+		if *quick {
+			params = pcp.Params{RhoLin: 2, Rho: 2}
+		}
+		check(writeTrace(*traceOut, tc, prog, res, params, *ginger))
+		fmt.Fprintf(os.Stderr, "zaatar-run: trace written to %s (%d spans, %d dropped)\n",
+			*traceOut, tc.Recorder().Len(), tc.Recorder().Dropped())
+	}
 
 	for i := range batch {
 		status := "ACCEPTED"
@@ -118,6 +141,73 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// phaseComparison is one row of the trace summary: a measured phase next to
+// the cost model's prediction for it (Figure 3, scaled to the batch).
+type phaseComparison struct {
+	Phase      string  `json:"phase"`
+	ObservedMs float64 `json:"observed_ms"`
+	ModelMs    float64 `json:"model_ms"`
+}
+
+// runSummary is embedded into the trace file under the "zaatarSummary" key.
+type runSummary struct {
+	Protocol  string            `json:"protocol"`
+	Instances int               `json:"instances"`
+	Workers   int               `json:"workers"`
+	Phases    []phaseComparison `json:"phases"`
+	// ModelNote qualifies the predictions: the model is serial CPU cost with
+	// field-op parameters calibrated on this machine and crypto parameters
+	// (e, d, h) left zero, so commitment-heavy runs will overshoot it.
+	ModelNote string `json:"model_note"`
+	Dropped   int64  `json:"dropped_spans"`
+}
+
+// writeTrace exports the run's spans in Chrome trace-event form, with a
+// model-vs-observed per-phase comparison as the summary payload.
+func writeTrace(path string, tc *trace.Ctx, prog *zaatar.Program, res *zaatar.Result, params pcp.Params, ginger bool) error {
+	st := prog.Stats()
+	q := costmodel.Quantities{
+		ZGinger: st.GingerVars, CGinger: st.GingerConstraints,
+		ZZaatar: st.ZaatarVars, CZaatar: st.ZaatarConstraints,
+		K: st.K, K2: st.K2,
+		NX: prog.NumInputs(), NY: prog.NumOutputs(),
+		Params: params,
+	}
+	p := costmodel.Calibrate(prog.Field, nil, 200)
+	est := costmodel.EstimateZaatar(p, q)
+	protocol := "zaatar"
+	if ginger {
+		est = costmodel.EstimateGinger(p, q)
+		protocol = "ginger"
+	}
+	m := res.Metrics
+	beta := float64(m.Instances)
+	ms := func(s float64) float64 { return s * 1e3 }
+	sum := runSummary{
+		Protocol:  protocol,
+		Instances: m.Instances,
+		Workers:   m.Workers,
+		Phases: []phaseComparison{
+			{Phase: "vc.setup", ObservedMs: float64(m.Setup.Microseconds()) / 1e3, ModelMs: ms(est.VerifierSetup)},
+			{Phase: "vc.commit", ObservedMs: float64(m.Commit.Microseconds()) / 1e3, ModelMs: ms(beta * est.ProverTotal())},
+			{Phase: "vc.decommit", ObservedMs: float64(m.Decommit.Microseconds()) / 1e3, ModelMs: 0},
+			{Phase: "vc.respond", ObservedMs: float64(m.Respond.Microseconds()) / 1e3, ModelMs: 0},
+			{Phase: "vc.verify", ObservedMs: float64(m.VerifyTotal.Microseconds()) / 1e3, ModelMs: ms(beta * est.VerifierPerInstance)},
+		},
+		ModelNote: "model is serial CPU seconds from Figure 3 with crypto op costs uncalibrated (e=d=h=0)",
+		Dropped:   tc.Recorder().Dropped(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, tc.Recorder().Snapshot(), sum); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func parseBatch(s string, want int) ([][]*big.Int, error) {

@@ -4,12 +4,14 @@
 //
 // The server installs a per-message I/O deadline on every connection
 // (-timeout), drains in-flight sessions on SIGINT/SIGTERM before exiting,
-// and can expose its metrics registry over HTTP (-metrics) in an
-// expvar-style text form.
+// and can expose its metrics registry over HTTP (-metrics): /metrics is the
+// expvar-style text form, /metrics/prometheus the Prometheus exposition
+// format, and -pprof additionally mounts net/http/pprof under /debug/pprof/
+// on the same address.
 //
 // Usage:
 //
-//	zaatar-server -listen :7001 -workers 8 -timeout 2m -metrics :7002
+//	zaatar-server -listen :7001 -workers 8 -timeout 2m -metrics :7002 -pprof
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,6 +41,7 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 4096, "maximum batch size per session")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
 		metrics  = flag.String("metrics", "", "address for the HTTP metrics endpoint (empty disables)")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -metrics address")
 		drain    = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight sessions on shutdown")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (covers the whole server lifetime)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on shutdown")
@@ -70,16 +74,27 @@ func main() {
 	}
 
 	reg := obs.Default()
+	if *pprofOn && *metrics == "" {
+		log.Fatalf("zaatar-server: -pprof needs -metrics to name the HTTP address")
+	}
 	if *metrics != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/metrics/prometheus", reg.PrometheusHandler())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", httppprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		}
 		msrv := &http.Server{Addr: *metrics, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("zaatar-server: metrics endpoint: %v", err)
 			}
 		}()
-		log.Printf("zaatar-server: metrics on http://%s/metrics", *metrics)
+		log.Printf("zaatar-server: metrics on http://%s/metrics (Prometheus form at /metrics/prometheus)", *metrics)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

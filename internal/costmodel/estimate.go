@@ -1,0 +1,35 @@
+package costmodel
+
+// PhaseEstimate groups the model's closed-form predictions (Figure 3) by
+// protocol phase, in seconds, in the shape the observability layer compares
+// against measured spans: setup is per-batch and amortized, the prover
+// entries and the verification entry are per-instance serial CPU cost.
+type PhaseEstimate struct {
+	VerifierSetup       float64 // construct queries + commitment keys (per batch)
+	ProverConstruct     float64 // solve + build the proof vector (per instance)
+	ProverIssue         float64 // commit + answer queries (per instance)
+	VerifierPerInstance float64 // process responses (per instance)
+}
+
+// ProverTotal is the model's per-instance prover cost.
+func (e PhaseEstimate) ProverTotal() float64 { return e.ProverConstruct + e.ProverIssue }
+
+// EstimateZaatar evaluates the Zaatar column of Figure 3.
+func EstimateZaatar(p OpCosts, q Quantities) PhaseEstimate {
+	return PhaseEstimate{
+		VerifierSetup:       VerifierSetupZaatar(p, q),
+		ProverConstruct:     ProverConstructZaatar(p, q),
+		ProverIssue:         ProverIssueZaatar(p, q),
+		VerifierPerInstance: VerifierPerInstanceZaatar(p, q),
+	}
+}
+
+// EstimateGinger evaluates the Ginger column of Figure 3.
+func EstimateGinger(p OpCosts, q Quantities) PhaseEstimate {
+	return PhaseEstimate{
+		VerifierSetup:       VerifierSetupGinger(p, q),
+		ProverConstruct:     ProverConstructGinger(p, q),
+		ProverIssue:         ProverIssueGinger(p, q),
+		VerifierPerInstance: VerifierPerInstanceGinger(p, q),
+	}
+}

@@ -258,7 +258,7 @@ func (s Span) End() time.Duration {
 
 // WriteText renders every metric as expvar-style "name value" lines,
 // sorted by name. Counters render as a single line; each histogram renders
-// count, sum, min, max, avg, and approximate p50/p99 (nanoseconds).
+// count, sum, min, max, avg, and approximate p50/p90/p99 (nanoseconds).
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.RLock()
 	counters := make(map[string]*Counter, len(r.counters))
@@ -271,7 +271,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	r.mu.RUnlock()
 
-	lines := make([]string, 0, len(counters)+7*len(hists))
+	lines := make([]string, 0, len(counters)+8*len(hists))
 	for name, c := range counters {
 		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
 	}
@@ -284,6 +284,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Sprintf("%s.max_ns %d", name, int64(s.Max)),
 			fmt.Sprintf("%s.avg_ns %d", name, int64(s.Mean())),
 			fmt.Sprintf("%s.p50_ns %d", name, int64(s.Quantile(0.50))),
+			fmt.Sprintf("%s.p90_ns %d", name, int64(s.Quantile(0.90))),
 			fmt.Sprintf("%s.p99_ns %d", name, int64(s.Quantile(0.99))),
 		)
 	}

@@ -1,0 +1,157 @@
+// Chrome trace-event export: the recorder's span records rendered as the
+// JSON object format understood by Perfetto (https://ui.perfetto.dev) and
+// Chrome's about://tracing. Each process role ("verifier", "prover") maps
+// to a pid; within a pid, spans are packed onto synthetic tid lanes so
+// that nesting in the viewer mirrors the parent links — a child is placed
+// on its parent's lane when the lane's stack allows it, and overlapping
+// siblings (parallel instances) spill to fresh lanes.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one trace-event JSON object. Only the "X" (complete) and
+// "M" (metadata) phases are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON object format: a traceEvents array plus optional
+// metadata keys (Perfetto preserves unknown keys).
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Summary         any           `json:"zaatarSummary,omitempty"`
+}
+
+// WriteChrome renders records as Chrome trace-event JSON. summary, when
+// non-nil, is embedded under the top-level "zaatarSummary" key (ignored by
+// viewers, machine-readable for tooling).
+func WriteChrome(w io.Writer, recs []Record, summary any) error {
+	file := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(recs)+4),
+		DisplayTimeUnit: "ms",
+		Summary:         summary,
+	}
+
+	// Stable pid per process role, in order of first appearance.
+	pids := map[string]int{}
+	procs := []string{}
+	for i := range recs {
+		if _, ok := pids[recs[i].Proc]; !ok {
+			pids[recs[i].Proc] = len(pids) + 1
+			procs = append(procs, recs[i].Proc)
+		}
+	}
+	for _, proc := range procs {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[proc],
+			Args: map[string]any{"name": proc},
+		})
+	}
+
+	for _, proc := range procs {
+		group := make([]Record, 0, len(recs))
+		for i := range recs {
+			if recs[i].Proc == proc {
+				group = append(group, recs[i])
+			}
+		}
+		lanes := assignLanes(group)
+		for i := range group {
+			r := &group[i]
+			args := map[string]any{
+				"trace":  fmt.Sprintf("%016x", uint64(r.Trace)),
+				"span":   fmt.Sprintf("%016x", uint64(r.Span)),
+				"parent": fmt.Sprintf("%016x", uint64(r.Parent)),
+			}
+			for _, a := range r.Args {
+				args[a.Key] = a.Val
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: r.Name,
+				Cat:  "zaatar",
+				Ph:   "X",
+				Ts:   float64(r.Start) / 1e3,
+				Dur:  float64(r.Dur) / 1e3,
+				Pid:  pids[proc],
+				Tid:  lanes[i],
+				Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// assignLanes packs one process's spans onto tid lanes preserving stack
+// discipline: lanes[i] is the lane of group[i]. Spans are processed in
+// (start, -dur) order so parents come before their children; each span
+// goes onto its parent's lane when the lane's currently open interval
+// contains it, else onto the first lane it nests into, else a new lane.
+func assignLanes(group []Record) []int {
+	order := make([]int, len(group))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := &group[order[a]], &group[order[b]]
+		if ra.Start != rb.Start {
+			return ra.Start < rb.Start
+		}
+		if ra.Dur != rb.Dur {
+			return ra.Dur > rb.Dur // longer first: parents before children
+		}
+		return ra.Span < rb.Span
+	})
+
+	type lane struct {
+		openEnds []int64 // stack of currently open interval end times
+	}
+	lanes := []*lane{}
+	spanLane := map[SpanID]int{}
+	out := make([]int, len(group))
+
+	fits := func(l *lane, start, end int64) bool {
+		for len(l.openEnds) > 0 && l.openEnds[len(l.openEnds)-1] <= start {
+			l.openEnds = l.openEnds[:len(l.openEnds)-1]
+		}
+		return len(l.openEnds) == 0 || l.openEnds[len(l.openEnds)-1] >= end
+	}
+
+	for _, idx := range order {
+		r := &group[idx]
+		start, end := r.Start, r.Start+r.Dur
+		placed := -1
+		if pl, ok := spanLane[r.Parent]; ok && fits(lanes[pl], start, end) {
+			placed = pl
+		} else {
+			for li, l := range lanes {
+				if fits(l, start, end) {
+					placed = li
+					break
+				}
+			}
+		}
+		if placed < 0 {
+			lanes = append(lanes, &lane{})
+			placed = len(lanes) - 1
+		}
+		lanes[placed].openEnds = append(lanes[placed].openEnds, end)
+		spanLane[r.Span] = placed
+		out[idx] = placed
+	}
+	return out
+}

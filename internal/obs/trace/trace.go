@@ -1,0 +1,341 @@
+// Package trace is the request-scoped half of the observability layer:
+// where internal/obs aggregates (counters, histograms), trace records — a
+// named, parent-linked span per unit of protocol work, grouped under one
+// TraceID per batch, so a single run can be decomposed into its four
+// protocol phases, per-instance steps, and kernel calls on both sides of
+// the wire.
+//
+// The design center is "free when disabled": every method is nil-safe, and
+// a nil *Ctx (no trace attached to the context.Context) makes Start/End a
+// pair of pointer checks with zero allocations — enforced by
+// TestDisabledTracingAllocs. When enabled, completed spans go into a
+// fixed-size lock-free ring (Recorder); an unfinished span is simply never
+// recorded, so a failed session cannot leave half-written records behind.
+//
+// Wire propagation: the verifier sends its TraceID and the parent SpanID
+// in the transport hello; the prover records into its own per-session
+// Recorder under that TraceID (Join) and returns its records with the
+// final protocol message, where the verifier imports them (Ctx.Import) to
+// stitch both timelines into one tree. Export to the Chrome trace-event
+// format is in export.go.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end trace (one batch run). Zero means "no
+// trace": it is the wire value sent by peers without tracing enabled.
+type TraceID uint64
+
+// SpanID identifies one span within a trace. Zero means "no parent".
+type SpanID uint64
+
+// NewTraceID draws a random non-zero trace identifier.
+func NewTraceID() TraceID {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			panic("trace: randomness unavailable: " + err.Error())
+		}
+		if id := TraceID(binary.LittleEndian.Uint64(b[:])); id != 0 {
+			return id
+		}
+	}
+}
+
+// Arg is a small integer-valued span annotation (instance index, vector
+// length, batch size). Strings are deliberately excluded: the hot-path
+// record must not retain arbitrary payloads.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Record is one completed span, the unit stored in the Recorder and moved
+// across the wire. All times are nanoseconds; Start is wall-clock unix
+// time so two processes on one machine line up in the exported view.
+type Record struct {
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
+	Name   string
+	Proc   string // process role: "verifier", "prover", "zaatar-run", ...
+	Start  int64  // unix nanoseconds
+	Dur    int64  // nanoseconds
+	Args   []Arg
+}
+
+// Recorder is a fixed-size lock-free ring of completed span records. When
+// the ring wraps, the oldest records are overwritten and counted as
+// dropped. All methods are safe for concurrent use.
+type Recorder struct {
+	slots    []atomic.Pointer[Record]
+	cursor   atomic.Uint64
+	spanSeq  atomic.Uint64
+	spanBase uint64 // random offset so two processes' span IDs do not collide
+}
+
+// DefaultCapacity is the ring size used by the cmd/ binaries: enough for a
+// few thousand instances' worth of spans.
+const DefaultCapacity = 1 << 15
+
+// NewRecorder returns a ring holding up to capacity records (minimum 16).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	r := &Recorder{slots: make([]atomic.Pointer[Record], capacity)}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("trace: randomness unavailable: " + err.Error())
+	}
+	r.spanBase = binary.LittleEndian.Uint64(b[:])
+	return r
+}
+
+// nextSpanID mints a process-unique span identifier.
+func (r *Recorder) nextSpanID() SpanID {
+	for {
+		if id := SpanID(r.spanSeq.Add(1) + r.spanBase); id != 0 {
+			return id
+		}
+	}
+}
+
+// put stores one completed record, overwriting the oldest when full.
+func (r *Recorder) put(rec *Record) {
+	i := r.cursor.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(rec)
+}
+
+// Len reports how many records the ring currently holds.
+func (r *Recorder) Len() int {
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Dropped reports how many records were overwritten by ring wrap-around.
+func (r *Recorder) Dropped() int64 {
+	n := r.cursor.Load()
+	if n <= uint64(len(r.slots)) {
+		return 0
+	}
+	return int64(n - uint64(len(r.slots)))
+}
+
+// Snapshot copies the ring's current records, sorted by start time. It is
+// safe to call while spans are still being recorded; records are immutable
+// once stored.
+func (r *Recorder) Snapshot() []Record {
+	out := make([]Record, 0, len(r.slots))
+	for i := range r.slots {
+		if rec := r.slots[i].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}
+
+// Import stores externally produced records (a peer's spans returned over
+// the wire) that belong to the given trace; records from other traces are
+// ignored. It returns how many records were imported.
+func (r *Recorder) Import(id TraceID, recs []Record) int {
+	n := 0
+	for i := range recs {
+		if recs[i].Trace != id || recs[i].Span == 0 {
+			continue
+		}
+		rec := recs[i]
+		r.put(&rec)
+		n++
+	}
+	return n
+}
+
+// Ctx is a position in a trace: a recorder, a trace identifier, and the
+// span that new children attach under. A nil *Ctx disables tracing — every
+// method on it is a no-op, and Start returns a nil *Span whose End is also
+// a no-op.
+type Ctx struct {
+	rec   *Recorder
+	trace TraceID
+	span  SpanID // parent for spans started from this context
+	proc  string
+}
+
+// New starts a fresh trace recording into rec, tagged with the process
+// role proc. The returned context is the root: spans started from it have
+// no parent.
+func New(rec *Recorder, proc string) *Ctx {
+	return &Ctx{rec: rec, trace: NewTraceID(), proc: proc}
+}
+
+// Join continues a trace begun elsewhere (the wire-propagated case): spans
+// started from the returned context attach under the remote parent span.
+// A zero id returns nil — the peer did not enable tracing.
+func Join(rec *Recorder, id TraceID, parent SpanID, proc string) *Ctx {
+	if id == 0 || rec == nil {
+		return nil
+	}
+	return &Ctx{rec: rec, trace: id, span: parent, proc: proc}
+}
+
+// TraceID returns the trace identifier, or zero on a nil context.
+func (c *Ctx) TraceID() TraceID {
+	if c == nil {
+		return 0
+	}
+	return c.trace
+}
+
+// SpanID returns the current span identifier, or zero on a nil context.
+func (c *Ctx) SpanID() SpanID {
+	if c == nil {
+		return 0
+	}
+	return c.span
+}
+
+// Recorder returns the backing recorder, or nil on a nil context.
+func (c *Ctx) Recorder() *Recorder {
+	if c == nil {
+		return nil
+	}
+	return c.rec
+}
+
+// Import stitches a peer's records into this trace; nil-safe. Returns the
+// number of records imported.
+func (c *Ctx) Import(recs []Record) int {
+	if c == nil {
+		return 0
+	}
+	return c.rec.Import(c.trace, recs)
+}
+
+// Span is one started, not-yet-completed unit of work. A nil *Span (from a
+// nil *Ctx) is inert. End must be called at most once.
+type Span struct {
+	rec    *Recorder
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	proc   string
+	name   string
+	start  time.Time
+	done   bool
+	nargs  int
+	args   [2]Arg
+}
+
+// Start begins a child span. On a nil context it returns nil and performs
+// no allocations.
+func (c *Ctx) Start(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	return &Span{
+		rec:    c.rec,
+		trace:  c.trace,
+		id:     c.rec.nextSpanID(),
+		parent: c.span,
+		proc:   c.proc,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// WithArg attaches a small integer annotation (up to two per span; extras
+// are dropped). Nil-safe; returns the span for chaining.
+func (s *Span) WithArg(key string, val int64) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.nargs < len(s.args) {
+		s.args[s.nargs] = Arg{Key: key, Val: val}
+		s.nargs++
+	}
+	return s
+}
+
+// End completes the span and stores its record. Nil-safe and idempotent,
+// so instrumentation can pair a deferred End (the error path) with an
+// explicit End on the success path.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	rec := &Record{
+		Trace:  s.trace,
+		Span:   s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Proc:   s.proc,
+		Start:  s.start.UnixNano(),
+		Dur:    int64(time.Since(s.start)),
+	}
+	if s.nargs > 0 {
+		rec.Args = append([]Arg(nil), s.args[:s.nargs]...)
+	}
+	s.rec.put(rec)
+}
+
+// Ctx returns a trace position rooted at this span, for starting children.
+// Nil-safe: a nil span yields a nil (disabled) context.
+func (s *Span) Ctx() *Ctx {
+	if s == nil {
+		return nil
+	}
+	return &Ctx{rec: s.rec, trace: s.trace, span: s.id, proc: s.proc}
+}
+
+// ctxKey carries a *Ctx inside a context.Context.
+type ctxKey struct{}
+
+// NewContext attaches tc to ctx; a nil tc returns ctx unchanged, so the
+// disabled path adds no context layers.
+func NewContext(ctx context.Context, tc *Ctx) context.Context {
+	if tc == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tc)
+}
+
+// FromContext extracts the trace position, or nil when tracing is off.
+func FromContext(ctx context.Context) *Ctx {
+	tc, _ := ctx.Value(ctxKey{}).(*Ctx)
+	return tc
+}
+
+// Start begins a span under the context's trace position; nil (inert) when
+// the context carries no trace. This is the one-liner instrumentation
+// entry point: defer trace.Start(ctx, "phase").End().
+func Start(ctx context.Context, name string) *Span {
+	return FromContext(ctx).Start(name)
+}
+
+// Child starts a span and returns both the span and a derived context
+// under which further spans nest inside it.
+func Child(ctx context.Context, name string) (*Span, context.Context) {
+	sp := FromContext(ctx).Start(name)
+	if sp == nil {
+		return nil, ctx
+	}
+	return sp, context.WithValue(ctx, ctxKey{}, sp.Ctx())
+}

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var c *Ctx
+	if c.TraceID() != 0 || c.SpanID() != 0 || c.Recorder() != nil {
+		t.Fatal("nil Ctx accessors not zero")
+	}
+	sp := c.Start("x").WithArg("k", 1)
+	if sp != nil {
+		t.Fatal("nil Ctx.Start returned a span")
+	}
+	sp.End()         // must not panic
+	_ = sp.Ctx()     // must not panic
+	if c.Import(nil) != 0 {
+		t.Fatal("nil Ctx.Import imported")
+	}
+	ctx := NewContext(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Fatal("nil Ctx attached to context")
+	}
+	Start(ctx, "y").End()
+	if s, c2 := Child(ctx, "z"); s != nil || c2 != ctx {
+		t.Fatal("Child on untraced context not inert")
+	}
+}
+
+// TestDisabledTracingAllocs enforces the "free when disabled" contract: a
+// context without a trace makes Start/End allocation-free.
+func TestDisabledTracingAllocs(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		Start(ctx, "vc.commit").End()
+	}); n != 0 {
+		t.Fatalf("disabled Start/End allocates %v allocs/op, want 0", n)
+	}
+	var c *Ctx
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Start("vc.commit").WithArg("i", 1).End()
+	}); n != 0 {
+		t.Fatalf("nil-Ctx Start/End allocates %v allocs/op, want 0", n)
+	}
+}
+
+func TestSpanTreeAndContext(t *testing.T) {
+	rec := NewRecorder(64)
+	tc := New(rec, "verifier")
+	if tc.TraceID() == 0 {
+		t.Fatal("zero trace id")
+	}
+	ctx := NewContext(context.Background(), tc)
+
+	root, ctx2 := Child(ctx, "vc.batch")
+	child := Start(ctx2, "vc.setup")
+	child.WithArg("n", 7).End()
+	root.End()
+
+	recs := rec.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	rb, ok1 := byName["vc.batch"]
+	rs, ok2 := byName["vc.setup"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing spans: %+v", recs)
+	}
+	if rb.Parent != 0 {
+		t.Fatalf("root parent = %d", rb.Parent)
+	}
+	if rs.Parent != rb.Span {
+		t.Fatalf("child parent = %x, want %x", rs.Parent, rb.Span)
+	}
+	if rb.Trace != tc.TraceID() || rs.Trace != tc.TraceID() {
+		t.Fatal("trace id not inherited")
+	}
+	if rb.Proc != "verifier" {
+		t.Fatalf("proc = %q", rb.Proc)
+	}
+	if len(rs.Args) != 1 || rs.Args[0] != (Arg{"n", 7}) {
+		t.Fatalf("args = %v", rs.Args)
+	}
+}
+
+func TestJoinAndImport(t *testing.T) {
+	vrec := NewRecorder(64)
+	tc := New(vrec, "verifier")
+	root := tc.Start("transport.session")
+	root.End()
+
+	// Peer side: joins with the wire-propagated ids, records, ships back.
+	prec := NewRecorder(64)
+	pc := Join(prec, tc.TraceID(), root.id, "prover")
+	psp := pc.Start("prover.commit")
+	psp.End()
+	shipped := prec.Snapshot()
+
+	// A record from a different trace must be dropped on import.
+	shipped = append(shipped, Record{Trace: tc.TraceID() + 1, Span: 99, Name: "rogue"})
+	if n := tc.Import(shipped); n != 1 {
+		t.Fatalf("imported %d, want 1", n)
+	}
+	recs := vrec.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.Name == "rogue" {
+			t.Fatal("rogue record imported")
+		}
+		if r.Name == "prover.commit" && r.Parent != recs[0].Span && r.Parent == 0 {
+			t.Fatal("imported span lost its parent")
+		}
+	}
+	if Join(prec, 0, 0, "prover") != nil {
+		t.Fatal("Join with zero trace id must disable tracing")
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	rec := NewRecorder(16)
+	tc := New(rec, "p")
+	for i := 0; i < 40; i++ {
+		tc.Start("s").End()
+	}
+	if got := rec.Len(); got != 16 {
+		t.Fatalf("Len = %d, want 16", got)
+	}
+	if got := rec.Dropped(); got != 24 {
+		t.Fatalf("Dropped = %d, want 24", got)
+	}
+	if got := len(rec.Snapshot()); got != 16 {
+		t.Fatalf("Snapshot len = %d, want 16", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(256)
+	tc := New(rec, "p")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tc.Start("s").WithArg("i", int64(i)).End()
+				if i%16 == 0 {
+					_ = rec.Snapshot() // concurrent reader
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if rec.Dropped() != 8*200-256 {
+		t.Fatalf("Dropped = %d", rec.Dropped())
+	}
+	seen := map[SpanID]bool{}
+	for _, r := range rec.Snapshot() {
+		if seen[r.Span] {
+			t.Fatalf("duplicate span id %x", r.Span)
+		}
+		seen[r.Span] = true
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	rec := NewRecorder(64)
+	tc := New(rec, "verifier")
+	root, ctx := Child(NewContext(context.Background(), tc), "vc.batch")
+	a := Start(ctx, "vc.commit")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := Start(ctx, "vc.respond")
+	b.End()
+	root.End()
+	// A prover-side record under the same trace.
+	rec.Import(tc.TraceID(), []Record{{
+		Trace: tc.TraceID(), Span: 42, Parent: root.id,
+		Name: "prover.commit", Proc: "prover",
+		Start: time.Now().UnixNano(), Dur: 1000,
+	}})
+
+	var sb strings.Builder
+	if err := WriteChrome(&sb, rec.Snapshot(), map[string]any{"beta": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Summary     map[string]any   `json:"zaatarSummary"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.Summary["beta"] != float64(1) {
+		t.Fatalf("summary not embedded: %v", file.Summary)
+	}
+	names := map[string]int{}
+	pids := map[string]float64{}
+	for _, ev := range file.TraceEvents {
+		names[ev["name"].(string)]++
+		if ev["ph"] == "X" {
+			pids[ev["name"].(string)] = ev["pid"].(float64)
+		}
+	}
+	for _, want := range []string{"process_name", "vc.batch", "vc.commit", "vc.respond", "prover.commit"} {
+		if names[want] == 0 {
+			t.Fatalf("export missing event %q; have %v", want, names)
+		}
+	}
+	if pids["vc.batch"] == pids["prover.commit"] {
+		t.Fatal("verifier and prover share a pid")
+	}
+}
+
+func TestAssignLanesNesting(t *testing.T) {
+	// parent [0,100]; serial children [10,20], [30,40] share its lane;
+	// overlapping sibling [15,25] spills to a second lane.
+	recs := []Record{
+		{Span: 1, Parent: 0, Name: "p", Start: 0, Dur: 100},
+		{Span: 2, Parent: 1, Name: "a", Start: 10, Dur: 10},
+		{Span: 3, Parent: 1, Name: "b", Start: 15, Dur: 10},
+		{Span: 4, Parent: 1, Name: "c", Start: 30, Dur: 10},
+	}
+	lanes := assignLanes(recs)
+	if lanes[0] != 0 || lanes[1] != 0 {
+		t.Fatalf("parent/first child lanes = %v", lanes)
+	}
+	if lanes[2] == 0 {
+		t.Fatalf("overlapping sibling not spilled: %v", lanes)
+	}
+	if lanes[3] != 0 {
+		t.Fatalf("serial child did not rejoin parent lane: %v", lanes)
+	}
+}

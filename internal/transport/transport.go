@@ -29,6 +29,7 @@ import (
 	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
 	"zaatar/internal/obs"
+	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
 	"zaatar/internal/vc"
 )
@@ -73,6 +74,13 @@ type Hello struct {
 	Ginger       bool
 	RhoLin, Rho  int
 	NoCommitment bool
+
+	// Trace and TraceParent propagate the verifier's trace context so the
+	// prover's spans land in the same trace (under the verifier's session
+	// span). Zero values — also what a pre-tracing peer sends, since gob
+	// omits absent and zero fields — leave tracing off for the session.
+	Trace       trace.TraceID
+	TraceParent trace.SpanID
 }
 
 // Sanity bounds on Hello fields; beyond these the message is malformed
@@ -119,10 +127,14 @@ type DecommitMsg struct {
 	Req *vc.DecommitRequest
 }
 
-// ResponsesMsg returns the per-instance query answers.
+// ResponsesMsg returns the per-instance query answers. When the session is
+// traced, Trace carries the prover's completed spans back to the verifier,
+// which stitches them into its own timeline; peers that predate the field
+// simply leave it empty.
 type ResponsesMsg struct {
 	Err   string
 	Items []*vc.Response
+	Trace []trace.Record
 }
 
 // SessionResult is the verifier-side outcome.
@@ -254,7 +266,21 @@ func ServeConn(ctx context.Context, conn net.Conn, opts ServerOptions) (err erro
 		_ = cc.send(HelloAck{Err: err.Error()})
 		return err
 	}
+	// Join the verifier's trace, if it sent one, recording into a
+	// per-session ring; the records go back with the final message. With a
+	// zero Trace (older client, or tracing off) tc is nil and every span
+	// below is a free no-op.
+	var tc *trace.Ctx
+	if hello.Trace != 0 {
+		tc = trace.Join(trace.NewRecorder(trace.DefaultCapacity), hello.Trace, hello.TraceParent, "prover")
+	}
+	sessTr := tc.Start("transport.serve")
+	defer sessTr.End()
+	ctx = trace.NewContext(ctx, sessTr.Ctx())
+
+	compileTr := trace.Start(ctx, "prover.compile")
 	prog, err := compiler.Compile(hello.fieldOf(), hello.Source)
+	compileTr.End()
 	if err != nil {
 		_ = cc.send(HelloAck{Err: err.Error()})
 		return err
@@ -293,8 +319,13 @@ func ServeConn(ctx context.Context, conn net.Conn, opts ServerOptions) (err erro
 	prover.SetKernelWorkers(workers / n)
 	states := make([]*vc.InstanceState, n)
 	cms := CommitmentsMsg{Items: make([]*vc.Commitment, n)}
+	commitTr, commitCtx := trace.Child(ctx, "vc.commit")
+	defer commitTr.End()
 	if err := vc.ForEach(ctx, n, workers, func(i int) error {
-		cm, st, err := prover.Commit(ctx, batch.Instances[i])
+		isp, ictx := trace.Child(commitCtx, "prover.commit")
+		isp.WithArg("instance", int64(i))
+		defer isp.End()
+		cm, st, err := prover.Commit(ictx, batch.Instances[i])
 		if err != nil {
 			return fmt.Errorf("instance %d: %w", i, err)
 		}
@@ -304,12 +335,18 @@ func ServeConn(ctx context.Context, conn net.Conn, opts ServerOptions) (err erro
 		_ = cc.send(CommitmentsMsg{Err: err.Error()})
 		return err
 	}
+	commitTr.End()
 	if err := cc.send(cms); err != nil {
 		return err
 	}
 
+	// The wait for the decommit is the verifier's barrier plus one
+	// round-trip; it shows up as its own span so wire stalls are visible.
+	awaitTr := trace.Start(ctx, "wire.await_decommit")
 	var decommit DecommitMsg
-	if err := cc.recv(&decommit); err != nil {
+	err = cc.recv(&decommit)
+	awaitTr.End()
+	if err != nil {
 		return fmt.Errorf("transport: reading decommit: %w", err)
 	}
 	if err := prover.HandleDecommit(decommit.Req); err != nil {
@@ -317,7 +354,11 @@ func ServeConn(ctx context.Context, conn net.Conn, opts ServerOptions) (err erro
 		return err
 	}
 	resp := ResponsesMsg{Items: make([]*vc.Response, n)}
+	respondTr, respondCtx := trace.Child(ctx, "vc.respond")
+	defer respondTr.End()
 	if err := vc.ForEach(ctx, n, workers, func(i int) error {
+		isp := trace.Start(respondCtx, "prover.respond").WithArg("instance", int64(i))
+		defer isp.End()
 		r, err := prover.Respond(ctx, states[i])
 		if err != nil {
 			return fmt.Errorf("instance %d: %w", i, err)
@@ -328,7 +369,14 @@ func ServeConn(ctx context.Context, conn net.Conn, opts ServerOptions) (err erro
 		_ = cc.send(ResponsesMsg{Err: err.Error()})
 		return err
 	}
+	respondTr.End()
 	reg.Counter(MetricServedInstance).Add(int64(n))
+	// Close the session span before snapshotting: unfinished spans are
+	// never recorded, and the verifier imports exactly what we ship here.
+	sessTr.End()
+	if tc != nil {
+		resp.Trace = tc.Recorder().Snapshot()
+	}
 	return cc.send(resp)
 }
 
@@ -394,15 +442,27 @@ func RunSessionDistributed(ctx context.Context, conns []net.Conn, hello Hello, o
 		span.End()
 		err = ctxErr(ctx, err)
 	}()
+	// Root the session's trace (if the caller attached one) and stamp its
+	// identifiers into the hello so the provers' spans join this trace.
+	sessTr, ctx := trace.Child(ctx, "transport.session")
+	sessTr.WithArg("provers", int64(len(conns))).WithArg("instances", int64(len(batch)))
+	defer sessTr.End()
+	tc := trace.FromContext(ctx)
+	hello.Trace = tc.TraceID()
+	hello.TraceParent = tc.SpanID()
 
+	compileTr := trace.Start(ctx, "verifier.compile")
 	prog, err := compiler.Compile(hello.fieldOf(), hello.Source)
+	compileTr.End()
 	if err != nil {
 		return nil, err
 	}
 	cfg := hello.config(0, opts.Seed)
 	cfg.Group = opts.Group
 	cfg.Obs = opts.Obs
-	verifier, err := vc.NewVerifier(prog, cfg)
+	setupTr, setupCtx := trace.Child(ctx, "vc.setup")
+	verifier, err := vc.NewVerifierCtx(setupCtx, prog, cfg)
+	setupTr.End()
 	if err != nil {
 		return nil, err
 	}
@@ -426,6 +486,7 @@ func RunSessionDistributed(ctx context.Context, conns []net.Conn, hello Hello, o
 	// commitments before revealing anything further (the soundness
 	// barrier).
 	req := verifier.Setup()
+	commitTr := trace.Start(ctx, "wire.commit_exchange")
 	for _, leg := range legs {
 		if err := leg.cc.send(hello); err != nil {
 			return nil, err
@@ -457,12 +518,16 @@ func RunSessionDistributed(ctx context.Context, conns []net.Conn, hello Hello, o
 		}
 		leg.cms = cms.Items
 	}
+	commitTr.End()
 
 	// Stage 2: decommit to every prover, collect responses.
+	decommitTr := trace.Start(ctx, "vc.decommit")
 	dreq, err := verifier.Decommit()
+	decommitTr.End()
 	if err != nil {
 		return nil, err
 	}
+	respondTr := trace.Start(ctx, "wire.respond_exchange")
 	for _, leg := range legs {
 		if err := leg.cc.send(DecommitMsg{Req: dreq}); err != nil {
 			return nil, err
@@ -480,7 +545,11 @@ func RunSessionDistributed(ctx context.Context, conns []net.Conn, hello Hello, o
 			return nil, errors.New("transport: response count mismatch")
 		}
 		leg.resps = resp.Items
+		// Stitch this prover's spans into our timeline (records from any
+		// other trace are dropped by Import).
+		tc.Import(resp.Trace)
 	}
+	respondTr.End()
 
 	// Stage 3: verify everything — in parallel over opts.Workers; the
 	// verifier's state is read-only after Decommit.
@@ -500,7 +569,11 @@ func RunSessionDistributed(ctx context.Context, conns []net.Conn, hello Hello, o
 		Reasons:  make([]string, len(items)),
 		Outputs:  make([][]*big.Int, len(items)),
 	}
+	verifyTr, verifyCtx := trace.Child(ctx, "vc.verify_stage")
+	defer verifyTr.End()
 	if err := vc.ForEach(ctx, len(items), opts.Workers, func(i int) error {
+		vsp := trace.Start(verifyCtx, "vc.verify").WithArg("instance", int64(i))
+		defer vsp.End()
 		ok, reason := verifier.VerifyInstance(ctx, items[i].in, items[i].cm, items[i].resp)
 		out.Accepted[i] = ok
 		out.Reasons[i] = reason
@@ -509,5 +582,6 @@ func RunSessionDistributed(ctx context.Context, conns []net.Conn, hello Hello, o
 	}); err != nil {
 		return nil, err
 	}
+	verifyTr.End()
 	return out, nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"zaatar/internal/compiler"
+	"zaatar/internal/obs/trace"
 )
 
 // BatchMetrics is the structured per-phase measurement record for one
@@ -123,9 +124,16 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 	}
 	reg := cfg.registry()
 	batchSpan := reg.StartSpan(MetricSpanBatch)
+	// If the caller's context carries a trace, every phase, per-instance
+	// step, and kernel call below becomes a span under one batch root.
+	// With no trace attached all of this is nil no-ops (zero allocations).
+	batchTr, ctx := trace.Child(ctx, "vc.batch")
+	batchTr.WithArg("instances", int64(len(inputs)))
+	defer batchTr.End()
 
 	setupSpan := reg.StartSpan(MetricSpanSetup)
-	verifier, err := NewVerifier(prog, cfg)
+	setupTr, setupCtx := trace.Child(ctx, "vc.setup")
+	verifier, err := NewVerifierCtx(setupCtx, prog, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -134,6 +142,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		return nil, err
 	}
 	prover.HandleCommitRequest(verifier.Setup())
+	setupTr.End()
 	setupSpan.End()
 
 	workers := cfg.Workers
@@ -160,8 +169,13 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 	// instance's commitment exists (binding; §2.2).
 	proverStart := time.Now()
 	commitSpan := reg.StartSpan(MetricSpanCommit)
+	commitTr, commitCtx := trace.Child(ctx, "vc.commit")
+	defer commitTr.End()
 	if err := ForEach(ctx, beta, workers, func(i int) error {
-		cm, st, err := prover.Commit(ctx, inputs[i])
+		isp, ictx := trace.Child(commitCtx, "prover.commit")
+		isp.WithArg("instance", int64(i))
+		defer isp.End()
+		cm, st, err := prover.Commit(ictx, inputs[i])
 		if err != nil {
 			return fmt.Errorf("instance %d: %w", i, err)
 		}
@@ -173,6 +187,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 	}); err != nil {
 		return nil, err
 	}
+	commitTr.End()
 	res.Metrics.Commit = commitSpan.End()
 
 	// Stage 2: the verifier reveals queries only after all commitments.
@@ -180,6 +195,8 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		testHookPreDecommit()
 	}
 	decommitSpan := reg.StartSpan(MetricSpanDecommit)
+	decommitTr := trace.Start(ctx, "vc.decommit")
+	defer decommitTr.End()
 	dec, err := verifier.Decommit()
 	if err != nil {
 		return nil, err
@@ -187,6 +204,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 	if err := prover.HandleDecommit(dec); err != nil {
 		return nil, err
 	}
+	decommitTr.End()
 	res.Metrics.Decommit = decommitSpan.End()
 
 	// Stages 3+4: answer queries and verify. The pipelined path streams
@@ -196,7 +214,11 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 	// respond everything, then verify in one loop — as an ablation and
 	// equivalence reference.
 	overlapStart := time.Now()
+	respondTr, respondCtx := trace.Child(ctx, "vc.respond")
+	defer respondTr.End()
 	respond := func(i int) error {
+		isp := trace.Start(respondCtx, "prover.respond").WithArg("instance", int64(i))
+		defer isp.End()
 		r, err := prover.Respond(ctx, states[i])
 		if err != nil {
 			return fmt.Errorf("instance %d: %w", i, err)
@@ -205,6 +227,8 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		return nil
 	}
 	verifyOne := func(i int) {
+		vsp := trace.Start(ctx, "vc.verify").WithArg("instance", int64(i))
+		defer vsp.End()
 		t0 := time.Now()
 		ok, reason := verifier.VerifyInstance(ctx, inputs[i], commitments[i], responses[i])
 		d := time.Since(t0)
@@ -220,6 +244,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		if err := ForEach(ctx, beta, workers, respond); err != nil {
 			return nil, err
 		}
+		respondTr.End()
 		res.Metrics.Respond = respondSpan.End()
 		res.Metrics.ProverWall = time.Since(proverStart)
 		for i := range inputs {
@@ -252,6 +277,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 				return ctx.Err()
 			}
 		})
+		respondTr.End()
 		res.Metrics.Respond = respondSpan.End()
 		res.Metrics.ProverWall = time.Since(proverStart)
 		close(ready)

@@ -9,6 +9,7 @@ import (
 	"zaatar/internal/commit"
 	"zaatar/internal/compiler"
 	"zaatar/internal/field"
+	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
 	"zaatar/internal/qap"
 )
@@ -96,6 +97,7 @@ func (p *Prover) Commit(ctx context.Context, inputs []*big.Int) (*Commitment, *I
 	f := p.Prog.Field
 
 	start := time.Now()
+	solveTr := trace.Start(ctx, "prover.solve")
 	var w []field.Element
 	var err error
 	if p.Cfg.Protocol == Zaatar {
@@ -103,17 +105,26 @@ func (p *Prover) Commit(ctx context.Context, inputs []*big.Int) (*Commitment, *I
 	} else {
 		cm.Output, w, err = p.Prog.SolveGinger(inputs)
 	}
+	solveTr.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	st.Times.Solve = time.Since(start)
 
+	// Construct the proof vector. For Zaatar the dominant work is the NTT
+	// polynomial division computing H(t); for Ginger it is the z⊗z tensor.
 	start = time.Now()
+	kernelName := "kernel.ntt.divide"
+	if p.Cfg.Protocol != Zaatar {
+		kernelName = "kernel.tensor"
+	}
+	buildTr := trace.Start(ctx, kernelName)
 	if p.Cfg.Protocol == Zaatar {
 		st.U1, st.U2, err = pcp.BuildProof(p.q, w)
 	} else {
 		st.U1, st.U2, err = pcp.BuildGingerProof(f, p.Prog.Ginger, w)
 	}
+	buildTr.WithArg("u1", int64(len(st.U1))).WithArg("u2", int64(len(st.U2))).End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -121,17 +132,26 @@ func (p *Prover) Commit(ctx context.Context, inputs []*big.Int) (*Commitment, *I
 
 	start = time.Now()
 	if len(p.req.EncR1) > 0 {
+		cryptoTr, cctx := trace.Child(ctx, "prover.crypto")
+		defer cryptoTr.End()
 		group := p.req.PK.Group
 		kw := p.kernelWorkers
 		if kw < 1 {
 			kw = 1
 		}
-		if cm.C1, err = commit.CommitParallel(group, f, p.req.EncR1, st.U1, kw); err != nil {
+		k1 := trace.Start(cctx, "kernel.multiexp").WithArg("n", int64(len(p.req.EncR1)))
+		cm.C1, err = commit.CommitParallel(group, f, p.req.EncR1, st.U1, kw)
+		k1.End()
+		if err != nil {
 			return nil, nil, err
 		}
-		if cm.C2, err = commit.CommitParallel(group, f, p.req.EncR2, st.U2, kw); err != nil {
+		k2 := trace.Start(cctx, "kernel.multiexp").WithArg("n", int64(len(p.req.EncR2)))
+		cm.C2, err = commit.CommitParallel(group, f, p.req.EncR2, st.U2, kw)
+		k2.End()
+		if err != nil {
 			return nil, nil, err
 		}
+		cryptoTr.End()
 	}
 	st.Times.Crypto = time.Since(start)
 	return cm, st, nil

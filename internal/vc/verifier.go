@@ -10,6 +10,7 @@ import (
 	"zaatar/internal/compiler"
 	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
+	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
 	"zaatar/internal/prg"
 	"zaatar/internal/qap"
@@ -44,12 +45,19 @@ type Verifier struct {
 // verifier's amortized per-batch setup — the "construct queries" rows of
 // Figure 3.
 func NewVerifier(prog *compiler.Program, cfg Config) (*Verifier, error) {
+	return NewVerifierCtx(context.Background(), prog, cfg)
+}
+
+// NewVerifierCtx is NewVerifier with a context, so a trace attached to ctx
+// decomposes setup into query construction and commitment-key generation.
+func NewVerifierCtx(ctx context.Context, prog *compiler.Program, cfg Config) (*Verifier, error) {
 	start := time.Now()
 	v := &Verifier{Prog: prog, Cfg: cfg}
 	var err error
 	if v.seed, err = freshSeed(cfg); err != nil {
 		return nil, err
 	}
+	qTr := trace.Start(ctx, "verifier.queries")
 	if cfg.Protocol == Zaatar {
 		if v.q, err = qap.New(prog.Field, prog.Quad); err != nil {
 			return nil, err
@@ -63,6 +71,7 @@ func NewVerifier(prog *compiler.Program, cfg Config) (*Verifier, error) {
 	} else {
 		v.queries1, v.queries2 = v.ginger.Z1Queries, v.ginger.Z2Queries
 	}
+	qTr.End()
 
 	if !cfg.NoCommitment {
 		group, err := cfg.group(prog.Field)
@@ -80,10 +89,16 @@ func NewVerifier(prog *compiler.Program, cfg Config) (*Verifier, error) {
 		if kw < 1 {
 			kw = 1
 		}
-		if v.key1, err = commit.NewKeyParallel(prog.Field, group, v.sk, n1, krnd, kw); err != nil {
+		k1 := trace.Start(ctx, "kernel.fixedbase.encrypt_r").WithArg("n", int64(n1))
+		v.key1, err = commit.NewKeyParallel(prog.Field, group, v.sk, n1, krnd, kw)
+		k1.End()
+		if err != nil {
 			return nil, err
 		}
-		if v.key2, err = commit.NewKeyParallel(prog.Field, group, v.sk, n2, krnd, kw); err != nil {
+		k2 := trace.Start(ctx, "kernel.fixedbase.encrypt_r").WithArg("n", int64(n2))
+		v.key2, err = commit.NewKeyParallel(prog.Field, group, v.sk, n2, krnd, kw)
+		k2.End()
+		if err != nil {
 			return nil, err
 		}
 	}
