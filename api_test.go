@@ -1,0 +1,120 @@
+package zaatar
+
+import (
+	"context"
+	"math/big"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"zaatar/internal/obs"
+	"zaatar/internal/transport"
+)
+
+// TestServeAndDial exercises the whole public split deployment: Serve on a
+// TCP listener, Dial a client, push two batches over the kept-alive
+// session, close, cancel.
+func TestServeAndDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ln,
+			WithServerWorkers(2),
+			WithMaxSessions(4),
+			WithServerMetrics(reg),
+		)
+	}()
+
+	src := `input x : int32; output y : int32; y = x - 3;`
+	client, err := Dial(context.Background(), ln.Addr().String(), src,
+		WithParams(2, 2), WithoutCommitment(), WithSeed([]byte("dial")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if got := client.WireVersion(); got != 2 {
+		t.Fatalf("wire version %d, want 2", got)
+	}
+	if client.Program().NumInputs() != 1 {
+		t.Fatalf("program shape: %d inputs", client.Program().NumInputs())
+	}
+	for b, want := range []int64{7, -3} {
+		res, err := client.RunBatch(context.Background(), [][]*big.Int{{big.NewInt(want + 3)}})
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		if !res.AllAccepted() {
+			t.Fatalf("batch %d rejected: %v", b, res.Reasons)
+		}
+		if got := res.Outputs[0][0].Int64(); got != want {
+			t.Fatalf("batch %d output %d, want %d", b, got, want)
+		}
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if got := reg.Counter(transport.MetricServedBatches).Value(); got != 2 {
+		t.Fatalf("server batches = %d, want 2", got)
+	}
+}
+
+// TestDialBadAddress covers the error paths reachable without a server.
+func TestDialBadAddress(t *testing.T) {
+	if _, err := Dial(context.Background(), " , ", "input x : int32; output y : int32; y = x;"); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := Dial(ctx, "127.0.0.1:1", `input x : int32; output y : int32; y = x;`); err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+}
+
+// TestFieldMismatchRuntimeError is the documented runtime half of the
+// CompileOption/RunOption split: a field option passed to Run but not to
+// Compile fails loudly instead of being silently ignored.
+func TestFieldMismatchRuntimeError(t *testing.T) {
+	prog, err := Compile(`input x : int32; output y : int32; y = x + 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(prog, [][]*big.Int{{big.NewInt(1)}},
+		WithField220(), WithParams(1, 1), WithoutCommitment())
+	if err == nil {
+		t.Fatal("field mismatch between Compile and Run went undetected")
+	}
+	if !strings.Contains(err.Error(), "F220") || !strings.Contains(err.Error(), "F128") {
+		t.Fatalf("mismatch error should name both fields: %v", err)
+	}
+	if _, err := NewVerifier(prog, WithField220()); err == nil {
+		t.Fatal("NewVerifier accepted a mismatched field option")
+	}
+	if _, err := NewProver(prog, WithField220()); err == nil {
+		t.Fatal("NewProver accepted a mismatched field option")
+	}
+	// Passed consistently, the same option is fine.
+	prog220, err := Compile(`input x : int32; output y : int32; y = x + 1;`, WithField220())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog220, [][]*big.Int{{big.NewInt(1)}},
+		WithField220(), WithParams(1, 1), WithoutCommitment(), WithSeed([]byte("fm")))
+	if err != nil || !res.AllAccepted() {
+		t.Fatalf("matched field run failed: %v", err)
+	}
+}

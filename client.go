@@ -1,0 +1,112 @@
+package zaatar
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"net"
+	"strings"
+	"time"
+
+	"zaatar/internal/field"
+	"zaatar/internal/transport"
+	"zaatar/internal/vc"
+)
+
+// SessionResult is the verifier-side outcome of one batch run against a
+// remote prover: per-instance acceptance, rejection reasons, and claimed
+// outputs.
+type SessionResult = transport.SessionResult
+
+// ProtocolVersionError reports a wire protocol version this build does not
+// speak; errors.As with *ProtocolVersionError distinguishes it from other
+// dial failures.
+type ProtocolVersionError = transport.ProtocolVersionError
+
+// Client is the verifier side of a kept-alive session with one or more
+// prover servers. Dial negotiates the wire version and performs the
+// one-time session setup (compilation and commitment-key generation); each
+// RunBatch then proves and verifies one batch. Under wire protocol v2 all
+// batches share the connection, the server's cached program, and the
+// commitment key, so batches after the first pay almost no setup cost. A
+// Client is safe for sequential use; RunBatch calls are serialized.
+type Client struct {
+	sess *transport.Session
+}
+
+// Dial connects to a prover server (or several: addr may be a
+// comma-separated list, in which case every batch is split across the
+// provers — the paper's distributed prover, §5.1) and opens a session for
+// src. The protocol parameters come from opts; WithField220 must match how
+// the embedded source expects to be compiled, and server and client compile
+// the same source independently.
+func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, error) {
+	o := buildRunOptions(opts)
+	hello := transport.Hello{
+		Source:       src,
+		Field220:     o.field == field.F220(),
+		Ginger:       o.cfg.Protocol == vc.Ginger,
+		RhoLin:       o.cfg.Params.RhoLin,
+		Rho:          o.cfg.Params.Rho,
+		NoCommitment: o.cfg.NoCommitment,
+	}
+	copts := transport.ClientOptions{
+		Seed:      o.cfg.Seed,
+		Group:     o.cfg.Group,
+		Workers:   o.cfg.Workers,
+		IOTimeout: o.ioTo,
+		Obs:       o.cfg.Obs,
+	}
+	var dialer net.Dialer
+	var conns []net.Conn
+	for _, a := range strings.Split(addr, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		conn, err := dialer.DialContext(ctx, "tcp", a)
+		if err != nil {
+			for _, c := range conns {
+				_ = c.Close()
+			}
+			return nil, fmt.Errorf("zaatar: dialing %s: %w", a, err)
+		}
+		conns = append(conns, conn)
+	}
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("zaatar: no prover address in %q", addr)
+	}
+	sess, err := transport.NewSession(ctx, conns, hello, copts)
+	if err != nil {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		return nil, err
+	}
+	return &Client{sess: sess}, nil
+}
+
+// RunBatch proves and verifies one batch of instances against the session's
+// provers. The first batch carries the session's commit request; on a v2
+// session later batches reuse it and only redraw the query seed.
+func (c *Client) RunBatch(ctx context.Context, batch [][]*big.Int) (*SessionResult, error) {
+	return c.sess.RunBatch(ctx, batch)
+}
+
+// Program returns the client-side compilation of the session's source (for
+// io shape inspection).
+func (c *Client) Program() *Program { return c.sess.Program() }
+
+// WireVersion reports the negotiated wire protocol version (the minimum
+// across prover connections): 2 for keep-alive sessions, 1 when any peer
+// only speaks the legacy one-batch dialect.
+func (c *Client) WireVersion() int { return c.sess.WireVersion() }
+
+// SetupDuration reports the one-time verifier setup cost paid at Dial
+// (query construction plus commitment-key generation) — the amortized cost
+// that batching and keep-alive spread over many instances.
+func (c *Client) SetupDuration() time.Duration { return c.sess.SetupDuration() }
+
+// Close ends the session (v2 peers get a clean goodbye frame) and closes
+// every connection. Close is idempotent.
+func (c *Client) Close() error { return c.sess.Close() }

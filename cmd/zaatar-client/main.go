@@ -9,6 +9,10 @@
 // Several provers can share one batch (the paper's distributed prover):
 //
 //	zaatar-client -connect host1:7001,host2:7001 -src prog.zr -inputs "10; 20; 30; 40"
+//
+// With -batches N the same connection carries the batch N times (wire
+// protocol v2 keep-alive), printing the per-batch wall time — the first
+// batch pays the session setup, the rest amortize it away.
 package main
 
 import (
@@ -16,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"math/big"
-	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
@@ -24,8 +27,8 @@ import (
 	"strings"
 	"time"
 
+	"zaatar"
 	"zaatar/internal/obs/trace"
-	"zaatar/internal/transport"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func main() {
 		noCrypto = flag.Bool("nocrypto", false, "skip the ElGamal commitment")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
 		workers  = flag.Int("workers", 1, "verifier parallelism over per-instance checks")
+		batches  = flag.Int("batches", 1, "how many times to run the batch over the kept-alive session")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file covering both sides of the session")
 		pprofOn  = flag.String("pprof", "", "address to serve net/http/pprof on for the session's lifetime (empty disables)")
 	)
@@ -53,22 +57,6 @@ func main() {
 	batch, err := parseBatch(*inputs)
 	check(err)
 
-	var conns []net.Conn
-	for _, a := range strings.Split(*addr, ",") {
-		conn, err := net.Dial("tcp", strings.TrimSpace(a))
-		check(err)
-		defer conn.Close()
-		conns = append(conns, conn)
-	}
-
-	hello := transport.Hello{
-		Source:       string(src),
-		Field220:     *f220,
-		Ginger:       *ginger,
-		RhoLin:       *rhoLin,
-		Rho:          *rho,
-		NoCommitment: *noCrypto,
-	}
 	if *pprofOn != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
@@ -93,22 +81,53 @@ func main() {
 		tc = trace.New(trace.NewRecorder(trace.DefaultCapacity), "verifier")
 		ctx = trace.NewContext(ctx, tc)
 	}
-	copts := transport.ClientOptions{IOTimeout: *timeout, Workers: *workers}
-	res, err := transport.RunSessionDistributed(ctx, conns, hello, copts, batch)
+
+	opts := []zaatar.RunOption{
+		zaatar.WithParams(*rhoLin, *rho),
+		zaatar.WithWorkers(*workers),
+		zaatar.WithIOTimeout(*timeout),
+	}
+	if *f220 {
+		opts = append(opts, zaatar.WithField220())
+	}
+	if *ginger {
+		opts = append(opts, zaatar.WithGingerProtocol())
+	}
+	if *noCrypto {
+		opts = append(opts, zaatar.WithoutCommitment())
+	}
+	client, err := zaatar.Dial(ctx, *addr, string(src), opts...)
 	check(err)
+	defer client.Close()
+	fmt.Fprintf(os.Stderr, "zaatar-client: wire protocol v%d, session setup %v\n",
+		client.WireVersion(), client.SetupDuration().Round(time.Microsecond))
+
+	allOK := true
+	var res *zaatar.SessionResult
+	for b := 0; b < *batches; b++ {
+		start := time.Now()
+		res, err = client.RunBatch(ctx, batch)
+		check(err)
+		if *batches > 1 {
+			fmt.Fprintf(os.Stderr, "zaatar-client: batch %d/%d in %v\n",
+				b+1, *batches, time.Since(start).Round(time.Microsecond))
+		}
+		if !res.AllAccepted() {
+			allOK = false
+		}
+	}
+	check(client.Close())
 	if tc != nil {
 		check(writeTrace(*traceOut, tc))
 		fmt.Fprintf(os.Stderr, "zaatar-client: trace written to %s (%d spans, %d dropped)\n",
 			*traceOut, tc.Recorder().Len(), tc.Recorder().Dropped())
 	}
 
-	allOK := true
 	for i := range batch {
 		if res.Accepted[i] {
 			fmt.Printf("instance %d: ACCEPTED, outputs %v\n", i, res.Outputs[i])
 		} else {
 			fmt.Printf("instance %d: REJECTED (%s)\n", i, res.Reasons[i])
-			allOK = false
 		}
 	}
 	if !allOK {

@@ -51,7 +51,7 @@ func main() {
 	}
 	src, err := os.ReadFile(*srcPath)
 	check(err)
-	var opts []zaatar.Option
+	var opts []zaatar.CompileOption
 	if *f220 {
 		opts = append(opts, zaatar.WithField220())
 	}

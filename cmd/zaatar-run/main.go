@@ -71,8 +71,11 @@ func run() int {
 	src, err := os.ReadFile(*srcPath)
 	check(err)
 
-	var opts []zaatar.Option
+	// The field option shapes compilation and the run; the rest only the run.
+	var copts []zaatar.CompileOption
+	var opts []zaatar.RunOption
 	if *f220 {
+		copts = append(copts, zaatar.WithField220())
 		opts = append(opts, zaatar.WithField220())
 	}
 	if *quick {
@@ -86,7 +89,7 @@ func run() int {
 	}
 	opts = append(opts, zaatar.WithWorkers(*workers))
 
-	prog, err := zaatar.Compile(string(src), opts...)
+	prog, err := zaatar.Compile(string(src), copts...)
 	check(err)
 
 	batch, err := parseBatch(*inputs, prog.NumInputs())

@@ -1,6 +1,10 @@
-// Command zaatar-server runs a prover that accepts verifier sessions over
-// TCP: each session receives a computation and a batch of inputs, executes
-// them, and produces the verified-computation argument.
+// Command zaatar-server runs a long-lived multi-tenant prover service that
+// accepts verifier sessions over TCP: each session receives a computation
+// and batches of inputs, executes them, and produces the
+// verified-computation argument. Compiled programs are cached across
+// sessions (-cache), concurrent sessions share the kernel pool under a
+// bounded admission semaphore (-maxsessions), and wire protocol v2 lets one
+// connection carry many batches.
 //
 // The server installs a per-message I/O deadline on every connection
 // (-timeout), drains in-flight sessions on SIGINT/SIGTERM before exiting,
@@ -11,7 +15,7 @@
 //
 // Usage:
 //
-//	zaatar-server -listen :7001 -workers 8 -timeout 2m -metrics :7002 -pprof
+//	zaatar-server -listen :7001 -workers 8 -maxsessions 16 -timeout 2m -metrics :7002 -pprof
 package main
 
 import (
@@ -26,25 +30,26 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"sync"
 	"syscall"
 	"time"
 
+	"zaatar"
 	"zaatar/internal/obs"
-	"zaatar/internal/transport"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":7001", "address to listen on")
-		workers  = flag.Int("workers", runtime.NumCPU(), "prover worker pool size per session")
-		maxBatch = flag.Int("maxbatch", 4096, "maximum batch size per session")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
-		metrics  = flag.String("metrics", "", "address for the HTTP metrics endpoint (empty disables)")
-		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -metrics address")
-		drain    = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight sessions on shutdown")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (covers the whole server lifetime)")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on shutdown")
+		listen      = flag.String("listen", ":7001", "address to listen on")
+		workers     = flag.Int("workers", runtime.NumCPU(), "service-wide prover worker pool, shared by admitted sessions")
+		maxSessions = flag.Int("maxsessions", 16, "how many sessions may compute concurrently")
+		maxBatch    = flag.Int("maxbatch", 4096, "maximum batch size per session")
+		cacheSize   = flag.Int("cache", 32, "compiled programs kept in the cross-session LRU")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
+		metrics     = flag.String("metrics", "", "address for the HTTP metrics endpoint (empty disables)")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -metrics address")
+		drain       = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight sessions on shutdown")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file (covers the whole server lifetime)")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on shutdown")
 	)
 	flag.Parse()
 
@@ -101,10 +106,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("zaatar-server: %v", err)
 	}
-	fmt.Printf("zaatar-server: proving on %s (%d workers)\n", ln.Addr(), *workers)
+	fmt.Printf("zaatar-server: proving on %s (%d workers, %d sessions, cache %d)\n",
+		ln.Addr(), *workers, *maxSessions, *cacheSize)
 
 	// SIGINT/SIGTERM: stop accepting, cancel the session context after the
-	// drain window, exit once every in-flight session has returned.
+	// drain window; Serve returns once every in-flight session has drained.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	sigs := make(chan os.Signal, 1)
@@ -116,29 +122,16 @@ func main() {
 		time.AfterFunc(*drain, cancel)
 	}()
 
-	opts := transport.ServerOptions{
-		Workers:   *workers,
-		MaxBatch:  *maxBatch,
-		IOTimeout: *timeout,
-		Obs:       reg,
+	if err := zaatar.Serve(ctx, ln,
+		zaatar.WithServerWorkers(*workers),
+		zaatar.WithMaxSessions(*maxSessions),
+		zaatar.WithMaxBatch(*maxBatch),
+		zaatar.WithProgramCacheSize(*cacheSize),
+		zaatar.WithServerIOTimeout(*timeout),
+		zaatar.WithServerMetrics(reg),
+		zaatar.WithServerLogf(log.Printf),
+	); err != nil {
+		log.Fatalf("zaatar-server: %v", err)
 	}
-	var sessions sync.WaitGroup
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			break // listener closed by the signal handler
-		}
-		sessions.Add(1)
-		go func(c net.Conn) {
-			defer sessions.Done()
-			log.Printf("zaatar-server: session from %s", c.RemoteAddr())
-			if err := transport.ServeConn(ctx, c, opts); err != nil {
-				log.Printf("zaatar-server: session from %s failed: %v", c.RemoteAddr(), err)
-				return
-			}
-			log.Printf("zaatar-server: session from %s complete", c.RemoteAddr())
-		}(conn)
-	}
-	sessions.Wait()
 	log.Printf("zaatar-server: drained, exiting")
 }

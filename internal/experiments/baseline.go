@@ -14,8 +14,10 @@ import (
 )
 
 // BaselineSchema versions the BENCH_<date>.json layout; bump it when the
-// shape changes so downstream comparisons can tell files apart.
-const BaselineSchema = 1
+// shape changes so downstream comparisons can tell files apart. Schema 2
+// added the cache-amortization section (cold vs warm session setup and the
+// batches-per-connection curve).
+const BaselineSchema = 2
 
 // Baseline is the machine-readable benchmark snapshot zaatar-bench -json
 // emits: per-phase wall times and latency percentiles for each §5
@@ -41,6 +43,11 @@ type Baseline struct {
 	Benchmarks []BaselineBench          `json:"benchmarks"`
 	Phases     map[string]PhaseQuantile `json:"phases"`
 	Kernels    map[string]KernelStats   `json:"kernels"`
+
+	// Cache is the program-cache / keep-alive amortization experiment
+	// (schema ≥ 2): cold vs warm session setup against a transport.Service
+	// and the batches-per-connection curve.
+	Cache *CacheResult `json:"cache,omitempty"`
 }
 
 // BaselineBench is one benchmark's measured batch.
@@ -171,6 +178,12 @@ func RunBaseline(o Options, beta int) (*Baseline, error) {
 		}
 		b.Kernels["elgamal.multiexp"] = ks
 	}
+
+	cache, err := RunCache(o, beta)
+	if err != nil {
+		return nil, err
+	}
+	b.Cache = cache
 	return b, nil
 }
 
@@ -206,5 +219,9 @@ func RenderBaseline(w io.Writer, b *Baseline) {
 	for name, k := range b.Kernels {
 		fmt.Fprintf(w, "\nkernel %s: %d calls, %d items, %.0f items/s, avg call %.2fms (p90 %.2fms)\n",
 			name, k.Calls, k.Items, k.ItemsPerSec, k.AvgCallMs, k.P90CallMs)
+	}
+	if b.Cache != nil {
+		fmt.Fprintln(w)
+		RenderCache(w, b.Cache)
 	}
 }

@@ -210,6 +210,38 @@ func TestRunModel(t *testing.T) {
 	}
 }
 
+func TestRunCache(t *testing.T) {
+	r, err := RunCache(quickOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheMisses != 1 {
+		t.Errorf("cache misses = %d, want 1 (one compile for the whole experiment)", r.CacheMisses)
+	}
+	if r.CacheHits < 5 {
+		t.Errorf("cache hits = %d, want ≥ 5 (every session after the first)", r.CacheHits)
+	}
+	if r.ColdSetupMs <= 0 || r.WarmSetupMs <= 0 {
+		t.Errorf("setup walls not measured: cold %v warm %v", r.ColdSetupMs, r.WarmSetupMs)
+	}
+	if len(r.Curve) != 4 {
+		t.Fatalf("curve has %d points, want 4", len(r.Curve))
+	}
+	for _, pt := range r.Curve {
+		if pt.AmortizedMs <= 0 || pt.FirstBatchMs <= 0 {
+			t.Errorf("batches=%d: missing walls: %+v", pt.Batches, pt)
+		}
+		if pt.Batches > 1 && pt.MeanLaterMs <= 0 {
+			t.Errorf("batches=%d: later-batch mean not measured", pt.Batches)
+		}
+	}
+	var buf bytes.Buffer
+	RenderCache(&buf, r)
+	if !strings.Contains(buf.String(), "batches/conn") || !strings.Contains(buf.String(), "LRU hit") {
+		t.Error("render missing amortization table")
+	}
+}
+
 func TestScales(t *testing.T) {
 	for _, s := range []Scale{ScaleSmall, ScaleDefault, ScalePaper} {
 		if got := len(Benchmarks(s)); got != 5 {

@@ -1,0 +1,399 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zaatar/internal/obs"
+	"zaatar/internal/obs/trace"
+	"zaatar/internal/vc"
+)
+
+// ServiceOptions configures a long-lived multi-tenant prover Service.
+type ServiceOptions struct {
+	// Workers is the service-wide kernel pool: the total parallelism shared
+	// by every admitted session. Each session gets Workers divided by the
+	// number of currently admitted sessions (at least 1), so N concurrent
+	// clients share the machine instead of each oversubscribing it.
+	// Defaults to runtime.NumCPU().
+	Workers int
+	// MaxSessions bounds how many sessions may compute concurrently; the
+	// rest wait in admission (recorded in transport.admission.wait). A v2
+	// keep-alive connection holds its slot only while a batch is in flight,
+	// not while idle between batches. Defaults to 16.
+	MaxSessions int
+	// MaxBatch bounds the number of instances a client may submit per
+	// batch. Defaults to 1<<16.
+	MaxBatch int
+	// IOTimeout, when positive, is the per-message read/write deadline on
+	// every connection. It also bounds how long an idle keep-alive
+	// connection may sit between batches.
+	IOTimeout time.Duration
+	// CacheSize is the number of compiled programs kept in the LRU shared
+	// across sessions. Defaults to 32.
+	CacheSize int
+	// Obs receives the service's counters and spans; nil uses
+	// obs.Default().
+	Obs *obs.Registry
+	// Logf, when non-nil, receives one line per failed session from Serve's
+	// accept loop.
+	Logf func(format string, args ...any)
+}
+
+// Service is a long-lived multi-tenant prover: it owns a cross-session LRU
+// of compiled programs (so repeat sessions for the same Ψ skip compilation
+// and QAP preprocessing) and a bounded admission semaphore (so concurrent
+// sessions share the kernel pool fairly). It speaks wire protocol v2 —
+// multiple batches per connection, reusing the negotiated program and
+// commitment key — and falls back to v1 transparently for legacy peers.
+type Service struct {
+	workers     int
+	maxSessions int
+	maxBatch    int
+	ioTimeout   time.Duration
+	logf        func(format string, args ...any)
+
+	reg    *obs.Registry
+	sem    chan struct{}
+	active atomic.Int64
+
+	mu    sync.Mutex
+	cache *programCache
+}
+
+// NewService builds a Service; zero option fields take the documented
+// defaults.
+func NewService(opts ServiceOptions) *Service {
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	maxSessions := opts.MaxSessions
+	if maxSessions < 1 {
+		maxSessions = 16
+	}
+	maxBatch := opts.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 1 << 16
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize < 1 {
+		cacheSize = 32
+	}
+	return &Service{
+		workers:     workers,
+		maxSessions: maxSessions,
+		maxBatch:    maxBatch,
+		ioTimeout:   opts.IOTimeout,
+		logf:        opts.Logf,
+		reg:         reg,
+		sem:         make(chan struct{}, maxSessions),
+		cache:       newProgramCache(cacheSize, reg),
+	}
+}
+
+// Serve accepts connections on ln and serves each in its own goroutine
+// until ctx is cancelled or the listener is closed, then waits for the
+// in-flight sessions to drain. Per-session failures are reported through
+// ServiceOptions.Logf, not returned.
+func (s *Service) Serve(ctx context.Context, ln net.Listener) error {
+	defer context.AfterFunc(ctx, func() { _ = ln.Close() })()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.ServeConn(ctx, conn); err != nil && s.logf != nil {
+				s.logf("session %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// admit blocks until a service-wide session slot is free (or ctx is
+// cancelled) and returns the per-session worker count: the kernel pool
+// divided by the sessions now computing.
+func (s *Service) admit(ctx context.Context) (int, error) {
+	span := s.reg.StartSpan(MetricAdmissionWait)
+	tr := trace.Start(ctx, "transport.admission_wait")
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		tr.End()
+		span.End()
+		return 0, ctx.Err()
+	}
+	tr.End()
+	span.End()
+	active := int(s.active.Add(1))
+	s.reg.Counter(MetricAdmissionActive).Inc()
+	w := s.workers / active
+	if w < 1 {
+		w = 1
+	}
+	return w, nil
+}
+
+func (s *Service) releaseSlot() {
+	s.active.Add(-1)
+	s.reg.Counter(MetricAdmissionActive).Add(-1)
+	<-s.sem
+}
+
+// program resolves the session's compiled program and prover
+// precomputation through the shared LRU. Exactly one session builds each
+// entry; concurrent sessions for the same program wait for that build. The
+// prover.compile trace span exists only on the building (miss) path.
+func (s *Service) program(ctx context.Context, hello Hello) (*cacheEntry, error) {
+	key := keyOf(hello)
+	s.mu.Lock()
+	entry, build := s.cache.lookup(key)
+	s.mu.Unlock()
+	if build {
+		entry.build(ctx, hello)
+		if entry.err != nil {
+			s.mu.Lock()
+			s.cache.drop(key, entry)
+			s.mu.Unlock()
+		}
+	}
+	if err := entry.await(ctx); err != nil {
+		return nil, err
+	}
+	return entry, nil
+}
+
+// disconnected reports a peer hangup, which after at least one completed
+// batch is a clean end of a v2 keep-alive session rather than an error.
+func disconnected(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed)
+}
+
+// ServeConn handles one verifier connection: negotiate the wire version,
+// resolve the program through the cache, then serve batches until the
+// session ends (one batch under v1; until a Close frame or hangup under
+// v2). The admission slot is held only while a batch — or the initial
+// compile — is in flight; an idle keep-alive connection does not count
+// against MaxSessions.
+func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
+	defer conn.Close()
+	defer watch(ctx, conn)()
+	s.reg.Counter(MetricSessions).Inc()
+	span := s.reg.StartSpan(MetricSpanSession)
+	defer func() {
+		span.End()
+		err = ctxErr(ctx, err)
+		if err != nil {
+			s.reg.Counter(MetricSessionErrors).Inc()
+		}
+	}()
+	cc := newTimedCodec(conn, s.ioTimeout)
+
+	var hello Hello
+	if err := cc.recv(&hello); err != nil {
+		return fmt.Errorf("transport: reading hello: %w", err)
+	}
+	if err := hello.validate(); err != nil {
+		_ = cc.send(HelloAck{Err: err.Error(), Version: MaxProtocolVersion})
+		return err
+	}
+	version := hello.version() // ≤ MaxProtocolVersion after validate
+
+	// Join the verifier's trace, if it sent one, recording into a
+	// per-session ring; completed spans ship back with every ResponsesMsg.
+	// With a zero Trace (older client, or tracing off) tc is nil and every
+	// span below is a free no-op.
+	var tc *trace.Ctx
+	if hello.Trace != 0 {
+		tc = trace.Join(trace.NewRecorder(trace.DefaultCapacity), hello.Trace, hello.TraceParent, "prover")
+	}
+	sessTr := tc.Start("transport.serve")
+	sessEnded := false
+	defer sessTr.End()
+	ctx = trace.NewContext(ctx, sessTr.Ctx())
+
+	// Admission covers the compile and the first batch; between later
+	// batches the slot is released so idle connections don't starve others.
+	workers, err := s.admit(ctx)
+	if err != nil {
+		return err
+	}
+	admitted := true
+	defer func() {
+		if admitted {
+			s.releaseSlot()
+		}
+	}()
+
+	entry, err := s.program(ctx, hello)
+	if err != nil {
+		_ = cc.send(HelloAck{Err: err.Error(), Version: version})
+		return err
+	}
+	prog := entry.prog
+	prover, err := vc.NewProverPre(prog, hello.config(workers, nil), entry.pre)
+	if err != nil {
+		_ = cc.send(HelloAck{Err: err.Error(), Version: version})
+		return err
+	}
+	ack := HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs(), Version: version}
+	if err := cc.send(ack); err != nil {
+		return err
+	}
+
+	// shipped indexes into the trace ring: each ResponsesMsg carries only
+	// the records completed since the previous one, so the verifier never
+	// imports a span twice. The serve span is closed before the first
+	// snapshot — unfinished spans are never recorded, and the verifier
+	// imports exactly what ships; later batches' spans still join the trace
+	// under its (completed) span ID.
+	shipped := 0
+	ship := func() []trace.Record {
+		if !sessEnded {
+			sessTr.End()
+			sessEnded = true
+		}
+		if tc == nil {
+			return nil
+		}
+		recs := tc.Recorder().Snapshot()
+		if shipped > len(recs) {
+			shipped = len(recs) // ring dropped older records
+		}
+		out := recs[shipped:]
+		shipped = len(recs)
+		return out
+	}
+
+	for batches := 0; ; batches++ {
+		var batch BatchMsg
+		if err := cc.recv(&batch); err != nil {
+			if batches > 0 && disconnected(err) && ctx.Err() == nil {
+				return nil // keep-alive peer hung up between batches: clean end
+			}
+			return fmt.Errorf("transport: reading batch: %w", err)
+		}
+		if batch.Close {
+			return nil
+		}
+		if !admitted {
+			if workers, err = s.admit(ctx); err != nil {
+				return err
+			}
+			admitted = true
+		}
+		n, err := s.serveBatch(ctx, cc, prover, batch, batches, workers, ship)
+		if err != nil {
+			return err
+		}
+		s.reg.Counter(MetricServedBatches).Inc()
+		s.reg.Counter(MetricServedInstance).Add(int64(n))
+		if version < ProtocolV2 {
+			return nil
+		}
+		s.releaseSlot()
+		admitted = false
+	}
+}
+
+// serveBatch runs the commit → decommit → respond exchange for one batch
+// and returns the number of instances served. ship is called immediately
+// before the final ResponsesMsg to collect the trace records to attach.
+func (s *Service) serveBatch(ctx context.Context, cc *timedCodec, prover *vc.Prover, batch BatchMsg, batchIdx, workers int, ship func() []trace.Record) (int, error) {
+	batchTr, ctx := trace.Child(ctx, "transport.batch")
+	batchTr.WithArg("batch", int64(batchIdx))
+	defer batchTr.End()
+	n := len(batch.Instances)
+	if n == 0 || n > s.maxBatch {
+		err := fmt.Errorf("%w: %d not in [1, %d]", ErrBatchTooLarge, n, s.maxBatch)
+		_ = cc.send(CommitmentsMsg{Err: err.Error()})
+		return 0, err
+	}
+	if batch.Req != nil {
+		prover.HandleCommitRequest(batch.Req)
+	} else if batchIdx == 0 {
+		err := fmt.Errorf("%w: first batch carries no commit request", ErrMalformedHello)
+		_ = cc.send(CommitmentsMsg{Err: err.Error()})
+		return 0, err
+	}
+	// Small batches leave pool workers idle during the commit phase; hand
+	// the leftovers to each Commit's group-arithmetic kernel.
+	prover.SetKernelWorkers(workers / n)
+
+	states := make([]*vc.InstanceState, n)
+	cms := CommitmentsMsg{Items: make([]*vc.Commitment, n)}
+	commitTr, commitCtx := trace.Child(ctx, "vc.commit")
+	defer commitTr.End()
+	if err := vc.ForEach(ctx, n, workers, func(i int) error {
+		isp, ictx := trace.Child(commitCtx, "prover.commit")
+		isp.WithArg("instance", int64(i))
+		defer isp.End()
+		cm, st, err := prover.Commit(ictx, batch.Instances[i])
+		if err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+		cms.Items[i], states[i] = cm, st
+		return nil
+	}); err != nil {
+		_ = cc.send(CommitmentsMsg{Err: err.Error()})
+		return 0, err
+	}
+	commitTr.End()
+	if err := cc.send(cms); err != nil {
+		return 0, err
+	}
+
+	// The wait for the decommit is the verifier's barrier plus one
+	// round-trip; it shows up as its own span so wire stalls are visible.
+	awaitTr := trace.Start(ctx, "wire.await_decommit")
+	var decommit DecommitMsg
+	err := cc.recv(&decommit)
+	awaitTr.End()
+	if err != nil {
+		return 0, fmt.Errorf("transport: reading decommit: %w", err)
+	}
+	if err := prover.HandleDecommit(decommit.Req); err != nil {
+		_ = cc.send(ResponsesMsg{Err: err.Error()})
+		return 0, err
+	}
+	resp := ResponsesMsg{Items: make([]*vc.Response, n)}
+	respondTr, respondCtx := trace.Child(ctx, "vc.respond")
+	defer respondTr.End()
+	if err := vc.ForEach(ctx, n, workers, func(i int) error {
+		isp := trace.Start(respondCtx, "prover.respond").WithArg("instance", int64(i))
+		defer isp.End()
+		r, err := prover.Respond(ctx, states[i])
+		if err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+		resp.Items[i] = r
+		return nil
+	}); err != nil {
+		_ = cc.send(ResponsesMsg{Err: err.Error()})
+		return 0, err
+	}
+	respondTr.End()
+	batchTr.End()
+	resp.Trace = ship()
+	return n, cc.send(resp)
+}

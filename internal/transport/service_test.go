@@ -1,0 +1,577 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"zaatar/internal/compiler"
+	"zaatar/internal/elgamal"
+	"zaatar/internal/field"
+	"zaatar/internal/obs"
+	"zaatar/internal/obs/trace"
+	"zaatar/internal/pcp"
+	"zaatar/internal/prg"
+	"zaatar/internal/vc"
+)
+
+// servicePipe connects a client conn to svc, serving the server end in a
+// goroutine; the returned channel yields the server-side error.
+func servicePipe(svc *Service) (net.Conn, chan error) {
+	client, server := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- svc.ServeConn(context.Background(), server) }()
+	return client, errCh
+}
+
+func testService(opts ServiceOptions) (*Service, *obs.Registry) {
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
+	return NewService(opts), opts.Obs
+}
+
+func checkBatch(t *testing.T, res *SessionResult, inputs []int64) {
+	t.Helper()
+	if !res.AllAccepted() {
+		t.Fatalf("rejected: %v", res.Reasons)
+	}
+	for i, x := range inputs {
+		if res.Outputs[i][0].Int64() != x-3 || res.Outputs[i][1].Int64() != x*x {
+			t.Fatalf("instance %d (x=%d): outputs %v", i, x, res.Outputs[i])
+		}
+	}
+}
+
+func instances(xs ...int64) [][]*big.Int {
+	batch := make([][]*big.Int, len(xs))
+	for i, x := range xs {
+		batch[i] = []*big.Int{big.NewInt(x)}
+	}
+	return batch
+}
+
+// TestKeepAliveMultiBatch pushes three batches over one connection: the
+// program is negotiated once, each batch redraws its queries, and the
+// server counts one session but three batches.
+func TestKeepAliveMultiBatch(t *testing.T) {
+	svc, reg := testService(ServiceOptions{Workers: 2})
+	client, errCh := servicePipe(svc)
+	hello := Hello{Source: sessionSrc, RhoLin: 2, Rho: 2, NoCommitment: true}
+	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{Seed: []byte("ka")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.WireVersion(); got != ProtocolV2 {
+		t.Fatalf("negotiated v%d, want v%d", got, ProtocolV2)
+	}
+	for b, xs := range [][]int64{{10, -4}, {6}, {1, 2, 3}} {
+		res, err := sess.RunBatch(context.Background(), instances(xs...))
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		checkBatch(t, res, xs)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if got := reg.Counter(MetricSessions).Value(); got != 1 {
+		t.Fatalf("sessions = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricServedBatches).Value(); got != 3 {
+		t.Fatalf("batches = %d, want 3", got)
+	}
+	if got := reg.Counter(MetricServedInstance).Value(); got != 6 {
+		t.Fatalf("instances = %d, want 6", got)
+	}
+}
+
+// TestKeepAliveCommitmentKeyReuse runs two committed batches on one
+// session: the ElGamal commitment key is generated once at session setup
+// and reused, with fresh query seeds (and fresh consistency secrets) per
+// batch.
+func TestKeepAliveCommitmentKeyReuse(t *testing.T) {
+	g, err := elgamal.GenerateGroup(field.F128().Modulus(), 320, prg.NewFromSeed([]byte("kg"), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := testService(ServiceOptions{Workers: 2})
+	client, errCh := servicePipe(svc)
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1}
+	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{Seed: []byte("kc"), Group: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := sess.SetupDuration()
+	for b, xs := range [][]int64{{5}, {7, 9}} {
+		res, err := sess.RunBatch(context.Background(), instances(xs...))
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		checkBatch(t, res, xs)
+	}
+	if setup != sess.SetupDuration() {
+		t.Fatal("keep-alive batches must not repeat session setup")
+	}
+	sess.Close()
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+// TestKeepAliveFreshSeeds checks the per-batch reseed actually changes the
+// queries: two batches on a fixed client seed decommit different seeds on
+// the wire.
+func TestKeepAliveFreshSeeds(t *testing.T) {
+	var mu sync.Mutex
+	var seeds [][]byte
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	// A recording server: standard v2 loop, but it keeps each DecommitMsg
+	// seed.
+	go func() {
+		done <- func() error {
+			defer server.Close()
+			dec, enc := gob.NewDecoder(server), gob.NewEncoder(server)
+			var h Hello
+			if err := dec.Decode(&h); err != nil {
+				return err
+			}
+			prog, err := compiler.Compile(field.F128(), h.Source)
+			if err != nil {
+				return err
+			}
+			prover, err := vc.NewProver(prog, h.config(1, nil))
+			if err != nil {
+				return err
+			}
+			if err := enc.Encode(HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs(), Version: ProtocolV2}); err != nil {
+				return err
+			}
+			for {
+				var b BatchMsg
+				if err := dec.Decode(&b); err != nil {
+					return err
+				}
+				if b.Close {
+					return nil
+				}
+				if b.Req != nil {
+					prover.HandleCommitRequest(b.Req)
+				}
+				n := len(b.Instances)
+				states := make([]*vc.InstanceState, n)
+				cms := CommitmentsMsg{Items: make([]*vc.Commitment, n)}
+				for i := range b.Instances {
+					if cms.Items[i], states[i], err = prover.Commit(context.Background(), b.Instances[i]); err != nil {
+						return err
+					}
+				}
+				if err := enc.Encode(cms); err != nil {
+					return err
+				}
+				var d DecommitMsg
+				if err := dec.Decode(&d); err != nil {
+					return err
+				}
+				mu.Lock()
+				seeds = append(seeds, append([]byte(nil), d.Req.Seed...))
+				mu.Unlock()
+				if err := prover.HandleDecommit(d.Req); err != nil {
+					return err
+				}
+				resp := ResponsesMsg{Items: make([]*vc.Response, n)}
+				for i := range states {
+					if resp.Items[i], err = prover.Respond(context.Background(), states[i]); err != nil {
+						return err
+					}
+				}
+				if err := enc.Encode(resp); err != nil {
+					return err
+				}
+			}
+		}()
+	}()
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{Seed: []byte("fs")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		if res, err := sess.RunBatch(context.Background(), instances(4)); err != nil || !res.AllAccepted() {
+			t.Fatalf("batch %d: %v %v", b, err, res)
+		}
+	}
+	sess.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if len(seeds) != 2 {
+		t.Fatalf("recorded %d seeds, want 2", len(seeds))
+	}
+	if string(seeds[0]) == string(seeds[1]) {
+		t.Fatal("keep-alive batches reused the query seed — binding would break")
+	}
+}
+
+// TestV1PeerSingleBatch pins the client to wire v1: the session still
+// works, but a second batch on the same connection is refused client-side
+// and the server ends after one batch.
+func TestV1PeerSingleBatch(t *testing.T) {
+	svc, reg := testService(ServiceOptions{Workers: 1})
+	client, errCh := servicePipe(svc)
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true, Version: ProtocolV1}
+	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{Seed: []byte("v1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if got := sess.WireVersion(); got != ProtocolV1 {
+		t.Fatalf("negotiated v%d, want v%d", got, ProtocolV1)
+	}
+	res, err := sess.RunBatch(context.Background(), instances(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatch(t, res, []int64{10})
+	if _, err := sess.RunBatch(context.Background(), instances(11)); !errors.Is(err, ErrSingleBatch) {
+		t.Fatalf("second v1 batch: err = %v, want ErrSingleBatch", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if got := reg.Counter(MetricServedBatches).Value(); got != 1 {
+		t.Fatalf("batches = %d, want 1", got)
+	}
+}
+
+// legacyBatchMsg mirrors BatchMsg before the Close field existed.
+type legacyBatchMsg struct {
+	Req       *vc.CommitRequest
+	Instances [][]*big.Int
+}
+
+// TestLegacyGobClient drives the v2 service with a verbatim pre-versioning
+// client: hello without Version, batch without Close, responses without
+// Trace. Gob's unknown-field semantics carry both directions, and the
+// server treats the session as v1 (one batch, clean end).
+func TestLegacyGobClient(t *testing.T) {
+	svc, _ := testService(ServiceOptions{Workers: 1})
+	client, errCh := servicePipe(svc)
+	defer client.Close()
+	enc, dec := gob.NewEncoder(client), gob.NewDecoder(client)
+
+	if err := enc.Encode(legacyHello{Source: sessionSrc, RhoLin: 2, Rho: 2, NoCommitment: true}); err != nil {
+		t.Fatal(err)
+	}
+	var ack HelloAck
+	if err := dec.Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Err != "" {
+		t.Fatalf("ack: %s", ack.Err)
+	}
+	if ack.Version != ProtocolV1 {
+		t.Fatalf("server negotiated v%d with a pre-versioning client, want v%d", ack.Version, ProtocolV1)
+	}
+
+	prog, err := compiler.Compile(field.F128(), sessionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vc.Config{Params: pcp.Params{RhoLin: 2, Rho: 2}, NoCommitment: true, Seed: []byte("legacy")}
+	verifier, err := vc.NewVerifier(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []*big.Int{big.NewInt(9)}
+	if err := enc.Encode(legacyBatchMsg{Req: verifier.Setup(), Instances: [][]*big.Int{in}}); err != nil {
+		t.Fatal(err)
+	}
+	var cms CommitmentsMsg
+	if err := dec.Decode(&cms); err != nil {
+		t.Fatal(err)
+	}
+	if cms.Err != "" || len(cms.Items) != 1 {
+		t.Fatalf("commitments: %q, %d items", cms.Err, len(cms.Items))
+	}
+	dreq, err := verifier.Decommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(DecommitMsg{Req: dreq}); err != nil {
+		t.Fatal(err)
+	}
+	var resp legacyResponsesMsg
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" || len(resp.Items) != 1 {
+		t.Fatalf("responses: %q, %d items", resp.Err, len(resp.Items))
+	}
+	ok, reason := verifier.VerifyInstance(context.Background(), in, cms.Items[0], resp.Items[0])
+	if !ok {
+		t.Fatalf("rejected: %s", reason)
+	}
+	client.Close()
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+// TestV2ClientLegacyServer is the mirror: the new Session against a
+// pre-versioning prover. The missing ack.Version negotiates the session
+// down to v1; the batch runs, and keep-alive is refused.
+func TestV2ClientLegacyServer(t *testing.T) {
+	client, server := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- serveLegacy(server) }()
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{Seed: []byte("lv")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if got := sess.WireVersion(); got != ProtocolV1 {
+		t.Fatalf("negotiated v%d against a legacy server, want v%d", got, ProtocolV1)
+	}
+	res, err := sess.RunBatch(context.Background(), instances(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatch(t, res, []int64{8})
+	if err := <-errCh; err != nil {
+		t.Fatalf("legacy server: %v", err)
+	}
+	if _, err := sess.RunBatch(context.Background(), instances(9)); !errors.Is(err, ErrSingleBatch) {
+		t.Fatalf("err = %v, want ErrSingleBatch", err)
+	}
+}
+
+// TestProtocolVersionErrorTyped covers the typed validate error on both
+// ends: locally via errors.As, and over the wire where the server reports
+// it in the ack and survives.
+func TestProtocolVersionErrorTyped(t *testing.T) {
+	h := Hello{Source: sessionSrc, Version: 99}
+	var vErr *ProtocolVersionError
+	if err := h.validate(); !errors.As(err, &vErr) {
+		t.Fatalf("validate: %v, want *ProtocolVersionError", err)
+	} else if vErr.Version != 99 || vErr.Max != MaxProtocolVersion {
+		t.Fatalf("version error: %+v", vErr)
+	}
+
+	svc, _ := testService(ServiceOptions{Workers: 1})
+	client, errCh := servicePipe(svc)
+	defer client.Close()
+	cc := newTimedCodec(client, 5*time.Second)
+	if err := cc.send(h); err != nil {
+		t.Fatal(err)
+	}
+	var ack HelloAck
+	if err := cc.recv(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Err == "" {
+		t.Fatal("server accepted an unknown wire version")
+	}
+	serr := <-errCh
+	if !errors.As(serr, &vErr) {
+		t.Fatalf("server error: %v, want *ProtocolVersionError", serr)
+	}
+}
+
+// TestCacheHitSkipsCompile runs two sessions for the same program: the
+// second must be a cache hit, observable both in the counters and — the
+// contract the bench leans on — by the absence of a prover.compile span in
+// its trace.
+func TestCacheHitSkipsCompile(t *testing.T) {
+	svc, reg := testService(ServiceOptions{Workers: 1})
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	var traces [][]trace.Record
+	for i := 0; i < 2; i++ {
+		tc := trace.New(trace.NewRecorder(4096), "verifier")
+		ctx := trace.NewContext(context.Background(), tc)
+		client, errCh := servicePipe(svc)
+		res, err := RunSession(ctx, client, hello, ClientOptions{Seed: []byte{byte(i)}}, instances(4))
+		client.Close()
+		if serr := <-errCh; serr != nil {
+			t.Fatalf("session %d server: %v", i, serr)
+		}
+		if err != nil || !res.AllAccepted() {
+			t.Fatalf("session %d: %v %v", i, err, res)
+		}
+		traces = append(traces, tc.Recorder().Snapshot())
+	}
+	if n := len(byName(traces[0], "prover.compile")); n != 1 {
+		t.Fatalf("first session: %d prover.compile spans, want 1 (miss)", n)
+	}
+	if n := len(byName(traces[1], "prover.compile")); n != 0 {
+		t.Fatalf("second session: %d prover.compile spans, want 0 (hit)", n)
+	}
+	if hits, misses := reg.Counter(MetricCacheHits).Value(), reg.Counter(MetricCacheMisses).Value(); hits != 1 || misses != 1 {
+		t.Fatalf("cache hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// cacheTestSrc derives a distinct tiny program per index, so tests can
+// populate the LRU with controlled distinct keys.
+func cacheTestSrc(i int) string {
+	return fmt.Sprintf("input x : int32; output y : int32; y = x + %d;", i)
+}
+
+// TestCacheEvictionConcurrent hammers a 2-entry cache with 8 concurrent
+// sessions over 4 distinct programs: every session must still verify
+// (eviction never breaks an in-flight session, since entries are shared by
+// pointer), and the LRU must have evicted and stayed within bounds.
+func TestCacheEvictionConcurrent(t *testing.T) {
+	svc, reg := testService(ServiceOptions{Workers: 2, MaxSessions: 4, CacheSize: 2})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prog := i % 4
+			hello := Hello{Source: cacheTestSrc(prog), RhoLin: 1, Rho: 1, NoCommitment: true}
+			client, errCh := servicePipe(svc)
+			res, err := RunSession(context.Background(), client, hello, ClientOptions{Seed: []byte{byte(i)}}, instances(int64(i)))
+			client.Close()
+			if serr := <-errCh; serr != nil {
+				errs <- fmt.Errorf("session %d server: %w", i, serr)
+				return
+			}
+			if err != nil {
+				errs <- fmt.Errorf("session %d: %w", i, err)
+				return
+			}
+			if !res.AllAccepted() {
+				errs <- fmt.Errorf("session %d rejected: %v", i, res.Reasons)
+				return
+			}
+			if got := res.Outputs[0][0].Int64(); got != int64(i)+int64(prog) {
+				errs <- fmt.Errorf("session %d output %d, want %d", i, got, int64(i)+int64(prog))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := reg.Counter(MetricCacheEntries).Value(); got > 2 {
+		t.Fatalf("cache entries = %d, want ≤ 2", got)
+	}
+	if reg.Counter(MetricCacheEvictions).Value() == 0 {
+		t.Fatal("4 programs through a 2-entry cache must evict")
+	}
+}
+
+// TestAdmissionConcurrentSessions pushes 8 concurrent sessions for one
+// program through a 3-slot admission semaphore: all succeed, the
+// singleflight cache compiles once, and the active gauge returns to zero.
+func TestAdmissionConcurrentSessions(t *testing.T) {
+	svc, reg := testService(ServiceOptions{Workers: 4, MaxSessions: 3})
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, errCh := servicePipe(svc)
+			res, err := RunSession(context.Background(), client, hello, ClientOptions{Seed: []byte{byte(i)}}, instances(int64(i), int64(i)+1))
+			client.Close()
+			if serr := <-errCh; serr != nil {
+				errs <- fmt.Errorf("session %d server: %w", i, serr)
+				return
+			}
+			if err != nil {
+				errs <- fmt.Errorf("session %d: %w", i, err)
+				return
+			}
+			if !res.AllAccepted() {
+				errs <- fmt.Errorf("session %d rejected: %v", i, res.Reasons)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := reg.Counter(MetricSessions).Value(); got != 8 {
+		t.Fatalf("sessions = %d, want 8", got)
+	}
+	if got := reg.Counter(MetricCacheMisses).Value(); got != 1 {
+		t.Fatalf("cache misses = %d, want 1 (singleflight)", got)
+	}
+	if got := reg.Counter(MetricAdmissionActive).Value(); got != 0 {
+		t.Fatalf("admission.active = %d after drain, want 0", got)
+	}
+}
+
+// TestServeDrain runs the accept loop on a real listener, completes a
+// session, then cancels: Serve must close the listener and return nil.
+func TestServeDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := testService(ServiceOptions{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- svc.Serve(ctx, ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	res, err := RunSession(context.Background(), conn, hello, ClientOptions{Seed: []byte("sv")}, instances(12))
+	conn.Close()
+	if err != nil || !res.AllAccepted() {
+		t.Fatalf("session over Serve: %v %v", err, res)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain after cancel")
+	}
+}
+
+// TestCloseFrameBeforeAnyBatch opens a session and closes it immediately:
+// the goodbye frame must end the server side cleanly with zero batches.
+func TestCloseFrameBeforeAnyBatch(t *testing.T) {
+	svc, reg := testService(ServiceOptions{Workers: 1})
+	client, errCh := servicePipe(svc)
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if got := reg.Counter(MetricServedBatches).Value(); got != 0 {
+		t.Fatalf("batches = %d, want 0", got)
+	}
+	if _, err := sess.RunBatch(context.Background(), instances(1)); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("err = %v, want ErrSessionClosed", err)
+	}
+}

@@ -1,0 +1,399 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+
+	"zaatar/internal/compiler"
+	"zaatar/internal/elgamal"
+	"zaatar/internal/obs"
+	"zaatar/internal/obs/trace"
+	"zaatar/internal/vc"
+)
+
+// ClientOptions configures the verifier side of a session.
+type ClientOptions struct {
+	// Seed fixes the verifier's randomness; empty draws fresh randomness.
+	// Under v2 keep-alive every batch after the first reseeds with a
+	// counter appended to this value (or fresh randomness when empty), so a
+	// fixed seed still yields deterministic — but per-batch distinct —
+	// queries.
+	Seed []byte
+	// Group overrides the ElGamal group (tests with non-production fields).
+	Group *elgamal.Group
+	// Workers is the verifier's parallelism over per-instance checks;
+	// 0 or 1 verifies serially.
+	Workers int
+	// IOTimeout, when positive, is the per-message read/write deadline on
+	// every prover connection.
+	IOTimeout time.Duration
+	// Obs receives the client's counters and spans; nil uses
+	// obs.Default().
+	Obs *obs.Registry
+}
+
+func (o ClientOptions) registry() *obs.Registry {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Default()
+}
+
+// sessionLeg is the verifier's state for one prover connection.
+type sessionLeg struct {
+	conn    net.Conn
+	cc      *timedCodec
+	version int
+	// per-batch scratch
+	chunk [][]*big.Int
+	cms   []*vc.Commitment
+	resps []*vc.Response
+}
+
+// Session is the verifier side of a (possibly distributed) prover session.
+// NewSession negotiates the wire version and compiles the verifier state
+// once; each RunBatch then proves and verifies one batch. Under wire v2 the
+// connection, the compiled program, and the commitment key all carry over
+// between batches, so only the per-batch query seed is redrawn — the setup
+// amortization the paper's batching argument (§5.2) depends on, extended
+// across batches. A session is not safe for concurrent use; RunBatch calls
+// are serialized internally.
+type Session struct {
+	mu       sync.Mutex
+	hello    Hello
+	opts     ClientOptions
+	reg      *obs.Registry
+	prog     *compiler.Program
+	verifier *vc.Verifier
+	legs     []*sessionLeg
+	version  int // min negotiated version across legs
+	tc       *trace.Ctx
+	sessTr   *trace.Span
+	obsSpan  obs.Span
+	batches  int
+	closed   bool
+}
+
+// NewSession opens a verifier session over the given prover connections:
+// it validates and sends the hello (offering wire v2 unless hello.Version
+// pins an older dialect), collects the acks, and builds the verifier's
+// query and commitment-key state. The context bounds only the handshake;
+// the session itself lives until Close.
+func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientOptions) (s *Session, err error) {
+	if len(conns) == 0 {
+		return nil, errors.New("transport: no prover connections")
+	}
+	if hello.Version == 0 {
+		hello.Version = MaxProtocolVersion
+	}
+	if err := hello.validate(); err != nil {
+		return nil, err
+	}
+	reg := opts.registry()
+	reg.Counter(MetricClientSessions).Inc()
+
+	// Root the session's trace (if the caller attached one) and stamp its
+	// identifiers into the hello so the provers' spans join this trace.
+	sessTr, tctx := trace.Child(ctx, "transport.session")
+	sessTr.WithArg("provers", int64(len(conns)))
+	tc := trace.FromContext(tctx)
+	hello.Trace = tc.TraceID()
+	hello.TraceParent = tc.SpanID()
+
+	sess := &Session{
+		hello:   hello,
+		opts:    opts,
+		reg:     reg,
+		version: MaxProtocolVersion,
+		tc:      tc,
+		sessTr:  sessTr,
+		obsSpan: reg.StartSpan(MetricSpanClient),
+	}
+	s = sess
+	defer func() {
+		if err != nil {
+			err = ctxErr(ctx, err)
+			sess.finish()
+			s = nil
+		}
+	}()
+	for _, conn := range conns {
+		defer watch(ctx, conn)()
+	}
+
+	compileTr := trace.Start(tctx, "verifier.compile")
+	s.prog, err = compiler.Compile(hello.fieldOf(), hello.Source)
+	compileTr.End()
+	if err != nil {
+		return nil, err
+	}
+	cfg := hello.config(0, opts.Seed)
+	cfg.Group = opts.Group
+	cfg.Obs = opts.Obs
+	setupTr, setupCtx := trace.Child(tctx, "vc.setup")
+	s.verifier, err = vc.NewVerifierCtx(setupCtx, s.prog, cfg)
+	setupTr.End()
+	if err != nil {
+		return nil, err
+	}
+
+	helloTr := trace.Start(tctx, "wire.hello_exchange")
+	defer helloTr.End()
+	for _, conn := range conns {
+		leg := &sessionLeg{conn: conn, cc: newTimedCodec(conn, opts.IOTimeout)}
+		if err := leg.cc.send(hello); err != nil {
+			return nil, err
+		}
+		s.legs = append(s.legs, leg)
+	}
+	for _, leg := range s.legs {
+		var ack HelloAck
+		if err := leg.cc.recv(&ack); err != nil {
+			return nil, err
+		}
+		if ack.Err != "" {
+			return nil, &RemoteError{Phase: "hello", Msg: ack.Err}
+		}
+		leg.version = ack.Version
+		if leg.version == 0 {
+			leg.version = ProtocolV1 // pre-versioning server
+		}
+		if leg.version > hello.Version {
+			return nil, &ProtocolVersionError{Version: leg.version, Max: hello.Version}
+		}
+		if ack.NumInputs != s.prog.NumInputs() || ack.NumOutputs != s.prog.NumOutputs() {
+			return nil, errors.New("transport: prover disagrees on the io shape")
+		}
+		if leg.version < s.version {
+			s.version = leg.version
+		}
+	}
+	return s, nil
+}
+
+// WireVersion reports the wire protocol version negotiated with the
+// provers (the minimum across connections).
+func (s *Session) WireVersion() int { return s.version }
+
+// Program returns the compiled program (for io shape inspection).
+func (s *Session) Program() *compiler.Program { return s.prog }
+
+// SetupDuration reports the verifier's one-time session setup cost (query
+// construction plus commitment-key generation) — the amortized numerator of
+// the batching argument.
+func (s *Session) SetupDuration() time.Duration { return s.verifier.SetupDuration() }
+
+// deriveSeed gives batch b its own deterministic seed from a fixed base;
+// an empty base stays empty (fresh randomness every batch).
+func deriveSeed(base []byte, b int) []byte {
+	if len(base) == 0 {
+		return nil
+	}
+	out := make([]byte, 0, len(base)+4)
+	out = append(out, base...)
+	return append(out, byte(b>>24), byte(b>>16), byte(b>>8), byte(b))
+}
+
+// RunBatch proves and verifies one batch of instances, split contiguously
+// across the session's prover connections. The first batch ships the
+// commit request; under wire v2 later batches reuse the commitment key and
+// only redraw the query seed, so their setup cost is near zero. On a
+// session negotiated down to v1, a second RunBatch fails with
+// ErrSingleBatch.
+func (s *Session) RunBatch(ctx context.Context, batch [][]*big.Int) (res *SessionResult, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("%w: 0 instances", ErrBatchTooLarge)
+	}
+	if s.batches > 0 && s.version < ProtocolV2 {
+		return nil, ErrSingleBatch
+	}
+	defer func() { err = ctxErr(ctx, err) }()
+	for _, leg := range s.legs {
+		defer watch(ctx, leg.conn)()
+	}
+	ctx = trace.NewContext(ctx, s.tc)
+	batchTr, ctx := trace.Child(ctx, "transport.batch")
+	batchTr.WithArg("batch", int64(s.batches)).WithArg("instances", int64(len(batch)))
+	defer batchTr.End()
+
+	var req *vc.CommitRequest
+	if s.batches == 0 {
+		req = s.verifier.Setup()
+	} else {
+		// Fresh queries for a fresh batch; the commitment key carries over.
+		// Soundness holds because this seed is revealed to the provers only
+		// after this batch's commitments are all collected.
+		reseedTr := trace.Start(ctx, "vc.reseed")
+		err := s.verifier.Reseed(deriveSeed(s.opts.Seed, s.batches))
+		reseedTr.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Partition the batch into contiguous chunks, one per prover; a batch
+	// smaller than the prover count leaves the tail legs idle this round.
+	legs := make([]*sessionLeg, 0, len(s.legs))
+	per := (len(batch) + len(s.legs) - 1) / len(s.legs)
+	for i, leg := range s.legs {
+		lo := i * per
+		if lo >= len(batch) {
+			break
+		}
+		leg.chunk = batch[lo:min(lo+per, len(batch))]
+		legs = append(legs, leg)
+	}
+
+	// Stage 1: commit request + inputs to every prover; collect all
+	// commitments before revealing anything further (the soundness
+	// barrier).
+	commitTr := trace.Start(ctx, "wire.commit_exchange")
+	for _, leg := range legs {
+		if err := leg.cc.send(BatchMsg{Req: req, Instances: leg.chunk}); err != nil {
+			return nil, err
+		}
+	}
+	for _, leg := range legs {
+		var cms CommitmentsMsg
+		if err := leg.cc.recv(&cms); err != nil {
+			return nil, err
+		}
+		if cms.Err != "" {
+			return nil, &RemoteError{Phase: "commit", Msg: cms.Err}
+		}
+		if len(cms.Items) != len(leg.chunk) {
+			return nil, errors.New("transport: commitment count mismatch")
+		}
+		leg.cms = cms.Items
+	}
+	commitTr.End()
+
+	// Stage 2: decommit to every prover, collect responses.
+	decommitTr := trace.Start(ctx, "vc.decommit")
+	dreq, err := s.verifier.Decommit()
+	decommitTr.End()
+	if err != nil {
+		return nil, err
+	}
+	respondTr := trace.Start(ctx, "wire.respond_exchange")
+	for _, leg := range legs {
+		if err := leg.cc.send(DecommitMsg{Req: dreq}); err != nil {
+			return nil, err
+		}
+	}
+	for _, leg := range legs {
+		var resp ResponsesMsg
+		if err := leg.cc.recv(&resp); err != nil {
+			return nil, err
+		}
+		if resp.Err != "" {
+			return nil, &RemoteError{Phase: "respond", Msg: resp.Err}
+		}
+		if len(resp.Items) != len(leg.chunk) {
+			return nil, errors.New("transport: response count mismatch")
+		}
+		leg.resps = resp.Items
+		// Stitch this prover's spans into our timeline (records from any
+		// other trace are dropped by Import).
+		s.tc.Import(resp.Trace)
+	}
+	respondTr.End()
+
+	// Stage 3: verify everything — in parallel over opts.Workers; the
+	// verifier's state is read-only after Decommit.
+	type flat struct {
+		in   []*big.Int
+		cm   *vc.Commitment
+		resp *vc.Response
+	}
+	items := make([]flat, 0, len(batch))
+	for _, leg := range legs {
+		for i := range leg.chunk {
+			items = append(items, flat{leg.chunk[i], leg.cms[i], leg.resps[i]})
+		}
+	}
+	out := &SessionResult{
+		Accepted: make([]bool, len(items)),
+		Reasons:  make([]string, len(items)),
+		Outputs:  make([][]*big.Int, len(items)),
+	}
+	verifyTr, verifyCtx := trace.Child(ctx, "vc.verify_stage")
+	defer verifyTr.End()
+	if err := vc.ForEach(ctx, len(items), s.opts.Workers, func(i int) error {
+		vsp := trace.Start(verifyCtx, "vc.verify").WithArg("instance", int64(i))
+		defer vsp.End()
+		ok, reason := s.verifier.VerifyInstance(ctx, items[i].in, items[i].cm, items[i].resp)
+		out.Accepted[i] = ok
+		out.Reasons[i] = reason
+		out.Outputs[i] = items[i].cm.Output
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	verifyTr.End()
+	s.batches++
+	return out, nil
+}
+
+// finish ends the session's spans exactly once; callers hold no lock.
+func (s *Session) finish() {
+	s.sessTr.End()
+	s.obsSpan.End()
+}
+
+// Close ends the session: v2 provers get a goodbye frame so they log a
+// clean end rather than a hangup, and every connection is closed. Close is
+// idempotent and safe after errors.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, leg := range s.legs {
+		if leg.version >= ProtocolV2 {
+			_ = leg.cc.send(BatchMsg{Close: true})
+		}
+		_ = leg.conn.Close()
+	}
+	s.finish()
+	return nil
+}
+
+// RunSession drives the verifier side of a single batch over an established
+// connection. The protocol parameters come from hello, which both sides
+// see; the verifier's secret randomness does not.
+func RunSession(ctx context.Context, conn net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (*SessionResult, error) {
+	return RunSessionDistributed(ctx, []net.Conn{conn}, hello, opts, batch)
+}
+
+// RunSessionDistributed splits one batch across several prover connections —
+// the paper's distributed prover (§5.1: "the prover can be distributed over
+// multiple machines, with each machine computing a subset of a batch").
+// Binding is preserved because the query seed is revealed only after every
+// prover's commitments have arrived. Cancelling ctx closes the connections
+// and returns ctx.Err(). For multiple batches on one connection, use
+// NewSession directly.
+func RunSessionDistributed(ctx context.Context, conns []net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (*SessionResult, error) {
+	sess, err := NewSession(ctx, conns, hello, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	res, err := sess.RunBatch(ctx, batch)
+	if err != nil {
+		return nil, ctxErr(ctx, err)
+	}
+	return res, nil
+}

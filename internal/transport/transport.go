@@ -5,14 +5,31 @@
 // query material crossing the wire is one encrypted commitment vector, a
 // PRG seed, and the consistency points, rather than full query sets.
 //
+// Two wire dialects are spoken. v1 is the original one-batch-per-connection
+// exchange. v2 adds session keep-alive: after version negotiation in the
+// hello/ack, a connection carries any number of batches, all reusing the
+// negotiated program and — in v2 — the commitment key, so repeat batches
+// skip both compilation and key setup. Versioning rides gob's
+// forward-compatible field semantics: a peer that predates the Version
+// fields simply leaves them zero, which both ends treat as v1.
+//
+// The prover side is a long-lived multi-tenant Service: compiled programs
+// and their prover precomputations live in an LRU shared across sessions,
+// and a service-wide admission semaphore bounds how many sessions compute
+// concurrently. The verifier side is a Session (NewSession / RunBatch /
+// Close); RunSession and RunSessionDistributed remain as single-batch
+// conveniences on top of it.
+//
 // Both ends are context-aware: cancelling the context closes the
 // connection, unblocking any in-flight read or write, and per-message I/O
 // deadlines bound how long a stalled peer can hold a session. Failures
 // reported by the peer surface as *RemoteError; local protocol violations
-// wrap the Err* sentinel errors.
+// wrap the Err* sentinel errors, and version mismatches surface as
+// *ProtocolVersionError.
 //
-// cmd/zaatar-server and cmd/zaatar-client are thin wrappers over ServeConn
-// and RunSession; tests drive both ends over net.Pipe.
+// cmd/zaatar-server and cmd/zaatar-client reach this package through the
+// public zaatar API (zaatar.Serve, zaatar.Client); tests drive both ends
+// over net.Pipe.
 package transport
 
 import (
@@ -25,13 +42,27 @@ import (
 	"strings"
 	"time"
 
-	"zaatar/internal/compiler"
-	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
 	"zaatar/internal/obs"
 	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
 	"zaatar/internal/vc"
+)
+
+// Wire protocol versions. A Hello carries the highest version the client
+// speaks; the ack answers with the version the server selected (never
+// higher than the client's). Zero means the peer predates versioning and
+// speaks v1.
+const (
+	// ProtocolV1 is the original dialect: one batch per connection, the
+	// commit request sent with the batch.
+	ProtocolV1 = 1
+	// ProtocolV2 adds session keep-alive: multiple batches per connection,
+	// the commit request sent once and reused, an explicit Close frame, and
+	// per-batch query reseeding.
+	ProtocolV2 = 2
+	// MaxProtocolVersion is the highest version this build speaks.
+	MaxProtocolVersion = ProtocolV2
 )
 
 // Typed failures. Peer-reported errors are *RemoteError; local validation
@@ -43,6 +74,11 @@ var (
 	// ErrMalformedHello reports a session-opening message that fails
 	// validation (empty or oversized source, out-of-range parameters).
 	ErrMalformedHello = errors.New("transport: malformed hello")
+	// ErrSessionClosed reports a RunBatch on a closed Session.
+	ErrSessionClosed = errors.New("transport: session closed")
+	// ErrSingleBatch reports a second RunBatch on a session whose negotiated
+	// wire version (v1) supports only one batch per connection.
+	ErrSingleBatch = errors.New("transport: negotiated wire protocol v1 supports one batch per connection")
 )
 
 // RemoteError is a failure the peer reported over the wire, tagged with the
@@ -56,14 +92,36 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: prover failed in %s phase: %s", e.Phase, e.Msg)
 }
 
+// ProtocolVersionError reports a wire version this build does not speak —
+// either a Hello requesting an unknown version, or an ack selecting a
+// version higher than the client offered. Max names the highest version the
+// reporting side supports, so a newer peer can retry with it.
+type ProtocolVersionError struct {
+	Version int // the version the peer asked for or selected
+	Max     int // highest version this side speaks
+}
+
+func (e *ProtocolVersionError) Error() string {
+	return fmt.Sprintf("transport: unsupported wire protocol version %d (max supported %d)", e.Version, e.Max)
+}
+
 // Metric names recorded into the obs registry by the transport layer.
 const (
 	MetricSessions       = "transport.sessions"        // counter: server sessions opened
 	MetricSessionErrors  = "transport.session.errors"  // counter: server sessions failed
 	MetricServedInstance = "transport.instances"       // counter: instances served
+	MetricServedBatches  = "transport.batches"         // counter: batches served (≥ sessions under v2 keep-alive)
 	MetricSpanSession    = "transport.session"         // histogram: server session wall
 	MetricClientSessions = "transport.client.sessions" // counter: client sessions run
 	MetricSpanClient     = "transport.client.session"  // histogram: client session wall
+
+	MetricCacheHits      = "transport.cache.hits"      // counter: program-cache hits
+	MetricCacheMisses    = "transport.cache.misses"    // counter: program-cache misses (compiles)
+	MetricCacheEvictions = "transport.cache.evictions" // counter: program-cache LRU evictions
+	MetricCacheEntries   = "transport.cache.entries"   // gauge: programs currently cached
+
+	MetricAdmissionWait   = "transport.admission.wait"   // histogram: time a session waited for an admission slot
+	MetricAdmissionActive = "transport.admission.active" // gauge: sessions currently holding an admission slot
 )
 
 // Hello opens a session: the verifier ships the computation and protocol
@@ -74,6 +132,12 @@ type Hello struct {
 	Ginger       bool
 	RhoLin, Rho  int
 	NoCommitment bool
+
+	// Version is the highest wire protocol version the client speaks; the
+	// server answers (in HelloAck.Version) with the version it selected,
+	// never higher. Zero — what a pre-versioning peer sends, since gob omits
+	// zero fields — means v1.
+	Version int
 
 	// Trace and TraceParent propagate the verifier's trace context so the
 	// prover's spans land in the same trace (under the verifier's session
@@ -92,6 +156,8 @@ const (
 
 func (h Hello) validate() error {
 	switch {
+	case h.Version < 0 || h.Version > MaxProtocolVersion:
+		return &ProtocolVersionError{Version: h.Version, Max: MaxProtocolVersion}
 	case strings.TrimSpace(h.Source) == "":
 		return fmt.Errorf("%w: empty source", ErrMalformedHello)
 	case len(h.Source) > maxSourceBytes:
@@ -103,16 +169,34 @@ func (h Hello) validate() error {
 	return nil
 }
 
+// version normalizes the gob zero value to v1.
+func (h Hello) version() int {
+	if h.Version == 0 {
+		return ProtocolV1
+	}
+	return h.Version
+}
+
 // HelloAck reports compilation results (or an error) back to the verifier.
 type HelloAck struct {
 	Err                   string
 	NumInputs, NumOutputs int
+	// Version is the wire version the server selected for the session
+	// (≤ the client's Hello.Version). Zero means a pre-versioning server,
+	// i.e. v1.
+	Version int
 }
 
-// BatchMsg carries the commit request and every instance's inputs.
+// BatchMsg carries one batch: the per-instance inputs plus, on the first
+// batch of a session, the commit request. Under v2 keep-alive, subsequent
+// batches leave Req nil (the key is reused) and a final Close frame ends
+// the session cleanly.
 type BatchMsg struct {
 	Req       *vc.CommitRequest
 	Instances [][]*big.Int
+	// Close, under v2, marks a goodbye frame: no batch follows and the
+	// server ends the session with success.
+	Close bool
 }
 
 // CommitmentsMsg returns the per-instance commitments (with claimed
@@ -130,14 +214,15 @@ type DecommitMsg struct {
 // ResponsesMsg returns the per-instance query answers. When the session is
 // traced, Trace carries the prover's completed spans back to the verifier,
 // which stitches them into its own timeline; peers that predate the field
-// simply leave it empty.
+// simply leave it empty. Under v2 keep-alive the prover ships only the
+// spans completed since the previous batch.
 type ResponsesMsg struct {
 	Err   string
 	Items []*vc.Response
 	Trace []trace.Record
 }
 
-// SessionResult is the verifier-side outcome.
+// SessionResult is the verifier-side outcome of one batch.
 type SessionResult struct {
 	Accepted []bool
 	Reasons  []string
@@ -174,7 +259,8 @@ func (h Hello) config(workers int, seed []byte) vc.Config {
 	return cfg
 }
 
-// ServerOptions configures the prover side.
+// ServerOptions configures a single-connection prover (see ServeConn). The
+// long-lived, multi-tenant form is ServiceOptions.
 type ServerOptions struct {
 	// Workers is the prover's per-session parallelism over a batch.
 	Workers int
@@ -186,13 +272,6 @@ type ServerOptions struct {
 	// Obs receives the transport's counters and spans; nil uses
 	// obs.Default().
 	Obs *obs.Registry
-}
-
-func (o ServerOptions) registry() *obs.Registry {
-	if o.Obs != nil {
-		return o.Obs
-	}
-	return obs.Default()
 }
 
 // timedCodec arms a fresh connection deadline before every gob message, so
@@ -239,349 +318,20 @@ func ctxErr(ctx context.Context, err error) error {
 	return err
 }
 
-// ServeConn handles one verifier session on the prover side: compile the
-// received program, commit to every instance (in parallel, over
-// opts.Workers), answer the decommit. It returns when the session ends,
-// the context is cancelled, or the peer stalls past opts.IOTimeout.
-func ServeConn(ctx context.Context, conn net.Conn, opts ServerOptions) (err error) {
-	defer conn.Close()
-	defer watch(ctx, conn)()
-	reg := opts.registry()
-	reg.Counter(MetricSessions).Inc()
-	span := reg.StartSpan(MetricSpanSession)
-	defer func() {
-		span.End()
-		err = ctxErr(ctx, err)
-		if err != nil {
-			reg.Counter(MetricSessionErrors).Inc()
-		}
-	}()
-	cc := newTimedCodec(conn, opts.IOTimeout)
-
-	var hello Hello
-	if err := cc.recv(&hello); err != nil {
-		return fmt.Errorf("transport: reading hello: %w", err)
-	}
-	if err := hello.validate(); err != nil {
-		_ = cc.send(HelloAck{Err: err.Error()})
-		return err
-	}
-	// Join the verifier's trace, if it sent one, recording into a
-	// per-session ring; the records go back with the final message. With a
-	// zero Trace (older client, or tracing off) tc is nil and every span
-	// below is a free no-op.
-	var tc *trace.Ctx
-	if hello.Trace != 0 {
-		tc = trace.Join(trace.NewRecorder(trace.DefaultCapacity), hello.Trace, hello.TraceParent, "prover")
-	}
-	sessTr := tc.Start("transport.serve")
-	defer sessTr.End()
-	ctx = trace.NewContext(ctx, sessTr.Ctx())
-
-	compileTr := trace.Start(ctx, "prover.compile")
-	prog, err := compiler.Compile(hello.fieldOf(), hello.Source)
-	compileTr.End()
-	if err != nil {
-		_ = cc.send(HelloAck{Err: err.Error()})
-		return err
-	}
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	prover, err := vc.NewProver(prog, hello.config(workers, nil))
-	if err != nil {
-		_ = cc.send(HelloAck{Err: err.Error()})
-		return err
-	}
-	if err := cc.send(HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs()}); err != nil {
-		return err
-	}
-
-	var batch BatchMsg
-	if err := cc.recv(&batch); err != nil {
-		return fmt.Errorf("transport: reading batch: %w", err)
-	}
-	maxBatch := opts.MaxBatch
-	if maxBatch == 0 {
-		maxBatch = 1 << 16
-	}
-	if len(batch.Instances) == 0 || len(batch.Instances) > maxBatch {
-		err := fmt.Errorf("%w: %d not in [1, %d]", ErrBatchTooLarge, len(batch.Instances), maxBatch)
-		_ = cc.send(CommitmentsMsg{Err: err.Error()})
-		return err
-	}
-	prover.HandleCommitRequest(batch.Req)
-
-	n := len(batch.Instances)
-	// Small batches leave pool workers idle during the commit phase; hand
-	// the leftovers to each Commit's group-arithmetic kernel.
-	prover.SetKernelWorkers(workers / n)
-	states := make([]*vc.InstanceState, n)
-	cms := CommitmentsMsg{Items: make([]*vc.Commitment, n)}
-	commitTr, commitCtx := trace.Child(ctx, "vc.commit")
-	defer commitTr.End()
-	if err := vc.ForEach(ctx, n, workers, func(i int) error {
-		isp, ictx := trace.Child(commitCtx, "prover.commit")
-		isp.WithArg("instance", int64(i))
-		defer isp.End()
-		cm, st, err := prover.Commit(ictx, batch.Instances[i])
-		if err != nil {
-			return fmt.Errorf("instance %d: %w", i, err)
-		}
-		cms.Items[i], states[i] = cm, st
-		return nil
-	}); err != nil {
-		_ = cc.send(CommitmentsMsg{Err: err.Error()})
-		return err
-	}
-	commitTr.End()
-	if err := cc.send(cms); err != nil {
-		return err
-	}
-
-	// The wait for the decommit is the verifier's barrier plus one
-	// round-trip; it shows up as its own span so wire stalls are visible.
-	awaitTr := trace.Start(ctx, "wire.await_decommit")
-	var decommit DecommitMsg
-	err = cc.recv(&decommit)
-	awaitTr.End()
-	if err != nil {
-		return fmt.Errorf("transport: reading decommit: %w", err)
-	}
-	if err := prover.HandleDecommit(decommit.Req); err != nil {
-		_ = cc.send(ResponsesMsg{Err: err.Error()})
-		return err
-	}
-	resp := ResponsesMsg{Items: make([]*vc.Response, n)}
-	respondTr, respondCtx := trace.Child(ctx, "vc.respond")
-	defer respondTr.End()
-	if err := vc.ForEach(ctx, n, workers, func(i int) error {
-		isp := trace.Start(respondCtx, "prover.respond").WithArg("instance", int64(i))
-		defer isp.End()
-		r, err := prover.Respond(ctx, states[i])
-		if err != nil {
-			return fmt.Errorf("instance %d: %w", i, err)
-		}
-		resp.Items[i] = r
-		return nil
-	}); err != nil {
-		_ = cc.send(ResponsesMsg{Err: err.Error()})
-		return err
-	}
-	respondTr.End()
-	reg.Counter(MetricServedInstance).Add(int64(n))
-	// Close the session span before snapshotting: unfinished spans are
-	// never recorded, and the verifier imports exactly what we ship here.
-	sessTr.End()
-	if tc != nil {
-		resp.Trace = tc.Recorder().Snapshot()
-	}
-	return cc.send(resp)
-}
-
-// ClientOptions configures the verifier side of a session.
-type ClientOptions struct {
-	// Seed fixes the verifier's randomness; empty draws fresh randomness.
-	Seed []byte
-	// Group overrides the ElGamal group (tests with non-production fields).
-	Group *elgamal.Group
-	// Workers is the verifier's parallelism over per-instance checks;
-	// 0 or 1 verifies serially.
-	Workers int
-	// IOTimeout, when positive, is the per-message read/write deadline on
-	// every prover connection.
-	IOTimeout time.Duration
-	// Obs receives the client's counters and spans; nil uses
-	// obs.Default().
-	Obs *obs.Registry
-}
-
-func (o ClientOptions) registry() *obs.Registry {
-	if o.Obs != nil {
-		return o.Obs
-	}
-	return obs.Default()
-}
-
-// RunSession drives the verifier side over an established connection. The
-// protocol parameters come from hello, which both sides see; the verifier's
-// secret randomness does not.
-func RunSession(ctx context.Context, conn net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (*SessionResult, error) {
-	return RunSessionDistributed(ctx, []net.Conn{conn}, hello, opts, batch)
-}
-
-// clientLeg is the verifier's state for one prover connection.
-type clientLeg struct {
-	cc    *timedCodec
-	chunk [][]*big.Int
-	cms   []*vc.Commitment
-	resps []*vc.Response
-}
-
-// RunSessionDistributed splits a batch across several prover connections —
-// the paper's distributed prover (§5.1: "the prover can be distributed over
-// multiple machines, with each machine computing a subset of a batch").
-// Binding is preserved because the query seed is revealed only after every
-// prover's commitments have arrived. Cancelling ctx closes the connections
-// and returns ctx.Err().
-func RunSessionDistributed(ctx context.Context, conns []net.Conn, hello Hello, opts ClientOptions, batch [][]*big.Int) (res *SessionResult, err error) {
-	if len(conns) == 0 {
-		return nil, errors.New("transport: no prover connections")
-	}
-	if err := hello.validate(); err != nil {
-		return nil, err
-	}
-	for _, conn := range conns {
-		defer watch(ctx, conn)()
-	}
-	reg := opts.registry()
-	reg.Counter(MetricClientSessions).Inc()
-	span := reg.StartSpan(MetricSpanClient)
-	defer func() {
-		span.End()
-		err = ctxErr(ctx, err)
-	}()
-	// Root the session's trace (if the caller attached one) and stamp its
-	// identifiers into the hello so the provers' spans join this trace.
-	sessTr, ctx := trace.Child(ctx, "transport.session")
-	sessTr.WithArg("provers", int64(len(conns))).WithArg("instances", int64(len(batch)))
-	defer sessTr.End()
-	tc := trace.FromContext(ctx)
-	hello.Trace = tc.TraceID()
-	hello.TraceParent = tc.SpanID()
-
-	compileTr := trace.Start(ctx, "verifier.compile")
-	prog, err := compiler.Compile(hello.fieldOf(), hello.Source)
-	compileTr.End()
-	if err != nil {
-		return nil, err
-	}
-	cfg := hello.config(0, opts.Seed)
-	cfg.Group = opts.Group
-	cfg.Obs = opts.Obs
-	setupTr, setupCtx := trace.Child(ctx, "vc.setup")
-	verifier, err := vc.NewVerifierCtx(setupCtx, prog, cfg)
-	setupTr.End()
-	if err != nil {
-		return nil, err
-	}
-
-	// Partition the batch into contiguous chunks, one per prover.
-	legs := make([]*clientLeg, 0, len(conns))
-	per := (len(batch) + len(conns) - 1) / len(conns)
-	for i, conn := range conns {
-		lo := i * per
-		if lo >= len(batch) {
-			break
-		}
-		hi := min(lo+per, len(batch))
-		legs = append(legs, &clientLeg{
-			cc:    newTimedCodec(conn, opts.IOTimeout),
-			chunk: batch[lo:hi],
-		})
-	}
-
-	// Stage 1: hello + commit request + inputs to every prover; collect all
-	// commitments before revealing anything further (the soundness
-	// barrier).
-	req := verifier.Setup()
-	commitTr := trace.Start(ctx, "wire.commit_exchange")
-	for _, leg := range legs {
-		if err := leg.cc.send(hello); err != nil {
-			return nil, err
-		}
-		var ack HelloAck
-		if err := leg.cc.recv(&ack); err != nil {
-			return nil, err
-		}
-		if ack.Err != "" {
-			return nil, &RemoteError{Phase: "hello", Msg: ack.Err}
-		}
-		if ack.NumInputs != prog.NumInputs() || ack.NumOutputs != prog.NumOutputs() {
-			return nil, errors.New("transport: prover disagrees on the io shape")
-		}
-		if err := leg.cc.send(BatchMsg{Req: req, Instances: leg.chunk}); err != nil {
-			return nil, err
-		}
-	}
-	for _, leg := range legs {
-		var cms CommitmentsMsg
-		if err := leg.cc.recv(&cms); err != nil {
-			return nil, err
-		}
-		if cms.Err != "" {
-			return nil, &RemoteError{Phase: "commit", Msg: cms.Err}
-		}
-		if len(cms.Items) != len(leg.chunk) {
-			return nil, errors.New("transport: commitment count mismatch")
-		}
-		leg.cms = cms.Items
-	}
-	commitTr.End()
-
-	// Stage 2: decommit to every prover, collect responses.
-	decommitTr := trace.Start(ctx, "vc.decommit")
-	dreq, err := verifier.Decommit()
-	decommitTr.End()
-	if err != nil {
-		return nil, err
-	}
-	respondTr := trace.Start(ctx, "wire.respond_exchange")
-	for _, leg := range legs {
-		if err := leg.cc.send(DecommitMsg{Req: dreq}); err != nil {
-			return nil, err
-		}
-	}
-	for _, leg := range legs {
-		var resp ResponsesMsg
-		if err := leg.cc.recv(&resp); err != nil {
-			return nil, err
-		}
-		if resp.Err != "" {
-			return nil, &RemoteError{Phase: "respond", Msg: resp.Err}
-		}
-		if len(resp.Items) != len(leg.chunk) {
-			return nil, errors.New("transport: response count mismatch")
-		}
-		leg.resps = resp.Items
-		// Stitch this prover's spans into our timeline (records from any
-		// other trace are dropped by Import).
-		tc.Import(resp.Trace)
-	}
-	respondTr.End()
-
-	// Stage 3: verify everything — in parallel over opts.Workers; the
-	// verifier's state is read-only after Decommit.
-	type flat struct {
-		in   []*big.Int
-		cm   *vc.Commitment
-		resp *vc.Response
-	}
-	items := make([]flat, 0, len(batch))
-	for _, leg := range legs {
-		for i := range leg.chunk {
-			items = append(items, flat{leg.chunk[i], leg.cms[i], leg.resps[i]})
-		}
-	}
-	out := &SessionResult{
-		Accepted: make([]bool, len(items)),
-		Reasons:  make([]string, len(items)),
-		Outputs:  make([][]*big.Int, len(items)),
-	}
-	verifyTr, verifyCtx := trace.Child(ctx, "vc.verify_stage")
-	defer verifyTr.End()
-	if err := vc.ForEach(ctx, len(items), opts.Workers, func(i int) error {
-		vsp := trace.Start(verifyCtx, "vc.verify").WithArg("instance", int64(i))
-		defer vsp.End()
-		ok, reason := verifier.VerifyInstance(ctx, items[i].in, items[i].cm, items[i].resp)
-		out.Accepted[i] = ok
-		out.Reasons[i] = reason
-		out.Outputs[i] = items[i].cm.Output
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	verifyTr.End()
-	return out, nil
+// ServeConn handles one verifier connection on the prover side with a
+// throwaway single-session service: compile the received program, then
+// serve its batches until the session ends, the context is cancelled, or
+// the peer stalls past opts.IOTimeout. Long-lived deployments should hold
+// one Service and call its ServeConn instead, which is what makes the
+// program cache and admission control span connections.
+func ServeConn(ctx context.Context, conn net.Conn, opts ServerOptions) error {
+	svc := NewService(ServiceOptions{
+		Workers:     opts.Workers,
+		MaxSessions: 1,
+		MaxBatch:    opts.MaxBatch,
+		IOTimeout:   opts.IOTimeout,
+		CacheSize:   1,
+		Obs:         opts.Obs,
+	})
+	return svc.ServeConn(ctx, conn)
 }

@@ -63,16 +63,46 @@ type InstanceState struct {
 	Times  ProverTimes
 }
 
-// NewProver prepares the prover for a computation.
-func NewProver(prog *compiler.Program, cfg Config) (*Prover, error) {
-	p := &Prover{Prog: prog, Cfg: cfg}
-	if cfg.Protocol == Zaatar {
+// Precomputation holds the protocol-dependent prover-side state that
+// depends only on the compiled program, not on a batch: for Zaatar the QAP
+// encoding (divisor polynomial, Newton inverse series, NTT subproduct
+// tree). It is immutable and safe to share between concurrent provers, so a
+// long-lived service can build it once per program and hand it to every
+// session (transport.Service does exactly that).
+type Precomputation struct {
+	Protocol Protocol
+	q        *qap.QAP
+}
+
+// Preprocess builds the prover-side precomputation for a program under the
+// given protocol.
+func Preprocess(prog *compiler.Program, protocol Protocol) (*Precomputation, error) {
+	pre := &Precomputation{Protocol: protocol}
+	if protocol == Zaatar {
 		var err error
-		if p.q, err = qap.New(prog.Field, prog.Quad); err != nil {
+		if pre.q, err = qap.New(prog.Field, prog.Quad); err != nil {
 			return nil, err
 		}
 	}
-	return p, nil
+	return pre, nil
+}
+
+// NewProver prepares the prover for a computation.
+func NewProver(prog *compiler.Program, cfg Config) (*Prover, error) {
+	return NewProverPre(prog, cfg, nil)
+}
+
+// NewProverPre is NewProver reusing a cached Precomputation; pre may be nil
+// (or built for a different protocol), in which case the precomputation is
+// performed here.
+func NewProverPre(prog *compiler.Program, cfg Config, pre *Precomputation) (*Prover, error) {
+	if pre == nil || pre.Protocol != cfg.Protocol {
+		var err error
+		if pre, err = Preprocess(prog, cfg.Protocol); err != nil {
+			return nil, err
+		}
+	}
+	return &Prover{Prog: prog, Cfg: cfg, q: pre.q}, nil
 }
 
 // HandleCommitRequest stores the batch's encrypted commitment vectors.

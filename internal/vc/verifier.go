@@ -106,6 +106,34 @@ func NewVerifierCtx(ctx context.Context, prog *compiler.Program, cfg Config) (*V
 	return v, nil
 }
 
+// Reseed redraws the verifier's query randomness for a fresh batch while
+// keeping the commitment keys — the reuse behind wire-protocol v2's session
+// keep-alive. The seed semantics match Config.Seed: empty draws fresh
+// randomness from crypto/rand. Binding is preserved because the next
+// batch's queries derive from the new seed, which is revealed only after
+// that batch's commitments have been collected; the commitment vectors r
+// themselves are never revealed (each Decommit publishes only
+// t = r + Σ αᵢqᵢ under fresh secret α's).
+func (v *Verifier) Reseed(seed []byte) error {
+	cfg := v.Cfg
+	cfg.Seed = seed
+	s, err := freshSeed(cfg)
+	if err != nil {
+		return err
+	}
+	v.seed = s
+	if v.zaatar, v.ginger, err = queriesFromSeed(v.Prog, v.Cfg, v.q, s); err != nil {
+		return err
+	}
+	if v.Cfg.Protocol == Zaatar {
+		v.queries1, v.queries2 = v.zaatar.ZQueries, v.zaatar.HQueries
+	} else {
+		v.queries1, v.queries2 = v.ginger.Z1Queries, v.ginger.Z2Queries
+	}
+	v.decommitBuilt = false
+	return nil
+}
+
 // oracleLens returns the two proof-vector lengths |u₁|, |u₂|.
 func (v *Verifier) oracleLens() (int, int) {
 	if v.Cfg.Protocol == Zaatar {

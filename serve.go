@@ -1,0 +1,82 @@
+package zaatar
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"zaatar/internal/obs"
+	"zaatar/internal/transport"
+)
+
+// serverOptions wraps the service configuration so ServerOption's
+// signature stays free of internal types.
+type serverOptions struct {
+	svc transport.ServiceOptions
+}
+
+// ServerOption configures Serve.
+type ServerOption func(*serverOptions)
+
+// WithServerWorkers sets the service-wide kernel pool: the total prover
+// parallelism shared by every admitted session (each session gets an equal
+// share). Defaults to runtime.NumCPU().
+func WithServerWorkers(n int) ServerOption {
+	return func(o *serverOptions) { o.svc.Workers = n }
+}
+
+// WithMaxSessions bounds how many sessions may compute concurrently; the
+// rest wait in admission. An idle keep-alive connection does not hold a
+// slot. Defaults to 16.
+func WithMaxSessions(n int) ServerOption {
+	return func(o *serverOptions) { o.svc.MaxSessions = n }
+}
+
+// WithMaxBatch bounds the number of instances a client may submit per
+// batch. Defaults to 1<<16.
+func WithMaxBatch(n int) ServerOption {
+	return func(o *serverOptions) { o.svc.MaxBatch = n }
+}
+
+// WithServerIOTimeout sets the per-message read/write deadline on every
+// connection; it also bounds how long an idle keep-alive connection may sit
+// between batches.
+func WithServerIOTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.svc.IOTimeout = d }
+}
+
+// WithProgramCacheSize sets how many compiled programs (with their
+// prover-side precomputations) the service keeps in its cross-session LRU.
+// Defaults to 32.
+func WithProgramCacheSize(n int) ServerOption {
+	return func(o *serverOptions) { o.svc.CacheSize = n }
+}
+
+// WithServerMetrics directs the service's counters and spans (the
+// transport.*, including transport.cache.* and transport.admission.*
+// series) into r instead of the process-wide default registry.
+func WithServerMetrics(r *obs.Registry) ServerOption {
+	return func(o *serverOptions) { o.svc.Obs = r }
+}
+
+// WithServerLogf installs a logger receiving one line per failed session
+// from the accept loop (e.g. log.Printf). By default failures are silent.
+func WithServerLogf(logf func(format string, args ...any)) ServerOption {
+	return func(o *serverOptions) { o.svc.Logf = logf }
+}
+
+// Serve runs a long-lived multi-tenant prover service on ln until ctx is
+// cancelled (or ln fails), then drains in-flight sessions and returns.
+// Compiled programs are cached across sessions in an LRU keyed by source,
+// field, and protocol — a repeat session for the same program skips
+// compilation — and a bounded admission semaphore shares the kernel pool
+// fairly among concurrent sessions. The service speaks wire protocol v2
+// (session keep-alive: many batches per connection, reusing the program
+// and commitment key) and transparently falls back to v1 for old peers.
+func Serve(ctx context.Context, ln net.Listener, opts ...ServerOption) error {
+	var o serverOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return transport.NewService(o.svc).Serve(ctx, ln)
+}

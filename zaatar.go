@@ -25,15 +25,21 @@
 //	// res.Accepted[0] == true, res.Outputs[0][0].Int64() == 7
 //
 // Run drives a whole batch in-process. For a real deployment split the two
-// ends with NewVerifier and NewProver, moving the exported message types
-// (CommitRequest, Commitment, DecommitRequest, Response) across the wire;
-// cmd/zaatar-server and cmd/zaatar-client do exactly that over TCP with gob
-// encoding.
+// ends over the network: Serve runs a long-lived multi-tenant prover
+// service on a listener, and Dial connects a verifier-side Client that can
+// push many batches over one kept-alive connection (wire protocol v2, with
+// automatic fallback for v1 peers). cmd/zaatar-server and cmd/zaatar-client
+// are thin wrappers over exactly these two calls. Lower still, NewVerifier
+// and NewProver expose the raw phases, moving the exported message types
+// (CommitRequest, Commitment, DecommitRequest, Response) across any
+// transport of your own.
 package zaatar
 
 import (
 	"context"
+	"fmt"
 	"math/big"
+	"time"
 
 	"zaatar/internal/compiler"
 	"zaatar/internal/elgamal"
@@ -66,72 +72,129 @@ type (
 	Prover = vc.Prover
 )
 
-// Option configures compilation and protocol runs.
-type Option func(*options)
+// CompileOption configures compilation (Compile). Options that only affect
+// protocol runs do not satisfy it, so passing, say, WithParams to Compile
+// is a compile-time error.
+type CompileOption interface{ applyCompile(*options) }
 
-type options struct {
-	field *field.Field
-	cfg   vc.Config
+// RunOption configures protocol runs (Run, RunContext, NewVerifier,
+// NewProver, Dial). Every Option (such as WithField220) also satisfies
+// RunOption.
+type RunOption interface{ applyRun(*options) }
+
+// Option configures both compilation and protocol runs; it satisfies
+// CompileOption and RunOption. Options that affect both phases — today only
+// the field choice — must be passed to Compile and Run alike: a program
+// compiled over one field cannot be run over another, and Run reports a
+// mismatch as an error.
+type Option interface {
+	CompileOption
+	RunOption
 }
 
-func buildOptions(opts []Option) options {
+type options struct {
+	field    *field.Field
+	fieldSet bool
+	cfg      vc.Config
+	ioTo     time.Duration
+}
+
+// bothOption implements Option; runOption implements only RunOption.
+type bothOption func(*options)
+
+func (f bothOption) applyCompile(o *options) { f(o) }
+func (f bothOption) applyRun(o *options)     { f(o) }
+
+type runOption func(*options)
+
+func (f runOption) applyRun(o *options) { f(o) }
+
+func buildCompileOptions(opts []CompileOption) options {
 	o := options{field: field.F128()}
 	for _, fn := range opts {
-		fn(&o)
+		fn.applyCompile(&o)
 	}
 	return o
 }
 
+func buildRunOptions(opts []RunOption) options {
+	o := options{field: field.F128()}
+	for _, fn := range opts {
+		fn.applyRun(&o)
+	}
+	return o
+}
+
+// checkField catches a field option passed to a run but not to Compile:
+// the program's arithmetic lives in the field it was compiled for, so the
+// run must agree. (In earlier releases the run-side field was silently
+// ignored, surfacing later as confusing constraint failures.)
+func checkField(prog *Program, o options) error {
+	if o.fieldSet && prog.Field != o.field {
+		return fmt.Errorf("zaatar: program compiled for field %s but run options select %s; pass the same field option to Compile",
+			prog.Field.Name(), o.field.Name())
+	}
+	return nil
+}
+
 // WithField220 selects the 220-bit field of §5.1 (larger integer capacity,
-// slower arithmetic) instead of the default 128-bit field.
+// slower arithmetic) instead of the default 128-bit field. It affects both
+// compilation and runs; pass it to Compile and to Run (or Dial) alike.
 func WithField220() Option {
-	return func(o *options) { o.field = field.F220() }
+	return bothOption(func(o *options) { o.field = field.F220(); o.fieldSet = true })
 }
 
 // WithGingerProtocol selects the baseline quadratic proof encoding instead
 // of the QAP-based one — useful only for comparison; it is restricted to
 // small computations because the proof vector is |Z|².
-func WithGingerProtocol() Option {
-	return func(o *options) { o.cfg.Protocol = vc.Ginger }
+func WithGingerProtocol() RunOption {
+	return runOption(func(o *options) { o.cfg.Protocol = vc.Ginger })
 }
 
 // WithParams overrides the PCP repetition counts (ρ_lin, ρ). The default is
 // the paper's production setting (20, 8) with soundness error below
 // 9.6×10⁻⁷; tests use smaller values for speed.
-func WithParams(rhoLin, rho int) Option {
-	return func(o *options) { o.cfg.Params = pcp.Params{RhoLin: rhoLin, Rho: rho} }
+func WithParams(rhoLin, rho int) RunOption {
+	return runOption(func(o *options) { o.cfg.Params = pcp.Params{RhoLin: rhoLin, Rho: rho} })
 }
 
 // WithWorkers sets the prover's parallelism over a batch (the paper's
-// distributed/GPU prover, Figure 6).
-func WithWorkers(n int) Option {
-	return func(o *options) { o.cfg.Workers = n }
+// distributed/GPU prover, Figure 6). On a Dial'ed client it sets the
+// verifier-side parallelism over per-instance checks.
+func WithWorkers(n int) RunOption {
+	return runOption(func(o *options) { o.cfg.Workers = n })
 }
 
 // WithSeed fixes the verifier's randomness for reproducible runs. Do not
 // use a fixed seed when soundness matters.
-func WithSeed(seed []byte) Option {
-	return func(o *options) { o.cfg.Seed = append([]byte(nil), seed...) }
+func WithSeed(seed []byte) RunOption {
+	return runOption(func(o *options) { o.cfg.Seed = append([]byte(nil), seed...) })
 }
 
 // WithoutCommitment disables the cryptographic commitment, leaving the bare
 // PCP. Orders of magnitude faster, but sound only against provers that
 // honestly fix a linear proof function; intended for experiments.
-func WithoutCommitment() Option {
-	return func(o *options) { o.cfg.NoCommitment = true }
+func WithoutCommitment() RunOption {
+	return runOption(func(o *options) { o.cfg.NoCommitment = true })
 }
 
 // WithGroup overrides the ElGamal group (e.g. a test group over a small
 // field).
-func WithGroup(g *elgamal.Group) Option {
-	return func(o *options) { o.cfg.Group = g }
+func WithGroup(g *elgamal.Group) RunOption {
+	return runOption(func(o *options) { o.cfg.Group = g })
 }
 
 // WithMetrics directs the run's counters and per-phase latency histograms
 // into r instead of the process-wide default registry. See Metrics for the
 // default registry and the exported metric names in the vc package.
-func WithMetrics(r *obs.Registry) Option {
-	return func(o *options) { o.cfg.Obs = r }
+func WithMetrics(r *obs.Registry) RunOption {
+	return runOption(func(o *options) { o.cfg.Obs = r })
+}
+
+// WithIOTimeout sets the per-message read/write deadline on a Dial'ed
+// client's connections; in-process runs ignore it.
+func WithIOTimeout(d time.Duration) RunOption {
+	return runOption(func(o *options) { o.ioTo = d })
 }
 
 // Metrics returns the process-wide metrics registry that protocol runs
@@ -144,35 +207,44 @@ func DefaultParams() pcp.Params { return pcp.DefaultParams() }
 
 // Compile translates a mini-SFDL program (see the language reference in the
 // README) into constraint systems and a witness solver.
-func Compile(src string, opts ...Option) (*Program, error) {
-	o := buildOptions(opts)
+func Compile(src string, opts ...CompileOption) (*Program, error) {
+	o := buildCompileOptions(opts)
 	return compiler.Compile(o.field, src)
 }
 
 // Run drives the full batched protocol in-process: one verifier, one prover
 // (with the configured worker parallelism), len(batch) instances. It
 // returns per-instance acceptance, outputs, and timing decompositions.
-func Run(prog *Program, batch [][]*big.Int, opts ...Option) (*Result, error) {
+func Run(prog *Program, batch [][]*big.Int, opts ...RunOption) (*Result, error) {
 	return RunContext(context.Background(), prog, batch, opts...)
 }
 
 // RunContext is Run with cancellation: the staged pipeline checks ctx
 // between per-instance steps and aborts promptly with ctx.Err() when it is
 // cancelled.
-func RunContext(ctx context.Context, prog *Program, batch [][]*big.Int, opts ...Option) (*Result, error) {
-	o := buildOptions(opts)
+func RunContext(ctx context.Context, prog *Program, batch [][]*big.Int, opts ...RunOption) (*Result, error) {
+	o := buildRunOptions(opts)
+	if err := checkField(prog, o); err != nil {
+		return nil, err
+	}
 	return vc.RunBatch(ctx, prog, o.cfg, batch)
 }
 
 // NewVerifier creates one batch's verifier for a compiled program.
-func NewVerifier(prog *Program, opts ...Option) (*Verifier, error) {
-	o := buildOptions(opts)
+func NewVerifier(prog *Program, opts ...RunOption) (*Verifier, error) {
+	o := buildRunOptions(opts)
+	if err := checkField(prog, o); err != nil {
+		return nil, err
+	}
 	return vc.NewVerifier(prog, o.cfg)
 }
 
 // NewProver creates a prover for a compiled program.
-func NewProver(prog *Program, opts ...Option) (*Prover, error) {
-	o := buildOptions(opts)
+func NewProver(prog *Program, opts ...RunOption) (*Prover, error) {
+	o := buildRunOptions(opts)
+	if err := checkField(prog, o); err != nil {
+		return nil, err
+	}
 	return vc.NewProver(prog, o.cfg)
 }
 

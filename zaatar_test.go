@@ -55,7 +55,7 @@ func TestSplitVerifierProver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := []Option{WithParams(1, 1), WithGroup(testGroup(t)), WithSeed([]byte("s"))}
+	opts := []RunOption{WithParams(1, 1), WithGroup(testGroup(t)), WithSeed([]byte("s"))}
 	v, err := NewVerifier(prog, opts...)
 	if err != nil {
 		t.Fatal(err)
