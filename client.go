@@ -25,11 +25,14 @@ type ProtocolVersionError = transport.ProtocolVersionError
 
 // Client is the verifier side of a kept-alive session with one or more
 // prover servers. Dial negotiates the wire version and performs the
-// one-time session setup (compilation and commitment-key generation); each
-// RunBatch then proves and verifies one batch. Under wire protocol v2 all
-// batches share the connection, the server's cached program, and the
-// commitment key, so batches after the first pay almost no setup cost. A
-// Client is safe for sequential use; RunBatch calls are serialized.
+// one-time session setup (compilation plus the first batch's key
+// generation); each RunBatch then proves and verifies one batch. Under
+// wire protocol v2 all batches share the connection, the negotiated
+// program, and the server's cached compilation, so batches after the
+// first skip compilation and negotiation entirely; the commitment key is
+// redrawn per batch (reusing it across decommits would leak its secret
+// vector). A Client is safe for sequential use; RunBatch calls are
+// serialized.
 type Client struct {
 	sess *transport.Session
 }
@@ -87,8 +90,8 @@ func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, er
 }
 
 // RunBatch proves and verifies one batch of instances against the session's
-// provers. The first batch carries the session's commit request; on a v2
-// session later batches reuse it and only redraw the query seed.
+// provers. Every batch carries its own commit request and query seed; on a
+// v2 session the connection and the negotiated program carry over.
 func (c *Client) RunBatch(ctx context.Context, batch [][]*big.Int) (*SessionResult, error) {
 	return c.sess.RunBatch(ctx, batch)
 }
@@ -102,9 +105,9 @@ func (c *Client) Program() *Program { return c.sess.Program() }
 // only speaks the legacy one-batch dialect.
 func (c *Client) WireVersion() int { return c.sess.WireVersion() }
 
-// SetupDuration reports the one-time verifier setup cost paid at Dial
-// (query construction plus commitment-key generation) — the amortized cost
-// that batching and keep-alive spread over many instances.
+// SetupDuration reports the verifier setup cost paid at Dial (query
+// construction plus the first batch's commitment-key generation) — the
+// amortized cost that batching spreads over a batch's instances.
 func (c *Client) SetupDuration() time.Duration { return c.sess.SetupDuration() }
 
 // Close ends the session (v2 peers get a clean goodbye frame) and closes

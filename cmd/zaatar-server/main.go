@@ -43,8 +43,10 @@ func main() {
 		workers     = flag.Int("workers", runtime.NumCPU(), "service-wide prover worker pool, shared by admitted sessions")
 		maxSessions = flag.Int("maxsessions", 16, "how many sessions may compute concurrently")
 		maxBatch    = flag.Int("maxbatch", 4096, "maximum batch size per session")
+		maxConns    = flag.Int("maxconns", 0, "open connections kept at once, idle included (0 = 16*maxsessions, <0 unlimited)")
 		cacheSize   = flag.Int("cache", 32, "compiled programs kept in the cross-session LRU")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
+		idleTimeout = flag.Duration("idletimeout", 0, "reap keep-alive connections idle this long between batches (0 = 2m, <0 disables)")
 		metrics     = flag.String("metrics", "", "address for the HTTP metrics endpoint (empty disables)")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -metrics address")
 		drain       = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight sessions on shutdown")
@@ -126,8 +128,10 @@ func main() {
 		zaatar.WithServerWorkers(*workers),
 		zaatar.WithMaxSessions(*maxSessions),
 		zaatar.WithMaxBatch(*maxBatch),
+		zaatar.WithMaxConns(*maxConns),
 		zaatar.WithProgramCacheSize(*cacheSize),
 		zaatar.WithServerIOTimeout(*timeout),
+		zaatar.WithIdleTimeout(*idleTimeout),
 		zaatar.WithServerMetrics(reg),
 		zaatar.WithServerLogf(log.Printf),
 	); err != nil {

@@ -21,8 +21,11 @@ type CacheCurvePoint struct {
 	// SetupMs is the session-open wall (hello/ack round trip; the program
 	// comes from the server's cache).
 	SetupMs float64 `json:"setup_ms"`
-	// FirstBatchMs pays the verifier's query construction and commitment
-	// key; MeanLaterMs is the steady-state per-batch wall (reseed only).
+	// FirstBatchMs is the first batch's wall; MeanLaterMs is the
+	// steady-state per-batch wall. Later batches skip compilation and
+	// negotiation but still reseed and re-key (the commitment key is
+	// per-batch for soundness), so the gap between the two measures only
+	// what keep-alive legitimately amortizes.
 	FirstBatchMs float64 `json:"first_batch_ms"`
 	MeanLaterMs  float64 `json:"mean_later_batch_ms"`
 	// AmortizedMs is (setup + all batches) / n — the quantity the keep-alive

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,10 +33,22 @@ type ServiceOptions struct {
 	// MaxBatch bounds the number of instances a client may submit per
 	// batch. Defaults to 1<<16.
 	MaxBatch int
+	// MaxConns bounds how many connections Serve keeps open at once —
+	// including idle keep-alive connections, which hold no admission slot
+	// but still pin a goroutine and their compiled program. Connections
+	// beyond the cap are refused at accept (counted in
+	// transport.conns.rejected). Defaults to 16×MaxSessions; negative
+	// means unlimited.
+	MaxConns int
 	// IOTimeout, when positive, is the per-message read/write deadline on
-	// every connection. It also bounds how long an idle keep-alive
-	// connection may sit between batches.
+	// every connection.
 	IOTimeout time.Duration
+	// IdleTimeout bounds how long a kept-alive connection may sit idle
+	// between batches before the server reaps it (a clean end, counted in
+	// transport.idle.closed — not a session error). It applies even when
+	// IOTimeout is zero, so idle v2 connections cannot accumulate forever.
+	// Defaults to 2 minutes; negative disables the bound.
+	IdleTimeout time.Duration
 	// CacheSize is the number of compiled programs kept in the LRU shared
 	// across sessions. Defaults to 32.
 	CacheSize int
@@ -51,18 +64,22 @@ type ServiceOptions struct {
 // of compiled programs (so repeat sessions for the same Ψ skip compilation
 // and QAP preprocessing) and a bounded admission semaphore (so concurrent
 // sessions share the kernel pool fairly). It speaks wire protocol v2 —
-// multiple batches per connection, reusing the negotiated program and
-// commitment key — and falls back to v1 transparently for legacy peers.
+// multiple batches per connection, reusing the negotiated program while
+// each batch brings its own commit request — and falls back to v1
+// transparently for legacy peers.
 type Service struct {
 	workers     int
 	maxSessions int
 	maxBatch    int
+	maxConns    int
 	ioTimeout   time.Duration
+	idleTimeout time.Duration
 	logf        func(format string, args ...any)
 
 	reg    *obs.Registry
 	sem    chan struct{}
 	active atomic.Int64
+	conns  atomic.Int64
 
 	mu    sync.Mutex
 	cache *programCache
@@ -87,6 +104,20 @@ func NewService(opts ServiceOptions) *Service {
 	if maxBatch < 1 {
 		maxBatch = 1 << 16
 	}
+	maxConns := opts.MaxConns
+	switch {
+	case maxConns == 0:
+		maxConns = 16 * maxSessions
+	case maxConns < 0:
+		maxConns = 0 // unlimited
+	}
+	idle := opts.IdleTimeout
+	switch {
+	case idle == 0:
+		idle = 2 * time.Minute
+	case idle < 0:
+		idle = 0 // unbounded
+	}
 	cacheSize := opts.CacheSize
 	if cacheSize < 1 {
 		cacheSize = 32
@@ -95,7 +126,9 @@ func NewService(opts ServiceOptions) *Service {
 		workers:     workers,
 		maxSessions: maxSessions,
 		maxBatch:    maxBatch,
+		maxConns:    maxConns,
 		ioTimeout:   opts.IOTimeout,
+		idleTimeout: idle,
 		logf:        opts.Logf,
 		reg:         reg,
 		sem:         make(chan struct{}, maxSessions),
@@ -105,8 +138,9 @@ func NewService(opts ServiceOptions) *Service {
 
 // Serve accepts connections on ln and serves each in its own goroutine
 // until ctx is cancelled or the listener is closed, then waits for the
-// in-flight sessions to drain. Per-session failures are reported through
-// ServiceOptions.Logf, not returned.
+// in-flight sessions to drain. Connections beyond MaxConns — open ones,
+// computing or idle — are refused at accept. Per-session failures are
+// reported through ServiceOptions.Logf, not returned.
 func (s *Service) Serve(ctx context.Context, ln net.Listener) error {
 	defer context.AfterFunc(ctx, func() { _ = ln.Close() })()
 	var wg sync.WaitGroup
@@ -119,9 +153,23 @@ func (s *Service) Serve(ctx context.Context, ln net.Listener) error {
 			}
 			return err
 		}
+		if s.maxConns > 0 && s.conns.Add(1) > int64(s.maxConns) {
+			s.conns.Add(-1)
+			s.reg.Counter(MetricConnsRejected).Inc()
+			if s.logf != nil {
+				s.logf("conn %v: refused: %d connections already open (MaxConns)", conn.RemoteAddr(), s.maxConns)
+			}
+			_ = conn.Close()
+			continue
+		}
+		s.reg.Counter(MetricConnsOpen).Inc()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				s.conns.Add(-1)
+				s.reg.Counter(MetricConnsOpen).Add(-1)
+			}()
 			if err := s.ServeConn(ctx, conn); err != nil && s.logf != nil {
 				s.logf("session %v: %v", conn.RemoteAddr(), err)
 			}
@@ -182,11 +230,19 @@ func (s *Service) program(ctx context.Context, hello Hello) (*cacheEntry, error)
 	return entry, nil
 }
 
-// disconnected reports a peer hangup, which after at least one completed
-// batch is a clean end of a v2 keep-alive session rather than an error.
-func disconnected(err error) bool {
-	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
-		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed)
+// cleanHangup reports a peer hangup at a message boundary — gob sees a bare
+// io.EOF only between frames — which after at least one completed batch is
+// the clean end of a v2 keep-alive session. A peer dying mid-frame surfaces
+// as io.ErrUnexpectedEOF (or a reset) and stays a session error: that peer
+// believed it was mid-protocol.
+func cleanHangup(err error) bool {
+	return errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// idleExpired reports a read deadline hit while waiting for the next batch.
+func idleExpired(err error) bool {
+	var ne net.Error
+	return errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout())
 }
 
 // ServeConn handles one verifier connection: negotiate the wire version,
@@ -285,11 +341,25 @@ func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
 		return out
 	}
 
+	// Waits for the next batch are bounded by the idle timeout (stretched to
+	// IOTimeout when that is longer): an idle keep-alive connection holds no
+	// admission slot but still pins a goroutine and its program, so with no
+	// bound a public service could be drained by parked connections.
+	idle := s.idleTimeout
+	if s.ioTimeout > idle && idle > 0 {
+		idle = s.ioTimeout
+	}
 	for batches := 0; ; batches++ {
 		var batch BatchMsg
-		if err := cc.recv(&batch); err != nil {
-			if batches > 0 && disconnected(err) && ctx.Err() == nil {
-				return nil // keep-alive peer hung up between batches: clean end
+		if err := cc.recvTimeout(&batch, idle); err != nil {
+			if ctx.Err() == nil {
+				if idle > 0 && idleExpired(err) {
+					s.reg.Counter(MetricIdleClosed).Inc()
+					return nil // idle connection reaped: clean end, not an error
+				}
+				if batches > 0 && cleanHangup(err) {
+					return nil // keep-alive peer hung up between batches
+				}
 			}
 			return fmt.Errorf("transport: reading batch: %w", err)
 		}

@@ -95,17 +95,96 @@ func TestKeepAliveMultiBatch(t *testing.T) {
 	}
 }
 
-// TestKeepAliveCommitmentKeyReuse runs two committed batches on one
-// session: the ElGamal commitment key is generated once at session setup
-// and reused, with fresh query seeds (and fresh consistency secrets) per
-// batch.
-func TestKeepAliveCommitmentKeyReuse(t *testing.T) {
+// recordingProver is a hand-rolled v2 prover loop that hands each wire
+// message to the callbacks (either may be nil) before handling it — tests
+// use it to observe protocol-level invariants the real Service does not
+// surface.
+func recordingProver(server net.Conn, onBatch func(BatchMsg), onDecommit func(DecommitMsg)) error {
+	defer server.Close()
+	dec, enc := gob.NewDecoder(server), gob.NewEncoder(server)
+	var h Hello
+	if err := dec.Decode(&h); err != nil {
+		return err
+	}
+	prog, err := compiler.Compile(h.fieldOf(), h.Source)
+	if err != nil {
+		return err
+	}
+	prover, err := vc.NewProver(prog, h.config(1, nil))
+	if err != nil {
+		return err
+	}
+	if err := enc.Encode(HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs(), Version: ProtocolV2}); err != nil {
+		return err
+	}
+	for {
+		var b BatchMsg
+		if err := dec.Decode(&b); err != nil {
+			return err
+		}
+		if b.Close {
+			return nil
+		}
+		if onBatch != nil {
+			onBatch(b)
+		}
+		if b.Req != nil {
+			prover.HandleCommitRequest(b.Req)
+		}
+		n := len(b.Instances)
+		states := make([]*vc.InstanceState, n)
+		cms := CommitmentsMsg{Items: make([]*vc.Commitment, n)}
+		for i := range b.Instances {
+			if cms.Items[i], states[i], err = prover.Commit(context.Background(), b.Instances[i]); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(cms); err != nil {
+			return err
+		}
+		var d DecommitMsg
+		if err := dec.Decode(&d); err != nil {
+			return err
+		}
+		if onDecommit != nil {
+			onDecommit(d)
+		}
+		if err := prover.HandleDecommit(d.Req); err != nil {
+			return err
+		}
+		resp := ResponsesMsg{Items: make([]*vc.Response, n)}
+		for i := range states {
+			if resp.Items[i], err = prover.Respond(context.Background(), states[i]); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// TestKeepAliveRekeysPerBatch runs two committed batches on one kept-alive
+// session and records each BatchMsg: every batch must carry its own commit
+// request with fresh key material. Reusing r across batches is a soundness
+// bug, not an optimization — the prover could subtract the two revealed
+// consistency points t = r + Σ αᵢqᵢ and solve for r.
+func TestKeepAliveRekeysPerBatch(t *testing.T) {
 	g, err := elgamal.GenerateGroup(field.F128().Modulus(), 320, prg.NewFromSeed([]byte("kg"), 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, _ := testService(ServiceOptions{Workers: 2})
-	client, errCh := servicePipe(svc)
+	var mu sync.Mutex
+	var reqs []*vc.CommitRequest
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- recordingProver(server, func(b BatchMsg) {
+			mu.Lock()
+			reqs = append(reqs, b.Req)
+			mu.Unlock()
+		}, nil)
+	}()
 	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1}
 	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{Seed: []byte("kc"), Group: g})
 	if err != nil {
@@ -123,8 +202,17 @@ func TestKeepAliveCommitmentKeyReuse(t *testing.T) {
 		t.Fatal("keep-alive batches must not repeat session setup")
 	}
 	sess.Close()
-	if err := <-errCh; err != nil {
+	if err := <-done; err != nil {
 		t.Fatalf("server: %v", err)
+	}
+	if len(reqs) != 2 || reqs[0] == nil || reqs[1] == nil {
+		t.Fatalf("recorded %d commit requests (nil included?), want one per batch", len(reqs))
+	}
+	if reqs[0].PK.H.Cmp(reqs[1].PK.H) == 0 {
+		t.Fatal("ElGamal key reused across keep-alive batches")
+	}
+	if reqs[0].EncR1[0].A.Cmp(reqs[1].EncR1[0].A) == 0 {
+		t.Fatal("commitment vector Enc(r) reused across keep-alive batches")
 	}
 }
 
@@ -136,70 +224,12 @@ func TestKeepAliveFreshSeeds(t *testing.T) {
 	var seeds [][]byte
 	client, server := net.Pipe()
 	done := make(chan error, 1)
-	// A recording server: standard v2 loop, but it keeps each DecommitMsg
-	// seed.
 	go func() {
-		done <- func() error {
-			defer server.Close()
-			dec, enc := gob.NewDecoder(server), gob.NewEncoder(server)
-			var h Hello
-			if err := dec.Decode(&h); err != nil {
-				return err
-			}
-			prog, err := compiler.Compile(field.F128(), h.Source)
-			if err != nil {
-				return err
-			}
-			prover, err := vc.NewProver(prog, h.config(1, nil))
-			if err != nil {
-				return err
-			}
-			if err := enc.Encode(HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs(), Version: ProtocolV2}); err != nil {
-				return err
-			}
-			for {
-				var b BatchMsg
-				if err := dec.Decode(&b); err != nil {
-					return err
-				}
-				if b.Close {
-					return nil
-				}
-				if b.Req != nil {
-					prover.HandleCommitRequest(b.Req)
-				}
-				n := len(b.Instances)
-				states := make([]*vc.InstanceState, n)
-				cms := CommitmentsMsg{Items: make([]*vc.Commitment, n)}
-				for i := range b.Instances {
-					if cms.Items[i], states[i], err = prover.Commit(context.Background(), b.Instances[i]); err != nil {
-						return err
-					}
-				}
-				if err := enc.Encode(cms); err != nil {
-					return err
-				}
-				var d DecommitMsg
-				if err := dec.Decode(&d); err != nil {
-					return err
-				}
-				mu.Lock()
-				seeds = append(seeds, append([]byte(nil), d.Req.Seed...))
-				mu.Unlock()
-				if err := prover.HandleDecommit(d.Req); err != nil {
-					return err
-				}
-				resp := ResponsesMsg{Items: make([]*vc.Response, n)}
-				for i := range states {
-					if resp.Items[i], err = prover.Respond(context.Background(), states[i]); err != nil {
-						return err
-					}
-				}
-				if err := enc.Encode(resp); err != nil {
-					return err
-				}
-			}
-		}()
+		done <- recordingProver(server, nil, func(d DecommitMsg) {
+			mu.Lock()
+			seeds = append(seeds, append([]byte(nil), d.Req.Seed...))
+			mu.Unlock()
+		})
 	}()
 	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
 	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{Seed: []byte("fs")})
@@ -220,6 +250,151 @@ func TestKeepAliveFreshSeeds(t *testing.T) {
 	}
 	if string(seeds[0]) == string(seeds[1]) {
 		t.Fatal("keep-alive batches reused the query seed — binding would break")
+	}
+}
+
+// TestDistributedLateLegActivation keeps a second prover leg idle through
+// the first batch (one instance, one chunk) and activates it on the second:
+// its first BatchMsg arrives at session-batch 1, which must still carry the
+// commit request the server requires on a connection's first batch.
+func TestDistributedLateLegActivation(t *testing.T) {
+	svc, reg := testService(ServiceOptions{Workers: 2})
+	c1, errCh1 := servicePipe(svc)
+	c2, errCh2 := servicePipe(svc)
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	sess, err := NewSession(context.Background(), []net.Conn{c1, c2}, hello, ClientOptions{Seed: []byte("ll")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, xs := range [][]int64{{5}, {1, 2, 3}} {
+		res, err := sess.RunBatch(context.Background(), instances(xs...))
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		checkBatch(t, res, xs)
+	}
+	sess.Close()
+	if err := <-errCh1; err != nil {
+		t.Fatalf("leg 1 server: %v", err)
+	}
+	if err := <-errCh2; err != nil {
+		t.Fatalf("leg 2 server: %v", err)
+	}
+	if got := reg.Counter(MetricSessionErrors).Value(); got != 0 {
+		t.Fatalf("session errors = %d, want 0", got)
+	}
+}
+
+// TestIdleTimeoutReapsConnection parks a keep-alive connection after one
+// batch: the server must reap it at IdleTimeout as a clean end (nil error,
+// transport.idle.closed), not a session failure.
+func TestIdleTimeoutReapsConnection(t *testing.T) {
+	svc, reg := testService(ServiceOptions{Workers: 1, IdleTimeout: 200 * time.Millisecond})
+	client, errCh := servicePipe(svc)
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{Seed: []byte("id")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sess.RunBatch(context.Background(), instances(7)); err != nil || !res.AllAccepted() {
+		t.Fatalf("batch: %v %v", err, res)
+	}
+	// Park: no Close frame, no hangup — only the idle deadline can end the
+	// server side.
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("server: %v, want clean idle reap", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle connection was never reaped")
+	}
+	if got := reg.Counter(MetricIdleClosed).Value(); got != 1 {
+		t.Fatalf("idle.closed = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricSessionErrors).Value(); got != 0 {
+		t.Fatalf("session errors = %d, want 0 (idle reap is clean)", got)
+	}
+	_ = sess.Close()
+}
+
+// TestMaxConnsRefusesExcess caps Serve at one open connection: with an idle
+// keep-alive session parked on it, a second dial must be refused at accept
+// (counted in transport.conns.rejected) instead of pinning another
+// goroutine.
+func TestMaxConnsRefusesExcess(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, reg := testService(ServiceOptions{Workers: 1, MaxConns: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- svc.Serve(ctx, ln) }()
+
+	conn1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	sess, err := NewSession(context.Background(), []net.Conn{conn1}, hello, ClientOptions{Seed: []byte("mc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first connection is fully established (the ack arrived), so the
+	// accept loop has accounted for it; a second connection is over the cap.
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(context.Background(), []net.Conn{conn2}, hello, ClientOptions{}); err == nil {
+		t.Fatal("session over the MaxConns cap succeeded")
+	}
+	conn2.Close()
+	if got := reg.Counter(MetricConnsRejected).Value(); got != 1 {
+		t.Fatalf("conns.rejected = %d, want 1", got)
+	}
+	sess.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain after cancel")
+	}
+	if got := reg.Counter(MetricConnsOpen).Value(); got != 0 {
+		t.Fatalf("conns.open = %d after drain, want 0", got)
+	}
+}
+
+// TestMidFrameHangupIsError kills the connection inside a gob frame: unlike
+// a hangup at a message boundary (clean keep-alive end), a peer dying
+// mid-message believed it was mid-protocol, so the server must report a
+// session error.
+func TestMidFrameHangupIsError(t *testing.T) {
+	svc, reg := testService(ServiceOptions{Workers: 1})
+	client, errCh := servicePipe(svc)
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1, NoCommitment: true}
+	sess, err := NewSession(context.Background(), []net.Conn{client}, hello, ClientOptions{Seed: []byte("mf")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := sess.RunBatch(context.Background(), instances(6)); err != nil || !res.AllAccepted() {
+		t.Fatalf("batch: %v %v", err, res)
+	}
+	// A gob frame claiming 5 payload bytes, truncated after 2: the server's
+	// next read ends in io.ErrUnexpectedEOF, not a boundary io.EOF.
+	if _, err := client.Write([]byte{0x05, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if err := <-errCh; err == nil {
+		t.Fatal("mid-frame hangup treated as clean session end")
+	}
+	if got := reg.Counter(MetricSessionErrors).Value(); got != 1 {
+		t.Fatalf("session errors = %d, want 1", got)
 	}
 }
 

@@ -58,11 +58,13 @@ type sessionLeg struct {
 // Session is the verifier side of a (possibly distributed) prover session.
 // NewSession negotiates the wire version and compiles the verifier state
 // once; each RunBatch then proves and verifies one batch. Under wire v2 the
-// connection, the compiled program, and the commitment key all carry over
-// between batches, so only the per-batch query seed is redrawn — the setup
-// amortization the paper's batching argument (§5.2) depends on, extended
-// across batches. A session is not safe for concurrent use; RunBatch calls
-// are serialized internally.
+// connection, the client- and server-side compilations, and the prover's
+// QAP precomputation all carry over between batches — the paper's batching
+// amortization (§5.2) extended across batches. The query seed and the
+// commitment key are per-batch: each decommit reveals a consistency point
+// over the key's secret vector r, so the key cannot soundly outlive its
+// batch. A session is not safe for concurrent use; RunBatch calls are
+// serialized internally.
 type Session struct {
 	mu       sync.Mutex
 	hello    Hello
@@ -200,11 +202,12 @@ func deriveSeed(base []byte, b int) []byte {
 }
 
 // RunBatch proves and verifies one batch of instances, split contiguously
-// across the session's prover connections. The first batch ships the
-// commit request; under wire v2 later batches reuse the commitment key and
-// only redraw the query seed, so their setup cost is near zero. On a
-// session negotiated down to v1, a second RunBatch fails with
-// ErrSingleBatch.
+// across the session's prover connections. Every batch ships its own
+// commit request: under wire v2 later batches reuse the connection and the
+// negotiated (server-cached) program, but redraw the query seed and the
+// commitment key — reusing the key across decommits would leak the secret
+// vector r. On a session negotiated down to v1, a second RunBatch fails
+// with ErrSingleBatch.
 func (s *Session) RunBatch(ctx context.Context, batch [][]*big.Int) (res *SessionResult, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -226,20 +229,23 @@ func (s *Session) RunBatch(ctx context.Context, batch [][]*big.Int) (res *Sessio
 	batchTr.WithArg("batch", int64(s.batches)).WithArg("instances", int64(len(batch)))
 	defer batchTr.End()
 
-	var req *vc.CommitRequest
-	if s.batches == 0 {
-		req = s.verifier.Setup()
-	} else {
-		// Fresh queries for a fresh batch; the commitment key carries over.
-		// Soundness holds because this seed is revealed to the provers only
-		// after this batch's commitments are all collected.
-		reseedTr := trace.Start(ctx, "vc.reseed")
-		err := s.verifier.Reseed(deriveSeed(s.opts.Seed, s.batches))
+	if s.batches > 0 {
+		// Fresh queries and a fresh commitment key for a fresh batch: the
+		// previous batch's decommit revealed t = r + Σ αᵢqᵢ, so carrying r
+		// over would let the provers solve for it across batches (see
+		// Verifier.Reseed).
+		reseedTr, reseedCtx := trace.Child(ctx, "vc.reseed")
+		err := s.verifier.Reseed(reseedCtx, deriveSeed(s.opts.Seed, s.batches))
 		reseedTr.End()
 		if err != nil {
 			return nil, err
 		}
 	}
+	// Every batch ships its own commit request: the commitment key is
+	// per-batch state, and attaching it to the batch also means a leg left
+	// idle by earlier (smaller) batches receives the key the first time it
+	// is activated.
+	req := s.verifier.Setup()
 
 	// Partition the batch into contiguous chunks, one per prover; a batch
 	// smaller than the prover count leaves the tail legs idle this round.

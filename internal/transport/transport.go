@@ -8,10 +8,13 @@
 // Two wire dialects are spoken. v1 is the original one-batch-per-connection
 // exchange. v2 adds session keep-alive: after version negotiation in the
 // hello/ack, a connection carries any number of batches, all reusing the
-// negotiated program and — in v2 — the commitment key, so repeat batches
-// skip both compilation and key setup. Versioning rides gob's
-// forward-compatible field semantics: a peer that predates the Version
-// fields simply leaves them zero, which both ends treat as v1.
+// negotiated program (and, server-side, its cached compilation and QAP
+// precomputation), so repeat batches skip compilation and negotiation.
+// Each batch still carries its own commit request: the commitment key is
+// per-batch — a decommit reveals a consistency point over the key's secret
+// vector, so a key reused across batches would stop binding. Versioning
+// rides gob's forward-compatible field semantics: a peer that predates the
+// Version fields simply leaves them zero, which both ends treat as v1.
 //
 // The prover side is a long-lived multi-tenant Service: compiled programs
 // and their prover precomputations live in an LRU shared across sessions,
@@ -57,9 +60,9 @@ const (
 	// ProtocolV1 is the original dialect: one batch per connection, the
 	// commit request sent with the batch.
 	ProtocolV1 = 1
-	// ProtocolV2 adds session keep-alive: multiple batches per connection,
-	// the commit request sent once and reused, an explicit Close frame, and
-	// per-batch query reseeding.
+	// ProtocolV2 adds session keep-alive: multiple batches per connection
+	// (each carrying its own commit request and a freshly reseeded query
+	// set) and an explicit Close frame.
 	ProtocolV2 = 2
 	// MaxProtocolVersion is the highest version this build speaks.
 	MaxProtocolVersion = ProtocolV2
@@ -122,6 +125,10 @@ const (
 
 	MetricAdmissionWait   = "transport.admission.wait"   // histogram: time a session waited for an admission slot
 	MetricAdmissionActive = "transport.admission.active" // gauge: sessions currently holding an admission slot
+
+	MetricConnsOpen     = "transport.conns.open"     // gauge: connections currently open in Serve
+	MetricConnsRejected = "transport.conns.rejected" // counter: connections refused at the MaxConns cap
+	MetricIdleClosed    = "transport.idle.closed"    // counter: idle keep-alive connections reaped
 )
 
 // Hello opens a session: the verifier ships the computation and protocol
@@ -187,10 +194,11 @@ type HelloAck struct {
 	Version int
 }
 
-// BatchMsg carries one batch: the per-instance inputs plus, on the first
-// batch of a session, the commit request. Under v2 keep-alive, subsequent
-// batches leave Req nil (the key is reused) and a final Close frame ends
-// the session cleanly.
+// BatchMsg carries one batch: the per-instance inputs plus that batch's
+// commit request — the key material is per-batch, so every batch of a v2
+// keep-alive session ships a fresh Req. A final Close frame ends the
+// session cleanly. (The server tolerates a nil Req after the first batch
+// for pre-re-keying v2 clients, whose key reuse was unsound but wire-legal.)
 type BatchMsg struct {
 	Req       *vc.CommitRequest
 	Instances [][]*big.Int
@@ -300,6 +308,16 @@ func (c *timedCodec) send(v any) error {
 
 func (c *timedCodec) recv(v any) error {
 	c.arm()
+	return c.dec.Decode(v)
+}
+
+// recvTimeout is recv with an explicit deadline replacing the per-message
+// timeout; d ≤ 0 falls back to the default arming.
+func (c *timedCodec) recvTimeout(v any, d time.Duration) error {
+	if d <= 0 {
+		return c.recv(v)
+	}
+	_ = c.conn.SetDeadline(time.Now().Add(d))
 	return c.dec.Decode(v)
 }
 

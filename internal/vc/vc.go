@@ -69,8 +69,11 @@ type Config struct {
 	NoCommitment bool
 	// Workers is the prover's parallelism over a batch; 0 means 1.
 	Workers int
-	// Seed fixes the verifier's randomness (for reproducible experiments).
-	// Empty means fresh randomness from crypto/rand.
+	// Seed fixes the verifier's query randomness (for reproducible
+	// experiments); empty means fresh randomness from crypto/rand. It
+	// covers only the PCP queries — which the protocol later reveals to
+	// the prover — never the commitment-key secrets or the consistency
+	// α's, which always come from crypto/rand.
 	Seed []byte
 	// Group overrides the ElGamal group (tests with small fields); nil
 	// selects the production group for the program's field.

@@ -1,6 +1,7 @@
 package vc
 
 import (
+	"bytes"
 	"context"
 	"math/big"
 	"testing"
@@ -267,4 +268,97 @@ func TestTimingInstrumentation(t *testing.T) {
 		m.ProverWall <= 0 || m.Total <= 0 {
 		t.Errorf("batch metrics not recorded: %+v", m)
 	}
+}
+
+// TestSecretsIndependentOfSeed pins the fix for a soundness bug: the
+// commitment-key secrets and the consistency α's used to be PRG-derived
+// from the query seed, which the DecommitRequest reveals to the prover —
+// making every "secret" computable by the adversary it was hiding from.
+// Two verifiers built from the identical fixed-seed Config must agree on
+// the queries but differ in key material and consistency points.
+func TestSecretsIndependentOfSeed(t *testing.T) {
+	prog, cfg := testSetup(t, Zaatar, false)
+	va, err := NewVerifier(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := NewVerifier(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := va.Setup(), vb.Setup()
+	if len(ra.EncR1) == 0 {
+		t.Fatal("expected commitment keys")
+	}
+	if ra.PK.H.Cmp(rb.PK.H) == 0 {
+		t.Fatal("two verifiers drew the same ElGamal key: key randomness is seed-derived")
+	}
+	if ra.EncR1[0].A.Cmp(rb.EncR1[0].A) == 0 {
+		t.Fatal("Enc(r) repeats across verifiers: commitment randomness is seed-derived")
+	}
+	da, err := va.Decommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := vb.Decommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da.Seed, db.Seed) {
+		t.Fatal("a fixed Config.Seed must still pin the query seed")
+	}
+	if da.T1[0] == db.T1[0] {
+		t.Fatal("consistency points repeat across verifiers: α/r secrets are seed-derived")
+	}
+}
+
+// TestReseedRekeysAndVerifies drives two full protocol rounds on one
+// verifier with a Reseed between them: the reseed must regenerate the
+// commitment key — each decommit reveals t = r + Σ αᵢqᵢ, so a second
+// decommit over the same r would let the prover solve for it — and the
+// protocol must still verify end-to-end with the fresh key.
+func TestReseedRekeysAndVerifies(t *testing.T) {
+	ctx := context.Background()
+	prog, cfg := testSetup(t, Zaatar, false)
+	v, err := NewVerifier(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProver(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputsFor(1, 2, 3, 4)
+	round := func(tag string) {
+		t.Helper()
+		p.HandleCommitRequest(v.Setup())
+		cm, st, err := p.Commit(ctx, in)
+		if err != nil {
+			t.Fatalf("%s commit: %v", tag, err)
+		}
+		dec, err := v.Decommit()
+		if err != nil {
+			t.Fatalf("%s decommit: %v", tag, err)
+		}
+		if err := p.HandleDecommit(dec); err != nil {
+			t.Fatalf("%s handle decommit: %v", tag, err)
+		}
+		resp, err := p.Respond(ctx, st)
+		if err != nil {
+			t.Fatalf("%s respond: %v", tag, err)
+		}
+		if ok, reason := v.VerifyInstance(ctx, in, cm, resp); !ok {
+			t.Fatalf("%s rejected: %s", tag, reason)
+		}
+	}
+	round("batch 0")
+	before := v.Setup().EncR1[0]
+	if err := v.Reseed(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := v.Setup().EncR1[0]
+	if before.A.Cmp(after.A) == 0 && before.B.Cmp(after.B) == 0 {
+		t.Fatal("Reseed kept the commitment key across batches")
+	}
+	round("batch 1")
 }

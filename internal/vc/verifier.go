@@ -2,6 +2,7 @@ package vc
 
 import (
 	"context"
+	"crypto/rand"
 	"fmt"
 	"math/big"
 	"time"
@@ -12,7 +13,6 @@ import (
 	"zaatar/internal/field"
 	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
-	"zaatar/internal/prg"
 	"zaatar/internal/qap"
 )
 
@@ -41,7 +41,8 @@ type Verifier struct {
 }
 
 // NewVerifier compiles the verifier's batch state: the PCP queries (derived
-// from a seed) and, unless disabled, the commitment keys. This is the
+// from a seed) and, unless disabled, the commitment keys (whose secrets are
+// drawn from crypto/rand, independently of the seed). This is the
 // verifier's amortized per-batch setup — the "construct queries" rows of
 // Figure 3.
 func NewVerifier(prog *compiler.Program, cfg Config) (*Verifier, error) {
@@ -74,31 +75,7 @@ func NewVerifierCtx(ctx context.Context, prog *compiler.Program, cfg Config) (*V
 	qTr.End()
 
 	if !cfg.NoCommitment {
-		group, err := cfg.group(prog.Field)
-		if err != nil {
-			return nil, err
-		}
-		// Key randomness is separate from the query seed: queries are later
-		// revealed to the prover, the commitment vectors r never are.
-		krnd := prg.NewFromSeed(append(append([]byte("commit-keys"), v.seed...), 0x01), 2)
-		if v.sk, err = group.GenerateKey(krnd); err != nil {
-			return nil, err
-		}
-		n1, n2 := v.oracleLens()
-		kw := cfg.Workers
-		if kw < 1 {
-			kw = 1
-		}
-		k1 := trace.Start(ctx, "kernel.fixedbase.encrypt_r").WithArg("n", int64(n1))
-		v.key1, err = commit.NewKeyParallel(prog.Field, group, v.sk, n1, krnd, kw)
-		k1.End()
-		if err != nil {
-			return nil, err
-		}
-		k2 := trace.Start(ctx, "kernel.fixedbase.encrypt_r").WithArg("n", int64(n2))
-		v.key2, err = commit.NewKeyParallel(prog.Field, group, v.sk, n2, krnd, kw)
-		k2.End()
-		if err != nil {
+		if err := v.genKeys(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -106,15 +83,51 @@ func NewVerifierCtx(ctx context.Context, prog *compiler.Program, cfg Config) (*V
 	return v, nil
 }
 
-// Reseed redraws the verifier's query randomness for a fresh batch while
-// keeping the commitment keys — the reuse behind wire-protocol v2's session
-// keep-alive. The seed semantics match Config.Seed: empty draws fresh
-// randomness from crypto/rand. Binding is preserved because the next
-// batch's queries derive from the new seed, which is revealed only after
-// that batch's commitments have been collected; the commitment vectors r
-// themselves are never revealed (each Decommit publishes only
-// t = r + Σ αᵢqᵢ under fresh secret α's).
-func (v *Verifier) Reseed(seed []byte) error {
+// genKeys draws a fresh ElGamal key pair and fresh secret commitment
+// vectors for both oracles. The randomness comes from crypto/rand — never
+// from the query seed, even when Config.Seed pins one: the seed is revealed
+// to the prover at decommit time, so anything derived from it is public
+// from the prover's perspective and could not hide r or the ElGamal secret
+// key. The key is per-batch state; see Reseed for why it cannot be reused.
+func (v *Verifier) genKeys(ctx context.Context) error {
+	group, err := v.Cfg.group(v.Prog.Field)
+	if err != nil {
+		return err
+	}
+	if v.sk, err = group.GenerateKey(rand.Reader); err != nil {
+		return err
+	}
+	n1, n2 := v.oracleLens()
+	kw := v.Cfg.Workers
+	if kw < 1 {
+		kw = 1
+	}
+	k1 := trace.Start(ctx, "kernel.fixedbase.encrypt_r").WithArg("n", int64(n1))
+	v.key1, err = commit.NewKeyParallel(v.Prog.Field, group, v.sk, n1, rand.Reader, kw)
+	k1.End()
+	if err != nil {
+		return err
+	}
+	k2 := trace.Start(ctx, "kernel.fixedbase.encrypt_r").WithArg("n", int64(n2))
+	v.key2, err = commit.NewKeyParallel(v.Prog.Field, group, v.sk, n2, rand.Reader, kw)
+	k2.End()
+	return err
+}
+
+// Reseed rolls the verifier's per-batch state forward for the next batch
+// of a kept-alive session: fresh query randomness and — unless commitments
+// are disabled — a fresh commitment key (new ElGamal key pair, new secret
+// vectors r). Re-keying is not optional: each batch's Decommit reveals
+// t = r + Σ αᵢqᵢ, and two such reveals over the same r form a linear
+// system (the q's are public once both seeds are out) that a malicious
+// prover can solve for the α's and r, after which the commitments no
+// longer bind. The seed semantics match Config.Seed and affect only the
+// queries: empty draws fresh query randomness from crypto/rand, and the
+// key material always comes from crypto/rand. Binding then holds per batch
+// because the new seed is revealed only after that batch's commitments
+// have been collected. The caller must ship the new Setup() output to the
+// prover: the previous batch's commit request is dead.
+func (v *Verifier) Reseed(ctx context.Context, seed []byte) error {
 	cfg := v.Cfg
 	cfg.Seed = seed
 	s, err := freshSeed(cfg)
@@ -131,6 +144,11 @@ func (v *Verifier) Reseed(seed []byte) error {
 		v.queries1, v.queries2 = v.ginger.Z1Queries, v.ginger.Z2Queries
 	}
 	v.decommitBuilt = false
+	if !v.Cfg.NoCommitment {
+		if err := v.genKeys(ctx); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -171,12 +189,14 @@ func (v *Verifier) Setup() *CommitRequest {
 func (v *Verifier) Decommit() (*DecommitRequest, error) {
 	req := &DecommitRequest{Seed: v.seed}
 	if v.key1 != nil {
-		srnd := prg.NewFromSeed(append(append([]byte("decommit-alphas"), v.seed...), 0x02), 3)
+		// The consistency test is only binding if the α's are unpredictable
+		// to the prover when it answers, so they are drawn from crypto/rand —
+		// never derived from the seed this very request reveals.
 		var err error
-		if v.dec1, v.sec1, err = v.key1.BuildDecommit(v.queries1, srnd); err != nil {
+		if v.dec1, v.sec1, err = v.key1.BuildDecommit(v.queries1, rand.Reader); err != nil {
 			return nil, err
 		}
-		if v.dec2, v.sec2, err = v.key2.BuildDecommit(v.queries2, srnd); err != nil {
+		if v.dec2, v.sec2, err = v.key2.BuildDecommit(v.queries2, rand.Reader); err != nil {
 			return nil, err
 		}
 		req.T1 = v.dec1.T

@@ -39,10 +39,25 @@ func WithMaxBatch(n int) ServerOption {
 }
 
 // WithServerIOTimeout sets the per-message read/write deadline on every
-// connection; it also bounds how long an idle keep-alive connection may sit
-// between batches.
+// connection; a peer stalling longer mid-protocol fails the session.
 func WithServerIOTimeout(d time.Duration) ServerOption {
 	return func(o *serverOptions) { o.svc.IOTimeout = d }
+}
+
+// WithMaxConns bounds how many connections the server keeps open at once,
+// including idle keep-alive connections (which hold no admission slot but
+// still pin a goroutine and their program); excess connections are refused
+// at accept. Defaults to 16× the MaxSessions value; negative means
+// unlimited.
+func WithMaxConns(n int) ServerOption {
+	return func(o *serverOptions) { o.svc.MaxConns = n }
+}
+
+// WithIdleTimeout bounds how long a kept-alive connection may sit idle
+// between batches before the server closes it (a clean end, not a session
+// error). Defaults to 2 minutes; negative disables the bound.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.svc.IdleTimeout = d }
 }
 
 // WithProgramCacheSize sets how many compiled programs (with their
@@ -71,8 +86,9 @@ func WithServerLogf(logf func(format string, args ...any)) ServerOption {
 // field, and protocol — a repeat session for the same program skips
 // compilation — and a bounded admission semaphore shares the kernel pool
 // fairly among concurrent sessions. The service speaks wire protocol v2
-// (session keep-alive: many batches per connection, reusing the program
-// and commitment key) and transparently falls back to v1 for old peers.
+// (session keep-alive: many batches per connection, reusing the program;
+// each batch carries its own commitment key, which soundness keeps
+// per-batch) and transparently falls back to v1 for old peers.
 func Serve(ctx context.Context, ln net.Listener, opts ...ServerOption) error {
 	var o serverOptions
 	for _, fn := range opts {
