@@ -118,3 +118,104 @@ func TestFieldMismatchRuntimeError(t *testing.T) {
 		t.Fatalf("matched field run failed: %v", err)
 	}
 }
+
+// TestDialBackendNegotiation covers the public backend surface end to end:
+// an auto-mode client negotiates the sum-check lane with a full server, a
+// restricted server degrades the same offer to zaatar, and an explicit
+// unavailable backend fails loudly.
+func TestDialBackendNegotiation(t *testing.T) {
+	// Pure arithmetic, so the cost model recommends sumcheck and every
+	// backend accepts it.
+	src := `input x : int32; output y : int32; output sq : int64; y = x - 3; sq = x * x;`
+	serve := func(t *testing.T, opts ...ServerOption) (addr string, stop func()) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- Serve(ctx, ln, opts...) }()
+		return ln.Addr().String(), func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Error("Serve did not return after cancel")
+			}
+		}
+	}
+
+	checkBatch := func(t *testing.T, client *Client) {
+		t.Helper()
+		res, err := client.RunBatch(context.Background(), [][]*big.Int{{big.NewInt(10)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllAccepted() {
+			t.Fatalf("rejected: %v", res.Reasons)
+		}
+		if res.Outputs[0][0].Int64() != 7 || res.Outputs[0][1].Int64() != 100 {
+			t.Fatalf("outputs: %v", res.Outputs[0])
+		}
+	}
+
+	t.Run("auto negotiates sumcheck", func(t *testing.T) {
+		addr, stop := serve(t, WithServerWorkers(2))
+		defer stop()
+		client, err := Dial(context.Background(), addr, src,
+			WithParams(2, 2), WithBackend(BackendAuto), WithSeed([]byte("auto")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		if got := client.Backend(); got != BackendSumcheck {
+			t.Fatalf("negotiated %q, want sumcheck", got)
+		}
+		checkBatch(t, client)
+	})
+
+	t.Run("auto degrades to zaatar", func(t *testing.T) {
+		addr, stop := serve(t, WithServerWorkers(2), WithServerBackends(BackendZaatar, BackendGinger))
+		defer stop()
+		client, err := Dial(context.Background(), addr, src,
+			WithParams(2, 2), WithBackend(BackendAuto), WithoutCommitment(), WithSeed([]byte("deg")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		if got := client.Backend(); got != BackendZaatar {
+			t.Fatalf("negotiated %q, want zaatar", got)
+		}
+		checkBatch(t, client)
+	})
+
+	t.Run("explicit backend unavailable", func(t *testing.T) {
+		addr, stop := serve(t, WithServerWorkers(2), WithServerBackends(BackendZaatar))
+		defer stop()
+		_, err := Dial(context.Background(), addr, src,
+			WithParams(2, 2), WithBackend(BackendSumcheck))
+		if err == nil {
+			t.Fatal("dial succeeded against a server without the requested backend")
+		}
+		if !strings.Contains(err.Error(), "no common proof backend") {
+			t.Fatalf("err = %v, want no-common-backend", err)
+		}
+	})
+}
+
+// TestBackendsListed checks the build's backend registry surface.
+func TestBackendsListed(t *testing.T) {
+	names := Backends()
+	want := map[string]bool{BackendZaatar: false, BackendGinger: false, BackendSumcheck: false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("Backends() = %v missing %q", names, n)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"zaatar/internal/compiler"
 	"zaatar/internal/field"
 	"zaatar/internal/transport"
 	"zaatar/internal/vc"
@@ -45,10 +46,41 @@ type Client struct {
 // the same source independently.
 func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, error) {
 	o := buildRunOptions(opts)
+
+	// Build the backend offer, most preferred first. BackendAuto needs the
+	// compiled program for the cost model, so it compiles here and hands
+	// the program to the session (which would otherwise compile the same
+	// source again). The legacy Ginger bool is kept consistent with the
+	// offer's head so pre-negotiation servers — which see only the bool —
+	// land on the same backend the client expects.
+	var prog *Program
+	var offer []string
+	switch o.cfg.Backend {
+	case "":
+		if o.cfg.Protocol == vc.Ginger {
+			offer = []string{BackendGinger}
+		} else {
+			offer = []string{BackendZaatar}
+		}
+	case BackendAuto:
+		var err error
+		prog, err = compiler.Compile(o.field, src)
+		if err != nil {
+			return nil, err
+		}
+		offer = []string{RecommendBackend(prog)}
+		if offer[0] != BackendZaatar {
+			offer = append(offer, BackendZaatar)
+		}
+	default:
+		offer = []string{o.cfg.Backend}
+	}
+
 	hello := transport.Hello{
 		Source:       src,
 		Field220:     o.field == field.F220(),
-		Ginger:       o.cfg.Protocol == vc.Ginger,
+		Ginger:       offer[0] == BackendGinger,
+		Backends:     offer,
 		RhoLin:       o.cfg.Params.RhoLin,
 		Rho:          o.cfg.Params.Rho,
 		NoCommitment: o.cfg.NoCommitment,
@@ -59,6 +91,7 @@ func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, er
 		Workers:   o.cfg.Workers,
 		IOTimeout: o.ioTo,
 		Obs:       o.cfg.Obs,
+		Program:   prog,
 	}
 	var dialer net.Dialer
 	var conns []net.Conn
@@ -104,6 +137,10 @@ func (c *Client) Program() *Program { return c.sess.Program() }
 // across prover connections): 2 for keep-alive sessions, 1 when any peer
 // only speaks the legacy one-batch dialect.
 func (c *Client) WireVersion() int { return c.sess.WireVersion() }
+
+// Backend reports the proof backend the session negotiated (every prover
+// leg agrees on it — a distributed batch runs one encoding).
+func (c *Client) Backend() string { return c.sess.Backend() }
 
 // SetupDuration reports the verifier setup cost paid at Dial (query
 // construction plus the first batch's commitment-key generation) — the

@@ -40,6 +40,7 @@ func main() {
 		rho      = flag.Int("rho", 8, "PCP repetitions")
 		f220     = flag.Bool("f220", false, "use the 220-bit field")
 		ginger   = flag.Bool("ginger", false, "use the Ginger baseline encoding")
+		backend  = flag.String("backend", "", "proof backend to offer: auto|zaatar|ginger|sumcheck (overrides -ginger)")
 		noCrypto = flag.Bool("nocrypto", false, "skip the ElGamal commitment")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
 		workers  = flag.Int("workers", 1, "verifier parallelism over per-instance checks")
@@ -93,14 +94,17 @@ func main() {
 	if *ginger {
 		opts = append(opts, zaatar.WithGingerProtocol())
 	}
+	if *backend != "" {
+		opts = append(opts, zaatar.WithBackend(*backend))
+	}
 	if *noCrypto {
 		opts = append(opts, zaatar.WithoutCommitment())
 	}
 	client, err := zaatar.Dial(ctx, *addr, string(src), opts...)
 	check(err)
 	defer client.Close()
-	fmt.Fprintf(os.Stderr, "zaatar-client: wire protocol v%d, session setup %v\n",
-		client.WireVersion(), client.SetupDuration().Round(time.Microsecond))
+	fmt.Fprintf(os.Stderr, "zaatar-client: wire protocol v%d, backend %s, session setup %v\n",
+		client.WireVersion(), client.Backend(), client.SetupDuration().Round(time.Microsecond))
 
 	allOK := true
 	var res *zaatar.SessionResult

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"zaatar"
+	"zaatar/internal/constraint"
 	"zaatar/internal/costmodel"
 	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
@@ -43,6 +44,7 @@ func run() int {
 		noCrypto = flag.Bool("nocrypto", false, "skip the ElGamal commitment (PCP only)")
 		workers  = flag.Int("workers", 1, "prover worker pool size")
 		ginger   = flag.Bool("ginger", false, "use the Ginger baseline encoding (small computations only)")
+		backend  = flag.String("backend", "", "proof backend: auto|zaatar|ginger|sumcheck (overrides -ginger; auto lets the cost model pick)")
 		stats    = flag.Bool("stats", false, "print encoding statistics and timing decomposition")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -87,10 +89,26 @@ func run() int {
 	if *ginger {
 		opts = append(opts, zaatar.WithGingerProtocol())
 	}
+	if *backend != "" {
+		opts = append(opts, zaatar.WithBackend(*backend))
+	}
 	opts = append(opts, zaatar.WithWorkers(*workers))
 
 	prog, err := zaatar.Compile(string(src), copts...)
 	check(err)
+
+	// Resolve the name the run will actually use, for the stats line and
+	// the trace summary's cost-model pick.
+	backendName := zaatar.BackendZaatar
+	if *ginger {
+		backendName = zaatar.BackendGinger
+	}
+	if *backend != "" {
+		backendName = *backend
+		if backendName == zaatar.BackendAuto {
+			backendName = zaatar.RecommendBackend(prog)
+		}
+	}
 
 	batch, err := parseBatch(*inputs, prog.NumInputs())
 	check(err)
@@ -111,7 +129,7 @@ func run() int {
 		if *quick {
 			params = pcp.Params{RhoLin: 2, Rho: 2}
 		}
-		check(writeTrace(*traceOut, tc, prog, res, params, *ginger))
+		check(writeTrace(*traceOut, tc, prog, res, params, backendName))
 		fmt.Fprintf(os.Stderr, "zaatar-run: trace written to %s (%d spans, %d dropped)\n",
 			*traceOut, tc.Recorder().Len(), tc.Recorder().Dropped())
 	}
@@ -128,7 +146,8 @@ func run() int {
 	}
 	if *stats {
 		st := prog.Stats()
-		fmt.Printf("\nencoding: |Z_ginger|=%d |C_ginger|=%d |Z_zaatar|=%d |C_zaatar|=%d K=%d K2=%d |u_ginger|=%d |u_zaatar|=%d\n",
+		fmt.Printf("\nbackend: %s\n", backendName)
+		fmt.Printf("encoding: |Z_ginger|=%d |C_ginger|=%d |Z_zaatar|=%d |C_zaatar|=%d K=%d K2=%d |u_ginger|=%d |u_zaatar|=%d\n",
 			st.GingerVars, st.GingerConstraints, st.ZaatarVars, st.ZaatarConstraints,
 			st.K, st.K2, st.UGinger, st.UZaatar)
 		m := res.Metrics
@@ -169,7 +188,7 @@ type runSummary struct {
 
 // writeTrace exports the run's spans in Chrome trace-event form, with a
 // model-vs-observed per-phase comparison as the summary payload.
-func writeTrace(path string, tc *trace.Ctx, prog *zaatar.Program, res *zaatar.Result, params pcp.Params, ginger bool) error {
+func writeTrace(path string, tc *trace.Ctx, prog *zaatar.Program, res *zaatar.Result, params pcp.Params, backend string) error {
 	st := prog.Stats()
 	q := costmodel.Quantities{
 		ZGinger: st.GingerVars, CGinger: st.GingerConstraints,
@@ -180,16 +199,20 @@ func writeTrace(path string, tc *trace.Ctx, prog *zaatar.Program, res *zaatar.Re
 	}
 	p := costmodel.Calibrate(prog.Field, nil, 200)
 	est := costmodel.EstimateZaatar(p, q)
-	protocol := "zaatar"
-	if ginger {
+	switch backend {
+	case "ginger":
 		est = costmodel.EstimateGinger(p, q)
-		protocol = "ginger"
+	case "sumcheck":
+		// The run already succeeded on this lane, so the circuit layers.
+		if lc, err := constraint.Layer(prog.Field, prog.Ginger); err == nil {
+			est = costmodel.EstimateSumcheck(p, costmodel.SumcheckQuantities{Stats: lc.Stats()})
+		}
 	}
 	m := res.Metrics
 	beta := float64(m.Instances)
 	ms := func(s float64) float64 { return s * 1e3 }
 	sum := runSummary{
-		Protocol:  protocol,
+		Protocol:  backend,
 		Instances: m.Instances,
 		Workers:   m.Workers,
 		Phases: []phaseComparison{

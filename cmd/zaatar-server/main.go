@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +46,7 @@ func main() {
 		maxBatch    = flag.Int("maxbatch", 4096, "maximum batch size per session")
 		maxConns    = flag.Int("maxconns", 0, "open connections kept at once, idle included (0 = 16*maxsessions, <0 unlimited)")
 		cacheSize   = flag.Int("cache", 32, "compiled programs kept in the cross-session LRU")
+		backends    = flag.String("backends", "", "comma-separated proof backends to serve (empty = all compiled in)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
 		idleTimeout = flag.Duration("idletimeout", 0, "reap keep-alive connections idle this long between batches (0 = 2m, <0 disables)")
 		metrics     = flag.String("metrics", "", "address for the HTTP metrics endpoint (empty disables)")
@@ -124,7 +126,7 @@ func main() {
 		time.AfterFunc(*drain, cancel)
 	}()
 
-	if err := zaatar.Serve(ctx, ln,
+	srvOpts := []zaatar.ServerOption{
 		zaatar.WithServerWorkers(*workers),
 		zaatar.WithMaxSessions(*maxSessions),
 		zaatar.WithMaxBatch(*maxBatch),
@@ -134,7 +136,17 @@ func main() {
 		zaatar.WithIdleTimeout(*idleTimeout),
 		zaatar.WithServerMetrics(reg),
 		zaatar.WithServerLogf(log.Printf),
-	); err != nil {
+	}
+	if *backends != "" {
+		var names []string
+		for _, n := range strings.Split(*backends, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		srvOpts = append(srvOpts, zaatar.WithServerBackends(names...))
+	}
+	if err := zaatar.Serve(ctx, ln, srvOpts...); err != nil {
 		log.Fatalf("zaatar-server: %v", err)
 	}
 	log.Printf("zaatar-server: drained, exiting")

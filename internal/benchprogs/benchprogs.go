@@ -485,6 +485,102 @@ len = dp[M-1][M-1];
 	}
 }
 
+// MatMulChain builds a chain of depth n×n matrix multiplications,
+// T₁ = A·B, Tₗ = Tₗ₋₁·A: pure additions and multiplications with no
+// comparisons, so the constraint system stratifies into a layered circuit
+// and every proof backend — including the sum-check lane — accepts it.
+// This is the workload of the backend-comparison experiment; entries are
+// kept small (< 8) so the chain stays far from the field capacity.
+func MatMulChain(n, depth int) *Benchmark {
+	if n < 2 || depth < 1 {
+		panic("benchprogs: MatMulChain needs n >= 2, depth >= 1")
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+const N = %d;
+input a[N][N] : int16;
+input b[N][N] : int16;
+output c[N][N] : int64;
+var t[N][N], u[N][N] : int64;
+var acc : int64;
+for i = 0 to N-1 {
+	for j = 0 to N-1 {
+		acc = 0;
+		for k = 0 to N-1 { acc = acc + a[i][k] * b[k][j]; }
+		t[i][j] = acc;
+	}
+}
+`, n)
+	if depth >= 2 {
+		fmt.Fprintf(&sb, `
+for l = 2 to %d {
+	for i = 0 to N-1 {
+		for j = 0 to N-1 {
+			acc = 0;
+			for k = 0 to N-1 { acc = acc + t[i][k] * a[k][j]; }
+			u[i][j] = acc;
+		}
+	}
+	for i = 0 to N-1 { for j = 0 to N-1 { t[i][j] = u[i][j]; } }
+}
+`, depth)
+	}
+	sb.WriteString(`
+for i = 0 to N-1 { for j = 0 to N-1 { c[i][j] = t[i][j]; } }
+`)
+
+	return &Benchmark{
+		Name:   "matmul-chain",
+		Label:  "matrix multiplication chain",
+		Params: map[string]int{"n": n, "depth": depth},
+		Field:  field.F128(),
+		Source: sb.String(),
+		OClass: "O(L·n³)",
+		GenInputs: func(rng *rand.Rand) []*big.Int {
+			in := make([]*big.Int, 2*n*n)
+			for i := range in {
+				in[i] = big.NewInt(int64(rng.Intn(8)))
+			}
+			return in
+		},
+		Reference: func(in []*big.Int) []*big.Int {
+			v := toI64(in)
+			a := make([][]int64, n)
+			b := make([][]int64, n)
+			for i := 0; i < n; i++ {
+				a[i] = v[i*n : (i+1)*n]
+				b[i] = v[n*n+i*n : n*n+(i+1)*n]
+			}
+			res := matmul(a, b, n)
+			for l := 2; l <= depth; l++ {
+				res = matmul(res, a, n)
+			}
+			out := make([]*big.Int, 0, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					out = append(out, big.NewInt(res[i][j]))
+				}
+			}
+			return out
+		},
+	}
+}
+
+func matmul(x, y [][]int64, n int) [][]int64 {
+	out := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				acc += x[i][k] * y[k][j]
+			}
+			out[i][j] = acc
+		}
+	}
+	return out
+}
+
 // Small returns the five benchmarks at test-friendly sizes.
 func Small() []*Benchmark {
 	return []*Benchmark{

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"zaatar/internal/compiler"
+	"zaatar/internal/constraint"
 	"zaatar/internal/pcp"
 	"zaatar/internal/prg"
 	"zaatar/internal/qap"
@@ -166,5 +167,34 @@ func TestProofVectorShrink(t *testing.T) {
 			t.Errorf("%s: K2 = %d is within 10%% of the degenerate threshold %d",
 				b.Name, st.K2, k2Star)
 		}
+	}
+}
+
+// TestMatMulChain checks the backend-experiment workload: compiled
+// semantics match the native reference, and the constraint system
+// stratifies into a layered circuit (the property the sum-check lane
+// needs, which the five paper benchmarks lack — they all branch).
+func TestMatMulChain(t *testing.T) {
+	b := MatMulChain(3, 3)
+	p, err := compiler.Compile(b.Field, b.Source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		in := b.GenInputs(rng)
+		want := b.Reference(in)
+		got, err := p.Execute(in)
+		if err != nil {
+			t.Fatalf("execute: %v", err)
+		}
+		for i := range want {
+			if got[i].Cmp(want[i]) != 0 {
+				t.Fatalf("trial %d output %d: got %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := constraint.Layer(b.Field, p.Ginger); err != nil {
+		t.Fatalf("matmul chain does not stratify: %v", err)
 	}
 }

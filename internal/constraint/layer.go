@@ -1,0 +1,357 @@
+package constraint
+
+import (
+	"errors"
+	"fmt"
+
+	"zaatar/internal/field"
+)
+
+// This file implements the circuit-layering pass behind the sum-check/GKR
+// backend (Thaler, "Time-Optimal Interactive Proofs for Circuit
+// Evaluation"): it recognizes when a Ginger constraint system stratifies
+// into a layered arithmetic circuit — every wire uniquely defined, from
+// already-defined wires, by exactly one constraint — and materializes that
+// circuit with explicit pass-through (copy) gates so every gate reads only
+// from the layer directly below it.
+//
+// The pass succeeds precisely for deterministic straight-line arithmetic
+// (the compiler's add/mul/affine constraint shapes: dense matmul chains and
+// the polynomial benchprogs). It fails — deliberately — for programs whose
+// constraint systems carry nondeterministic advice, e.g. the bit
+// decompositions behind comparisons (b² − b = 0 does not define b), since
+// those wires have no gate semantics. Callers treat ErrNotLayered as "this
+// program has no cheap sum-check lane" and fall back to a linear PCP.
+
+// ErrNotLayered reports a constraint system that does not stratify into a
+// layered arithmetic circuit.
+var ErrNotLayered = errors.New("constraint: system does not stratify into a layered circuit")
+
+// Circuit size guards: beyond these the materialized circuit (with its copy
+// gates) stops being the cheap lane, mirroring MaxGingerProofVars.
+const (
+	maxCircuitEntries = 1 << 22
+	maxLayerWidth     = 1 << 20
+)
+
+// GateTerm is one addend of a gate's value in a layered circuit:
+//
+//	value[G] += C · prev[U] · prev[V]
+//
+// with U, V indexing the previous layer's slots. Slot 0 of every layer
+// except the output layer holds the constant 1, so affine terms are
+// expressed as products against slot 0 (U·const or const·const).
+type GateTerm struct {
+	G, U, V int
+	C       field.Element
+}
+
+// CircuitLayer is one computed layer: Width gates, each the sum of its
+// Terms (a gate with no terms is zero).
+type CircuitLayer struct {
+	Width int
+	Terms []GateTerm
+}
+
+// LayeredCircuit is a layered arithmetic circuit equivalent to a
+// (stratifiable) Ginger constraint system. The input layer is implicit:
+// slot 0 holds the constant 1 and slots 1..NumInputs the program inputs in
+// canonical io order. Layers[0] reads from the input layer, each later
+// layer from its predecessor, and the final layer holds exactly the
+// program's outputs (in io order) — so a verifier can evaluate the boundary
+// layers' multilinear extensions from the io values alone.
+type LayeredCircuit struct {
+	NumInputs  int
+	NumOutputs int
+	Layers     []CircuitLayer
+}
+
+// InputWidth is the implicit input layer's width (constant + inputs).
+func (lc *LayeredCircuit) InputWidth() int { return lc.NumInputs + 1 }
+
+// Depth is the number of computed layers (the output layer included).
+func (lc *LayeredCircuit) Depth() int { return len(lc.Layers) }
+
+// Widths returns every layer's width, input layer first.
+func (lc *LayeredCircuit) Widths() []int {
+	out := make([]int, 0, len(lc.Layers)+1)
+	out = append(out, lc.InputWidth())
+	for _, ly := range lc.Layers {
+		out = append(out, ly.Width)
+	}
+	return out
+}
+
+// WitnessLen is the total number of wire values across all layers — the
+// length of the flattened evaluation the sum-check prover works from.
+func (lc *LayeredCircuit) WitnessLen() int {
+	n := lc.InputWidth()
+	for _, ly := range lc.Layers {
+		n += ly.Width
+	}
+	return n
+}
+
+// Stats summarizes the circuit for the cost model.
+type LayerStats struct {
+	Depth      int // computed layers
+	MaxWidth   int
+	TotalGates int // Σ widths (incl. input layer)
+	TotalTerms int // Σ gate terms
+}
+
+// Stats computes the circuit's size summary.
+func (lc *LayeredCircuit) Stats() LayerStats {
+	st := LayerStats{Depth: len(lc.Layers), MaxWidth: lc.InputWidth(), TotalGates: lc.InputWidth()}
+	for _, ly := range lc.Layers {
+		st.TotalGates += ly.Width
+		st.TotalTerms += len(ly.Terms)
+		if ly.Width > st.MaxWidth {
+			st.MaxWidth = ly.Width
+		}
+	}
+	return st
+}
+
+// Eval evaluates the circuit on field-encoded inputs, returning every
+// layer's values (input layer first; the last slice is the outputs in io
+// order). This is the sum-check prover's entire "solve" step: field
+// arithmetic only, no constraint solving and no cryptography.
+func (lc *LayeredCircuit) Eval(f *field.Field, inputs []field.Element) ([][]field.Element, error) {
+	if len(inputs) != lc.NumInputs {
+		return nil, fmt.Errorf("constraint: circuit wants %d inputs, got %d", lc.NumInputs, len(inputs))
+	}
+	vals := make([][]field.Element, len(lc.Layers)+1)
+	in := make([]field.Element, lc.InputWidth())
+	in[0] = f.One()
+	copy(in[1:], inputs)
+	vals[0] = in
+	for i, ly := range lc.Layers {
+		prev := vals[i]
+		out := make([]field.Element, ly.Width)
+		for _, t := range ly.Terms {
+			out[t.G] = f.Add(out[t.G], f.Mul(t.C, f.Mul(prev[t.U], prev[t.V])))
+		}
+		vals[i+1] = out
+	}
+	return vals, nil
+}
+
+// wireDef records how a wire is computed: the constraint that defines it
+// and the index of the defining (degree-1) term within that constraint.
+type wireDef struct {
+	cons int
+	term int
+}
+
+// Layer stratifies gs into a layered circuit, or returns ErrNotLayered.
+//
+// A constraint defines wire w when w is its only not-yet-defined wire,
+// appears exactly once, in a degree-1 term with a non-zero coefficient:
+// the constraint c_w·w + Σ c_t·a_t·b_t = 0 then reads as the gate
+// w = −(1/c_w)·Σ c_t·a_t·b_t. Every constraint must serve as exactly one
+// wire's definition — a leftover constraint would be a consistency check
+// the circuit evaluation does not enforce, so the circuit would no longer
+// be semantically equivalent to the system.
+func Layer(f *field.Field, gs *GingerSystem) (*LayeredCircuit, error) {
+	depth := make([]int, gs.NumVars+1)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	for _, w := range gs.In {
+		depth[w] = 0
+	}
+	defs := make([]wireDef, gs.NumVars+1)
+	used := make([]bool, len(gs.Cons))
+
+	for changed := true; changed; {
+		changed = false
+		for ci, c := range gs.Cons {
+			if used[ci] {
+				continue
+			}
+			// Find the constraint's unknown wires.
+			w, occ, defTerm, multi := -1, 0, -1, false
+			for ti, t := range c {
+				for _, a := range [2]int{t.A, t.B} {
+					if a == 0 || depth[a] >= 0 {
+						continue
+					}
+					if w == -1 {
+						w = a
+					} else if a != w {
+						multi = true
+					}
+					occ++
+					if t.Degree() == 1 {
+						defTerm = ti
+					}
+				}
+			}
+			if multi || w == -1 || occ != 1 || defTerm == -1 || f.IsZero(c[defTerm].Coeff) {
+				continue
+			}
+			d := 1
+			for ti, t := range c {
+				if ti == defTerm {
+					continue
+				}
+				if nd := depth[t.A] + 1; nd > d {
+					d = nd
+				}
+				if nd := depth[t.B] + 1; nd > d {
+					d = nd
+				}
+			}
+			depth[w] = d
+			defs[w] = wireDef{cons: ci, term: defTerm}
+			used[ci] = true
+			changed = true
+		}
+	}
+
+	for w := 1; w <= gs.NumVars; w++ {
+		if depth[w] < 0 {
+			return nil, fmt.Errorf("%w: wire %d has no defining constraint (nondeterministic advice?)", ErrNotLayered, w)
+		}
+	}
+	for ci, u := range used {
+		if !u {
+			return nil, fmt.Errorf("%w: constraint %d is a pure check, not a definition", ErrNotLayered, ci)
+		}
+	}
+
+	// D is the deepest defined wire; the explicit output-copy layer sits at
+	// depth D+1 so the final layer holds exactly the outputs.
+	maxD := 0
+	for w := 1; w <= gs.NumVars; w++ {
+		if depth[w] > maxD {
+			maxD = depth[w]
+		}
+	}
+
+	// need[w] is the last layer index at which w's value must be present:
+	// one below every gate that reads it, and layer D for the outputs.
+	need := append([]int(nil), depth...)
+	for w := 1; w <= gs.NumVars; w++ {
+		if depth[w] == 0 {
+			continue
+		}
+		c := gs.Cons[defs[w].cons]
+		for ti, t := range c {
+			if ti == defs[w].term {
+				continue
+			}
+			for _, a := range [2]int{t.A, t.B} {
+				if a != 0 && depth[w]-1 > need[a] {
+					need[a] = depth[w] - 1
+				}
+			}
+		}
+	}
+	for _, ow := range gs.Out {
+		if maxD > need[ow] {
+			need[ow] = maxD
+		}
+	}
+
+	// Layer membership and slot assignment. Layer 0 is fixed to
+	// [1, inputs...] in io order; deeper layers get slot 0 = constant, then
+	// member wires in ascending id order.
+	if len(gs.In)+1 > maxLayerWidth {
+		return nil, fmt.Errorf("%w: input layer width %d exceeds cap", ErrNotLayered, len(gs.In)+1)
+	}
+	posPrev := make(map[int]int, len(gs.In)+1)
+	posPrev[0] = 0
+	for i, w := range gs.In {
+		posPrev[w] = i + 1
+	}
+
+	members := make([][]int, maxD+1)
+	entries := len(gs.In) + 1
+	for w := 1; w <= gs.NumVars; w++ {
+		if depth[w] == 0 {
+			continue
+		}
+		for d := depth[w]; d <= need[w]; d++ {
+			members[d] = append(members[d], w)
+			if entries++; entries > maxCircuitEntries {
+				return nil, fmt.Errorf("%w: circuit exceeds %d entries", ErrNotLayered, maxCircuitEntries)
+			}
+		}
+	}
+	// Input wires needed above layer 0 ride the same copy mechanism.
+	for _, w := range gs.In {
+		for d := 1; d <= need[w]; d++ {
+			members[d] = append(members[d], w)
+			if entries++; entries > maxCircuitEntries {
+				return nil, fmt.Errorf("%w: circuit exceeds %d entries", ErrNotLayered, maxCircuitEntries)
+			}
+		}
+	}
+
+	lc := &LayeredCircuit{NumInputs: len(gs.In), NumOutputs: len(gs.Out)}
+	one := f.One()
+	for d := 1; d <= maxD; d++ {
+		ws := members[d]
+		sortInts(ws)
+		if len(ws)+1 > maxLayerWidth {
+			return nil, fmt.Errorf("%w: layer %d width %d exceeds cap", ErrNotLayered, d, len(ws)+1)
+		}
+		pos := make(map[int]int, len(ws)+1)
+		pos[0] = 0
+		layer := CircuitLayer{Width: len(ws) + 1}
+		layer.Terms = append(layer.Terms, GateTerm{G: 0, U: 0, V: 0, C: one}) // constant slot
+		for i, w := range ws {
+			g := i + 1
+			pos[w] = g
+			if depth[w] != d {
+				// Pass-through: copy w's value up from the layer below.
+				u, ok := posPrev[w]
+				if !ok {
+					return nil, fmt.Errorf("constraint: internal: wire %d missing from layer %d", w, d-1)
+				}
+				layer.Terms = append(layer.Terms, GateTerm{G: g, U: u, V: 0, C: one})
+				continue
+			}
+			c := gs.Cons[defs[w].cons]
+			scale := f.Neg(f.Inv(c[defs[w].term].Coeff))
+			for ti, t := range c {
+				if ti == defs[w].term {
+					continue
+				}
+				u, okU := posPrev[t.A]
+				v, okV := posPrev[t.B]
+				if !okU || !okV {
+					return nil, fmt.Errorf("constraint: internal: operand of wire %d missing from layer %d", w, d-1)
+				}
+				layer.Terms = append(layer.Terms, GateTerm{G: g, U: u, V: v, C: f.Mul(scale, t.Coeff)})
+			}
+		}
+		lc.Layers = append(lc.Layers, layer)
+		posPrev = pos
+	}
+
+	// Output layer: exactly the outputs, in io order, copied from below.
+	out := CircuitLayer{Width: len(gs.Out)}
+	for k, ow := range gs.Out {
+		u, ok := posPrev[ow]
+		if !ok {
+			return nil, fmt.Errorf("constraint: internal: output wire %d missing from layer %d", ow, maxD)
+		}
+		out.Terms = append(out.Terms, GateTerm{G: k, U: u, V: 0, C: one})
+	}
+	lc.Layers = append(lc.Layers, out)
+	return lc, nil
+}
+
+func sortInts(s []int) {
+	// insertion sort keeps the dependency surface small; member lists are
+	// built in ascending passes so they are nearly sorted already.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

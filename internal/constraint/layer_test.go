@@ -1,0 +1,108 @@
+package constraint
+
+import (
+	"errors"
+	"testing"
+
+	"zaatar/internal/field"
+)
+
+// layerTestSystem builds, in canonical wire order (unbound 1..2, input 3,
+// output 4):
+//
+//	w1 = x·x
+//	w2 = w1 + 2
+//	y  = w2·x
+func layerTestSystem(f *field.Field) *GingerSystem {
+	one := f.One()
+	neg := f.Neg(one)
+	two := f.Double(one)
+	return &GingerSystem{
+		NumVars: 4,
+		In:      []int{3},
+		Out:     []int{4},
+		Cons: []GingerConstraint{
+			{{Coeff: one, A: 3, B: 3}, {Coeff: neg, A: 1, B: 0}},
+			{{Coeff: one, A: 1, B: 0}, {Coeff: two, A: 0, B: 0}, {Coeff: neg, A: 2, B: 0}},
+			{{Coeff: one, A: 2, B: 3}, {Coeff: neg, A: 4, B: 0}},
+		},
+	}
+}
+
+func TestLayerStratifies(t *testing.T) {
+	f := field.F128()
+	lc, err := Layer(f, layerTestSystem(f))
+	if err != nil {
+		t.Fatalf("Layer: %v", err)
+	}
+	// Depths: w1 at 1, w2 at 2, y at 3, plus the output copy layer at 4.
+	if got := lc.Depth(); got != 4 {
+		t.Fatalf("depth = %d, want 4", got)
+	}
+	if lc.NumInputs != 1 || lc.NumOutputs != 1 {
+		t.Fatalf("io = (%d, %d), want (1, 1)", lc.NumInputs, lc.NumOutputs)
+	}
+
+	vals, err := lc.Eval(f, []field.Element{f.FromInt64(3)})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	out := vals[len(vals)-1]
+	if len(out) != 1 || !f.Equal(out[0], f.FromInt64(33)) {
+		t.Fatalf("y = %s, want 33 (w1=9, w2=11, y=33)", f.String(out[0]))
+	}
+	// Every non-output layer keeps the constant in slot 0.
+	for i := 0; i < len(vals)-1; i++ {
+		if !f.IsOne(vals[i][0]) {
+			t.Fatalf("layer %d slot 0 = %s, want 1", i, f.String(vals[i][0]))
+		}
+	}
+	if lc.WitnessLen() != 2+2+3+3+1 {
+		// input [1,x]; L1 [1,w1]; L2 [1,w2,x]; L3 [1,y,?]... widths are
+		// implementation detail; just cross-check against Widths.
+		total := 0
+		for _, w := range lc.Widths() {
+			total += w
+		}
+		if total != lc.WitnessLen() {
+			t.Fatalf("WitnessLen %d != Σ widths %d", lc.WitnessLen(), total)
+		}
+	}
+}
+
+func TestLayerRejectsAdvice(t *testing.T) {
+	f := field.F128()
+	one := f.One()
+	neg := f.Neg(one)
+	// b·b − b = 0 constrains b ∈ {0,1} but defines nothing.
+	gs := &GingerSystem{
+		NumVars: 2,
+		In:      []int{1},
+		Out:     []int{2},
+		Cons: []GingerConstraint{
+			{{Coeff: one, A: 2, B: 2}, {Coeff: neg, A: 2, B: 0}},
+		},
+	}
+	if _, err := Layer(f, gs); !errors.Is(err, ErrNotLayered) {
+		t.Fatalf("Layer = %v, want ErrNotLayered", err)
+	}
+}
+
+func TestLayerRejectsPureCheck(t *testing.T) {
+	f := field.F128()
+	one := f.One()
+	neg := f.Neg(one)
+	// w1 defined twice over: second constraint is a redundant check.
+	gs := &GingerSystem{
+		NumVars: 2,
+		In:      []int{1},
+		Out:     []int{2},
+		Cons: []GingerConstraint{
+			{{Coeff: one, A: 1, B: 0}, {Coeff: neg, A: 2, B: 0}},
+			{{Coeff: one, A: 1, B: 0}, {Coeff: neg, A: 2, B: 0}},
+		},
+	}
+	if _, err := Layer(f, gs); !errors.Is(err, ErrNotLayered) {
+		t.Fatalf("Layer = %v, want ErrNotLayered", err)
+	}
+}

@@ -1,0 +1,133 @@
+package costmodel
+
+import (
+	"testing"
+
+	"zaatar/internal/compiler"
+	"zaatar/internal/constraint"
+	"zaatar/internal/field"
+	"zaatar/internal/pcp"
+)
+
+// TestRecommendProtocolCompiledPrograms: compiler output always keeps K₂
+// small, so Zaatar wins.
+func TestRecommendProtocolCompiledPrograms(t *testing.T) {
+	prog, err := compiler.Compile(field.F128(), `
+		const N = 6;
+		input x[N] : int16;
+		output y : int64;
+		y = 0;
+		for i = 0 to N-1 { y = y + x[i] * x[i]; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RecommendProtocol(prog.Ginger, prog.Quad); got != pcp.BackendZaatar {
+		t.Errorf("compiled program recommended %v, want zaatar", got)
+	}
+}
+
+// degenerateSystem builds §4's degenerate case: a single constraint
+// evaluating a dense degree-2 polynomial (every pair of variables
+// multiplied) makes Ginger's encoding the concise one.
+func degenerateSystem(t *testing.T, f *field.Field, n int) (*constraint.GingerSystem, *constraint.QuadSystem) {
+	t.Helper()
+	one := f.One()
+	var c constraint.GingerConstraint
+	for i := 1; i <= n; i++ {
+		for j := i; j <= n; j++ {
+			c = append(c, constraint.Term{Coeff: one, A: i, B: j})
+		}
+	}
+	c = append(c, constraint.Term{Coeff: f.Neg(one), A: n + 1})
+	gs := &constraint.GingerSystem{
+		NumVars: n + 1,
+		Out:     []int{n + 1},
+		Cons:    []constraint.GingerConstraint{c},
+	}
+	qs := constraint.ToQuad(f, gs)
+	if qs.NumVars != gs.NumVars+n*(n+1)/2 {
+		t.Fatalf("unexpected K2 accounting: %d vars", qs.NumVars)
+	}
+	return gs, qs
+}
+
+func TestRecommendProtocolDegenerate(t *testing.T) {
+	f := field.F128()
+	gs, qs := degenerateSystem(t, f, 12)
+	if got := RecommendProtocol(gs, qs); got != pcp.BackendGinger {
+		ug, uz := constraint.ProofVectorSizes(gs, qs)
+		t.Errorf("degenerate system recommended %v (|u_g|=%d |u_z|=%d), want ginger", got, ug, uz)
+	}
+}
+
+// TestRecommendBackendLayered: a pure-arithmetic program stratifies, and
+// the crypto-free sum-check prover wins the three-way breakeven.
+func TestRecommendBackendLayered(t *testing.T) {
+	prog, err := compiler.Compile(field.F128(), `
+		input x, y : int32;
+		output a : int64;
+		a = (x + y) * (x - y) + x * x * y;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RecommendBackend(prog.Field, prog.Ginger, prog.Quad)
+	if got != pcp.BackendSumcheck {
+		t.Errorf("layered program recommended %v, want sumcheck", got)
+	}
+}
+
+// TestRecommendBackendAdvice: comparisons need nondeterministic advice
+// wires, the circuit does not stratify, and the recommendation falls back
+// to the two-way commitment-lane choice.
+func TestRecommendBackendAdvice(t *testing.T) {
+	prog, err := compiler.Compile(field.F128(), `
+		input x, y : int32;
+		output m : int32;
+		m = x;
+		if (y > x) { m = y; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RecommendBackend(prog.Field, prog.Ginger, prog.Quad)
+	if got != pcp.BackendZaatar {
+		t.Errorf("advice-bearing program recommended %v, want zaatar fallback", got)
+	}
+}
+
+func TestRecommendBackendDegenerateFallsBackToGinger(t *testing.T) {
+	f := field.F128()
+	gs, qs := degenerateSystem(t, f, 12)
+	// The dense constraint has many unknowns, so it does not stratify and
+	// the degenerate recommendation survives the generalization.
+	if got := RecommendBackend(f, gs, qs); got != pcp.BackendGinger {
+		t.Errorf("degenerate system recommended %v, want ginger", got)
+	}
+}
+
+func TestEstimateSumcheckShape(t *testing.T) {
+	prog, err := compiler.Compile(field.F128(), `
+		input x : int32;
+		output y : int64;
+		y = x * x + 3;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := constraint.Layer(prog.Field, prog.Ginger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := OpCosts{E: 1e-4, D: 1e-4, H: 1e-5, F: 1e-9, FLazy: 5e-10, FDiv: 1e-8, C: 1e-8}
+	est := EstimateSumcheck(p, SumcheckQuantities{Stats: lc.Stats()})
+	if est.ProverConstruct <= 0 || est.ProverIssue < 0 || est.VerifierPerInstance <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+	// The whole point of the lane: per-instance prover cost is orders of
+	// magnitude below a single ciphertext operation.
+	if est.ProverTotal() >= p.H {
+		t.Fatalf("sum-check prover estimate %g not below one group op %g", est.ProverTotal(), p.H)
+	}
+}

@@ -16,8 +16,10 @@ import (
 // BaselineSchema versions the BENCH_<date>.json layout; bump it when the
 // shape changes so downstream comparisons can tell files apart. Schema 2
 // added the cache-amortization section (cold vs warm session setup and the
-// batches-per-connection curve).
-const BaselineSchema = 2
+// batches-per-connection curve); schema 3 added the backend-comparison
+// section (Zaatar commitment lane vs sum-check transcript lane on the
+// layered matmul-chain workload).
+const BaselineSchema = 3
 
 // Baseline is the machine-readable benchmark snapshot zaatar-bench -json
 // emits: per-phase wall times and latency percentiles for each §5
@@ -48,6 +50,10 @@ type Baseline struct {
 	// (schema ≥ 2): cold vs warm session setup against a transport.Service
 	// and the batches-per-connection curve.
 	Cache *CacheResult `json:"cache,omitempty"`
+
+	// Backend is the proof-backend comparison (schema ≥ 3): the layered
+	// matmul-chain batch proved under the Zaatar and sum-check lanes.
+	Backend *BackendResult `json:"backend,omitempty"`
 }
 
 // BaselineBench is one benchmark's measured batch.
@@ -184,6 +190,12 @@ func RunBaseline(o Options, beta int) (*Baseline, error) {
 		return nil, err
 	}
 	b.Cache = cache
+
+	backend, err := RunBackend(o, beta)
+	if err != nil {
+		return nil, err
+	}
+	b.Backend = backend
 	return b, nil
 }
 
@@ -223,5 +235,9 @@ func RenderBaseline(w io.Writer, b *Baseline) {
 	if b.Cache != nil {
 		fmt.Fprintln(w)
 		RenderCache(w, b.Cache)
+	}
+	if b.Backend != nil {
+		fmt.Fprintln(w)
+		RenderBackend(w, b.Backend)
 	}
 }

@@ -258,3 +258,26 @@ func TestScales(t *testing.T) {
 		}
 	}
 }
+
+func TestRunBackend(t *testing.T) {
+	o := quickOptions()
+	o.Crypto = true // the gap only means something against the commitment lane
+	r, err := RunBackend(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Recommended != pcp.BackendSumcheck {
+		t.Errorf("cost model recommends %q for the layered chain, want sumcheck", r.Recommended)
+	}
+	if len(r.Lanes) != 2 || r.Lanes[0].Backend != pcp.BackendZaatar || r.Lanes[1].Backend != pcp.BackendSumcheck {
+		t.Fatalf("lanes = %+v, want [zaatar, sumcheck]", r.Lanes)
+	}
+	if r.ProverSpeedup <= 1 {
+		t.Errorf("prover speedup %.2f, want > 1 (sum-check lane pays no crypto)", r.ProverSpeedup)
+	}
+	var buf bytes.Buffer
+	RenderBackend(&buf, r)
+	if !strings.Contains(buf.String(), "cheaper per instance") {
+		t.Error("render missing headline ratio")
+	}
+}

@@ -1,0 +1,241 @@
+package pcp
+
+import (
+	"math/big"
+	"testing"
+
+	"zaatar/internal/compiler"
+	"zaatar/internal/constraint"
+	"zaatar/internal/field"
+	"zaatar/internal/prg"
+)
+
+// sumcheckSrc is pure arithmetic — no comparisons, so no advice wires — and
+// stratifies into a few layers with both mul and add gates.
+const sumcheckSrc = `
+input x, y : int32;
+output a, b : int64;
+a = (x + y) * (x - y);
+b = x * x * y + 3 * y;
+`
+
+func sumcheckFixture(t *testing.T) (Backend, *compiler.Program, Precomputed) {
+	t.Helper()
+	prog, err := compiler.Compile(field.F128(), sumcheckSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := Lookup(BackendSumcheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := bk.Precompute(prog)
+	if err != nil {
+		t.Fatalf("Precompute: %v", err)
+	}
+	return bk, prog, pre
+}
+
+// proveOnce runs the full backend flow for one instance and returns the
+// queries, io vector, and proof stream.
+func proveOnce(t *testing.T, seed int64, inputs []int64) (Queries, []field.Element, []field.Element) {
+	t.Helper()
+	bk, prog, pre := sumcheckFixture(t)
+	if bk.NeedsCommitment() {
+		t.Fatal("sumcheck backend should not need commitment")
+	}
+	if n1, n2 := bk.OracleLens(pre); n1 != 0 || n2 != 0 {
+		t.Fatalf("OracleLens = (%d, %d), want (0, 0)", n1, n2)
+	}
+
+	in := make([]*big.Int, len(inputs))
+	for i, v := range inputs {
+		in[i] = big.NewInt(v)
+	}
+	outs, witness, err := bk.Solve(pre, prog, in)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Cross-check against the straight-line interpreter.
+	want, err := prog.Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if outs[i].Cmp(want[i]) != 0 {
+			t.Fatalf("output[%d] = %v, want %v", i, outs[i], want[i])
+		}
+	}
+
+	proof, err := bk.BuildProof(pre, witness)
+	if err != nil {
+		t.Fatalf("BuildProof: %v", err)
+	}
+	q, err := bk.Queries(pre, TestParams(), prg.NewFromSeed([]byte("sumcheck-test-seed"), uint64(seed)))
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	if q1, q2 := q.Vectors(); q1 != nil || q2 != nil {
+		t.Fatal("interactive backend should publish no query vectors")
+	}
+	r1, r2, err := q.Answer(proof)
+	if err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	if len(r2) != 0 {
+		t.Fatalf("r2 has %d elements, want 0", len(r2))
+	}
+	io, err := prog.IOValues(in, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, io, r1
+}
+
+func TestSumcheckRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		q, io, r1 := proveOnce(t, seed, []int64{7, 5})
+		if res := q.Decide(r1, nil, io); !res.OK {
+			t.Fatalf("seed %d: honest proof rejected: %s", seed, res.Reason)
+		}
+	}
+	q, io, r1 := proveOnce(t, 9, []int64{-12, 31})
+	if res := q.Decide(r1, nil, io); !res.OK {
+		t.Fatalf("negative inputs: honest proof rejected: %s", res.Reason)
+	}
+}
+
+// TestSumcheckRejectsTamper flips every single element of the honest stream
+// in turn; the verifier must reject each mutation.
+func TestSumcheckRejectsTamper(t *testing.T) {
+	q, io, r1 := proveOnce(t, 1, []int64{7, 5})
+	f := field.F128()
+	for i := range r1 {
+		mutated := make([]field.Element, len(r1))
+		copy(mutated, r1)
+		mutated[i] = f.Add(mutated[i], f.One())
+		if res := q.Decide(mutated, nil, io); res.OK {
+			t.Fatalf("accepted stream with element %d/%d mutated", i, len(r1))
+		}
+	}
+}
+
+func TestSumcheckRejectsWrongIO(t *testing.T) {
+	q, io, r1 := proveOnce(t, 2, []int64{7, 5})
+	f := field.F128()
+
+	// Wrong output claim.
+	bad := make([]field.Element, len(io))
+	copy(bad, io)
+	bad[len(bad)-1] = f.Add(bad[len(bad)-1], f.One())
+	if res := q.Decide(r1, nil, bad); res.OK {
+		t.Fatal("accepted proof against a falsified output")
+	}
+
+	// Wrong input claim.
+	copy(bad, io)
+	bad[0] = f.Add(bad[0], f.One())
+	if res := q.Decide(r1, nil, bad); res.OK {
+		t.Fatal("accepted proof against a falsified input")
+	}
+
+	// Malformed lengths.
+	if res := q.Decide(r1[:len(r1)-1], nil, io); res.OK {
+		t.Fatal("accepted truncated stream")
+	}
+	if res := q.Decide(r1, []field.Element{f.One()}, io); res.OK {
+		t.Fatal("accepted unexpected second oracle response")
+	}
+	if res := q.Decide(r1, nil, io[:len(io)-1]); res.OK {
+		t.Fatal("accepted truncated io")
+	}
+}
+
+// TestSumcheckSaltBinds checks that a proof generated under one salt does
+// not verify under another: the transcript challenges must depend on the
+// batch randomness, not only on the messages.
+func TestSumcheckSaltBinds(t *testing.T) {
+	_, io, r1 := proveOnce(t, 3, []int64{7, 5})
+	bk, _, pre := sumcheckFixture(t)
+	other, err := bk.Queries(pre, TestParams(), prg.NewFromSeed([]byte("a-different-seed"), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := other.Decide(r1, nil, io); res.OK {
+		t.Fatal("proof verified under a different salt")
+	}
+}
+
+func TestSumcheckProofLen(t *testing.T) {
+	_, prog, pre := sumcheckFixture(t)
+	circ, err := constraint.Layer(prog.Field, prog.Ginger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, io, r1 := proveOnce(t, 4, []int64{1, 2})
+	if len(r1) != SumcheckProofLen(circ) {
+		t.Fatalf("stream has %d elements, SumcheckProofLen says %d", len(r1), SumcheckProofLen(circ))
+	}
+	_ = io
+	_ = pre
+}
+
+// FuzzSumcheckRound feeds mutated proof streams to the verifier: it must
+// never panic and never accept a stream that differs from the honest one.
+func FuzzSumcheckRound(f *testing.F) {
+	prog, err := compiler.Compile(field.F128(), sumcheckSrc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	bk, err := Lookup(BackendSumcheck)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pre, err := bk.Precompute(prog)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fld := prog.Field
+
+	in := []*big.Int{big.NewInt(7), big.NewInt(5)}
+	outs, witness, err := bk.Solve(pre, prog, in)
+	if err != nil {
+		f.Fatal(err)
+	}
+	proof, err := bk.BuildProof(pre, witness)
+	if err != nil {
+		f.Fatal(err)
+	}
+	q, err := bk.Queries(pre, TestParams(), prg.NewFromSeed([]byte("fuzz-seed"), 0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	honest, _, err := q.Answer(proof)
+	if err != nil {
+		f.Fatal(err)
+	}
+	io, err := prog.IOValues(in, outs)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(uint16(0), uint64(1))
+	f.Add(uint16(5), uint64(1<<40))
+	f.Add(uint16(len(honest)-1), uint64(0))
+	f.Fuzz(func(t *testing.T, pos uint16, delta uint64) {
+		mutated := make([]field.Element, len(honest))
+		copy(mutated, honest)
+		i := int(pos) % len(mutated)
+		mutated[i] = fld.Add(mutated[i], fld.FromUint64(delta))
+		res := q.Decide(mutated, nil, io)
+		if fld.IsZero(fld.FromUint64(delta)) {
+			if !res.OK {
+				t.Fatalf("honest stream rejected: %s", res.Reason)
+			}
+			return
+		}
+		if res.OK {
+			t.Fatalf("accepted stream with element %d shifted by %d", i, delta)
+		}
+	})
+}

@@ -12,20 +12,19 @@ import (
 )
 
 // cacheKey identifies a compiled program: the same source compiled for a
-// different field or proved under a different protocol is a different
-// artifact (different constraint system, different QAP).
+// different field or proved under a different backend is a different
+// artifact (different constraint system, different precomputation). The
+// backend is the session's negotiated backend name, resolved once in
+// ServeConn and passed through — key derivation and entry build must agree
+// by construction, not by deriving it twice.
 type cacheKey struct {
-	source   [sha256.Size]byte
-	field    string
-	protocol vc.Protocol
+	source  [sha256.Size]byte
+	field   string
+	backend string
 }
 
-func keyOf(h Hello) cacheKey {
-	k := cacheKey{source: sha256.Sum256([]byte(h.Source)), field: h.fieldOf().Name()}
-	if h.Ginger {
-		k.protocol = vc.Ginger
-	}
-	return k
+func keyOf(h Hello, backend string) cacheKey {
+	return cacheKey{source: sha256.Sum256([]byte(h.Source)), field: h.fieldOf().Name(), backend: backend}
 }
 
 // cacheEntry is one cached program plus its prover-side precomputation.
@@ -104,7 +103,7 @@ func (c *programCache) drop(key cacheKey, e *cacheEntry) {
 // Service's lock. The prover.compile span is emitted only here — a cache
 // hit has no compile span in its trace, which is how callers observe the
 // amortization.
-func (e *cacheEntry) build(ctx context.Context, h Hello) {
+func (e *cacheEntry) build(ctx context.Context, h Hello, backend string) {
 	defer close(e.ready)
 	compileTr := trace.Start(ctx, "prover.compile")
 	e.prog, e.err = compiler.Compile(h.fieldOf(), h.Source)
@@ -112,12 +111,8 @@ func (e *cacheEntry) build(ctx context.Context, h Hello) {
 	if e.err != nil {
 		return
 	}
-	protocol := vc.Zaatar
-	if h.Ginger {
-		protocol = vc.Ginger
-	}
 	preTr := trace.Start(ctx, "prover.preprocess")
-	e.pre, e.err = vc.Preprocess(e.prog, protocol)
+	e.pre, e.err = vc.PreprocessBackend(e.prog, backend)
 	preTr.End()
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"zaatar/internal/obs"
 	"zaatar/internal/obs/trace"
+	"zaatar/internal/pcp"
 	"zaatar/internal/vc"
 )
 
@@ -52,6 +53,11 @@ type ServiceOptions struct {
 	// CacheSize is the number of compiled programs kept in the LRU shared
 	// across sessions. Defaults to 32.
 	CacheSize int
+	// Backends restricts the proof backends this service negotiates, in no
+	// particular order (the client's preference order decides ties). Nil
+	// means every backend registered in internal/pcp. Tests use this to
+	// simulate a build without a given backend.
+	Backends []string
 	// Obs receives the service's counters and spans; nil uses
 	// obs.Default().
 	Obs *obs.Registry
@@ -74,6 +80,7 @@ type Service struct {
 	maxConns    int
 	ioTimeout   time.Duration
 	idleTimeout time.Duration
+	backends    []string
 	logf        func(format string, args ...any)
 
 	reg    *obs.Registry
@@ -122,6 +129,10 @@ func NewService(opts ServiceOptions) *Service {
 	if cacheSize < 1 {
 		cacheSize = 32
 	}
+	backends := opts.Backends
+	if backends == nil {
+		backends = pcp.Names()
+	}
 	return &Service{
 		workers:     workers,
 		maxSessions: maxSessions,
@@ -129,6 +140,7 @@ func NewService(opts ServiceOptions) *Service {
 		maxConns:    maxConns,
 		ioTimeout:   opts.IOTimeout,
 		idleTimeout: idle,
+		backends:    backends,
 		logf:        opts.Logf,
 		reg:         reg,
 		sem:         make(chan struct{}, maxSessions),
@@ -211,13 +223,13 @@ func (s *Service) releaseSlot() {
 // precomputation through the shared LRU. Exactly one session builds each
 // entry; concurrent sessions for the same program wait for that build. The
 // prover.compile trace span exists only on the building (miss) path.
-func (s *Service) program(ctx context.Context, hello Hello) (*cacheEntry, error) {
-	key := keyOf(hello)
+func (s *Service) program(ctx context.Context, hello Hello, backend string) (*cacheEntry, error) {
+	key := keyOf(hello, backend)
 	s.mu.Lock()
 	entry, build := s.cache.lookup(key)
 	s.mu.Unlock()
 	if build {
-		entry.build(ctx, hello)
+		entry.build(ctx, hello, backend)
 		if entry.err != nil {
 			s.mu.Lock()
 			s.cache.drop(key, entry)
@@ -275,6 +287,14 @@ func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
 	}
 	version := hello.version() // ≤ MaxProtocolVersion after validate
 
+	// Resolve the session's proof backend once; the cache key, the
+	// prover's configuration, and the ack all use this single value.
+	backend, err := negotiateBackend(hello.offered(), s.backends)
+	if err != nil {
+		_ = cc.send(HelloAck{Err: err.Error(), Version: version})
+		return err
+	}
+
 	// Join the verifier's trace, if it sent one, recording into a
 	// per-session ring; completed spans ship back with every ResponsesMsg.
 	// With a zero Trace (older client, or tracing off) tc is nil and every
@@ -301,18 +321,19 @@ func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
 		}
 	}()
 
-	entry, err := s.program(ctx, hello)
+	entry, err := s.program(ctx, hello, backend)
 	if err != nil {
 		_ = cc.send(HelloAck{Err: err.Error(), Version: version})
 		return err
 	}
 	prog := entry.prog
-	prover, err := vc.NewProverPre(prog, hello.config(workers, nil), entry.pre)
+	prover, err := vc.NewProverPre(prog, hello.config(workers, nil, backend), entry.pre)
 	if err != nil {
 		_ = cc.send(HelloAck{Err: err.Error(), Version: version})
 		return err
 	}
-	ack := HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs(), Version: version}
+	s.reg.Counter(MetricBackendSessions + backend).Inc()
+	ack := HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs(), Version: version, Backend: backend}
 	if err := cc.send(ack); err != nil {
 		return err
 	}

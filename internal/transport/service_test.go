@@ -110,7 +110,7 @@ func recordingProver(server net.Conn, onBatch func(BatchMsg), onDecommit func(De
 	if err != nil {
 		return err
 	}
-	prover, err := vc.NewProver(prog, h.config(1, nil))
+	prover, err := vc.NewProver(prog, h.config(1, nil, h.offered()[0]))
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ import (
 	"zaatar/internal/elgamal"
 	"zaatar/internal/obs"
 	"zaatar/internal/obs/trace"
+	"zaatar/internal/pcp"
 	"zaatar/internal/vc"
 )
 
@@ -32,6 +33,11 @@ type ClientOptions struct {
 	// IOTimeout, when positive, is the per-message read/write deadline on
 	// every prover connection.
 	IOTimeout time.Duration
+	// Program, when non-nil, is the already-compiled program for
+	// hello.Source over hello's field, letting a caller that compiled the
+	// source to pick its backend offer (see zaatar.WithBackend's auto
+	// mode) skip the second compilation. It must match the hello.
+	Program *compiler.Program
 	// Obs receives the client's counters and spans; nil uses
 	// obs.Default().
 	Obs *obs.Registry
@@ -73,7 +79,8 @@ type Session struct {
 	prog     *compiler.Program
 	verifier *vc.Verifier
 	legs     []*sessionLeg
-	version  int // min negotiated version across legs
+	version  int    // min negotiated version across legs
+	backend  string // negotiated proof backend (identical across legs)
 	tc       *trace.Ctx
 	sessTr   *trace.Span
 	obsSpan  obs.Span
@@ -128,13 +135,83 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 		defer watch(ctx, conn)()
 	}
 
-	compileTr := trace.Start(tctx, "verifier.compile")
-	s.prog, err = compiler.Compile(hello.fieldOf(), hello.Source)
-	compileTr.End()
-	if err != nil {
-		return nil, err
+	if opts.Program != nil {
+		s.prog = opts.Program
+	} else {
+		compileTr := trace.Start(tctx, "verifier.compile")
+		s.prog, err = compiler.Compile(hello.fieldOf(), hello.Source)
+		compileTr.End()
+		if err != nil {
+			return nil, err
+		}
 	}
-	cfg := hello.config(0, opts.Seed)
+
+	// Legacy fallback for servers that predate backend negotiation: they
+	// derive the backend from the Ginger bool, so the client assumes the
+	// same derivation when the ack carries no pick.
+	legacyBackend := pcp.BackendZaatar
+	if hello.Ginger {
+		legacyBackend = pcp.BackendGinger
+	}
+	offered := hello.offered()
+
+	helloTr := trace.Start(tctx, "wire.hello_exchange")
+	for _, conn := range conns {
+		leg := &sessionLeg{conn: conn, cc: newTimedCodec(conn, opts.IOTimeout)}
+		if err := leg.cc.send(hello); err != nil {
+			helloTr.End()
+			return nil, err
+		}
+		s.legs = append(s.legs, leg)
+	}
+	for _, leg := range s.legs {
+		var ack HelloAck
+		if err := leg.cc.recv(&ack); err != nil {
+			helloTr.End()
+			return nil, err
+		}
+		if ack.Err != "" {
+			helloTr.End()
+			return nil, &RemoteError{Phase: "hello", Msg: ack.Err}
+		}
+		leg.version = ack.Version
+		if leg.version == 0 {
+			leg.version = ProtocolV1 // pre-versioning server
+		}
+		if leg.version > hello.Version {
+			helloTr.End()
+			return nil, &ProtocolVersionError{Version: leg.version, Max: hello.Version}
+		}
+		if ack.NumInputs != s.prog.NumInputs() || ack.NumOutputs != s.prog.NumOutputs() {
+			helloTr.End()
+			return nil, errors.New("transport: prover disagrees on the io shape")
+		}
+		if leg.version < s.version {
+			s.version = leg.version
+		}
+		picked := ack.Backend
+		if picked == "" {
+			picked = legacyBackend
+		}
+		if !slicesContains(offered, picked) {
+			helloTr.End()
+			return nil, fmt.Errorf("%w: server picked %q, offered %v", ErrNoCommonBackend, picked, offered)
+		}
+		switch s.backend {
+		case "":
+			s.backend = picked
+		case picked:
+		default:
+			helloTr.End()
+			return nil, fmt.Errorf("%w: provers disagree (%q vs %q); a distributed batch needs one backend",
+				ErrNoCommonBackend, s.backend, picked)
+		}
+	}
+	helloTr.End()
+
+	// The verifier is built only now: its query state (and whether it
+	// generates commitment keys at all) depends on the negotiated backend.
+	cfg := hello.config(0, opts.Seed, s.backend)
 	cfg.Group = opts.Group
 	cfg.Obs = opts.Obs
 	setupTr, setupCtx := trace.Child(tctx, "vc.setup")
@@ -143,44 +220,25 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 	if err != nil {
 		return nil, err
 	}
-
-	helloTr := trace.Start(tctx, "wire.hello_exchange")
-	defer helloTr.End()
-	for _, conn := range conns {
-		leg := &sessionLeg{conn: conn, cc: newTimedCodec(conn, opts.IOTimeout)}
-		if err := leg.cc.send(hello); err != nil {
-			return nil, err
-		}
-		s.legs = append(s.legs, leg)
-	}
-	for _, leg := range s.legs {
-		var ack HelloAck
-		if err := leg.cc.recv(&ack); err != nil {
-			return nil, err
-		}
-		if ack.Err != "" {
-			return nil, &RemoteError{Phase: "hello", Msg: ack.Err}
-		}
-		leg.version = ack.Version
-		if leg.version == 0 {
-			leg.version = ProtocolV1 // pre-versioning server
-		}
-		if leg.version > hello.Version {
-			return nil, &ProtocolVersionError{Version: leg.version, Max: hello.Version}
-		}
-		if ack.NumInputs != s.prog.NumInputs() || ack.NumOutputs != s.prog.NumOutputs() {
-			return nil, errors.New("transport: prover disagrees on the io shape")
-		}
-		if leg.version < s.version {
-			s.version = leg.version
-		}
-	}
 	return s, nil
+}
+
+func slicesContains(list []string, want string) bool {
+	for _, v := range list {
+		if v == want {
+			return true
+		}
+	}
+	return false
 }
 
 // WireVersion reports the wire protocol version negotiated with the
 // provers (the minimum across connections).
 func (s *Session) WireVersion() int { return s.version }
+
+// Backend reports the proof backend negotiated with the provers (identical
+// across connections; NewSession fails otherwise).
+func (s *Session) Backend() string { return s.backend }
 
 // Program returns the compiled program (for io shape inspection).
 func (s *Session) Program() *compiler.Program { return s.prog }

@@ -82,6 +82,9 @@ var (
 	// ErrSingleBatch reports a second RunBatch on a session whose negotiated
 	// wire version (v1) supports only one batch per connection.
 	ErrSingleBatch = errors.New("transport: negotiated wire protocol v1 supports one batch per connection")
+	// ErrNoCommonBackend reports a hello whose offered proof backends share
+	// no member with the server's supported set.
+	ErrNoCommonBackend = errors.New("transport: no common proof backend")
 )
 
 // RemoteError is a failure the peer reported over the wire, tagged with the
@@ -129,6 +132,11 @@ const (
 	MetricConnsOpen     = "transport.conns.open"     // gauge: connections currently open in Serve
 	MetricConnsRejected = "transport.conns.rejected" // counter: connections refused at the MaxConns cap
 	MetricIdleClosed    = "transport.idle.closed"    // counter: idle keep-alive connections reaped
+
+	// MetricBackendSessions prefixes a per-backend session counter; the
+	// full series name is the prefix plus the negotiated backend name,
+	// e.g. "pcp.backend.sessions.sumcheck".
+	MetricBackendSessions = "pcp.backend.sessions."
 )
 
 // Hello opens a session: the verifier ships the computation and protocol
@@ -139,6 +147,13 @@ type Hello struct {
 	Ginger       bool
 	RhoLin, Rho  int
 	NoCommitment bool
+
+	// Backends is the ordered list of proof backends the client can verify,
+	// most preferred first; the server answers (in HelloAck.Backend) with
+	// the first offered name it supports. Empty — what a pre-negotiation
+	// peer sends, since gob omits empty fields — falls back to the legacy
+	// Ginger bool: an offer of exactly [ginger] or [zaatar].
+	Backends []string
 
 	// Version is the highest wire protocol version the client speaks; the
 	// server answers (in HelloAck.Version) with the version it selected,
@@ -157,8 +172,10 @@ type Hello struct {
 // Sanity bounds on Hello fields; beyond these the message is malformed
 // rather than merely expensive.
 const (
-	maxSourceBytes = 1 << 20
-	maxRepetitions = 1 << 12
+	maxSourceBytes  = 1 << 20
+	maxRepetitions  = 1 << 12
+	maxBackends     = 8
+	maxBackendBytes = 32
 )
 
 func (h Hello) validate() error {
@@ -172,8 +189,28 @@ func (h Hello) validate() error {
 	case h.RhoLin < 0 || h.Rho < 0 || h.RhoLin > maxRepetitions || h.Rho > maxRepetitions:
 		return fmt.Errorf("%w: PCP repetitions (ρ_lin=%d, ρ=%d) out of range [0, %d]",
 			ErrMalformedHello, h.RhoLin, h.Rho, maxRepetitions)
+	case len(h.Backends) > maxBackends:
+		return fmt.Errorf("%w: %d backend names offered (max %d)", ErrMalformedHello, len(h.Backends), maxBackends)
+	}
+	for _, name := range h.Backends {
+		if name == "" || len(name) > maxBackendBytes {
+			return fmt.Errorf("%w: bad backend name %q", ErrMalformedHello, name)
+		}
 	}
 	return nil
+}
+
+// offered normalizes the hello's backend offer: an explicit list is taken
+// as-is; a legacy peer's empty list means the single backend the Ginger
+// bool encodes.
+func (h Hello) offered() []string {
+	if len(h.Backends) > 0 {
+		return h.Backends
+	}
+	if h.Ginger {
+		return []string{pcp.BackendGinger}
+	}
+	return []string{pcp.BackendZaatar}
 }
 
 // version normalizes the gob zero value to v1.
@@ -192,6 +229,11 @@ type HelloAck struct {
 	// (≤ the client's Hello.Version). Zero means a pre-versioning server,
 	// i.e. v1.
 	Version int
+	// Backend is the proof backend the server selected from the hello's
+	// offer. Empty means a pre-negotiation server, which derives the
+	// backend from the legacy Ginger bool; the client then assumes the
+	// same derivation.
+	Backend string
 }
 
 // BatchMsg carries one batch: the per-instance inputs plus that batch's
@@ -254,17 +296,30 @@ func (h Hello) fieldOf() *field.Field {
 	return field.F128()
 }
 
-func (h Hello) config(workers int, seed []byte) vc.Config {
-	cfg := vc.Config{
+// config builds the vc configuration for the session's negotiated backend.
+// The backend is resolved exactly once per session — by negotiateBackend on
+// the server, from the acks on the client — and passed through here, so no
+// later stage re-derives it from the hello.
+func (h Hello) config(workers int, seed []byte, backend string) vc.Config {
+	return vc.Config{
+		Backend:      backend,
 		Params:       pcp.Params{RhoLin: h.RhoLin, Rho: h.Rho},
 		NoCommitment: h.NoCommitment,
 		Workers:      workers,
 		Seed:         seed,
 	}
-	if h.Ginger {
-		cfg.Protocol = vc.Ginger
+}
+
+// negotiateBackend picks the first offered backend the server supports.
+func negotiateBackend(offered, supported []string) (string, error) {
+	for _, want := range offered {
+		for _, have := range supported {
+			if want == have {
+				return want, nil
+			}
+		}
 	}
-	return cfg
+	return "", fmt.Errorf("%w: offered %v, supported %v", ErrNoCommonBackend, offered, supported)
 }
 
 // ServerOptions configures a single-connection prover (see ServeConn). The

@@ -58,6 +58,10 @@ const (
 	MetricSpanRespond  = "vc.respond"   // histogram: stage-3 wall per batch
 	MetricSpanVerify   = "vc.verify"    // histogram: per-instance verification
 	MetricSpanBatch    = "vc.batch"     // histogram: whole batch wall
+	// MetricBackendBatches prefixes a per-backend batch counter; the full
+	// series name is the prefix plus the backend name, e.g.
+	// "pcp.backend.batches.sumcheck".
+	MetricBackendBatches = "pcp.backend.batches."
 )
 
 // BatchResult aggregates one batch's outcomes and measurements.
@@ -296,6 +300,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 	}
 	res.Metrics.Total = batchSpan.End()
 	reg.Counter(MetricBatches).Inc()
+	reg.Counter(MetricBackendBatches + verifier.Backend()).Inc()
 	reg.Counter(MetricInstances).Add(int64(beta))
 	for _, ok := range res.Accepted {
 		if !ok {

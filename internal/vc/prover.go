@@ -11,7 +11,6 @@ import (
 	"zaatar/internal/field"
 	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
-	"zaatar/internal/qap"
 )
 
 // ProverTimes decomposes one instance's prover cost, mirroring the columns
@@ -33,7 +32,8 @@ type Prover struct {
 	Prog *compiler.Program
 	Cfg  Config
 
-	q   *qap.QAP
+	bk  pcp.Backend
+	pre pcp.Precomputed
 	req *CommitRequest
 
 	// kernelWorkers shards the homomorphic inner product inside each
@@ -43,8 +43,8 @@ type Prover struct {
 	kernelWorkers int
 
 	// query regeneration state after decommit
-	queries1, queries2 [][]field.Element
-	t1, t2             []field.Element
+	queries pcp.Queries
+	t1, t2  []field.Element
 }
 
 // SetKernelWorkers sets the number of goroutines used inside a single
@@ -63,28 +63,41 @@ type InstanceState struct {
 	Times  ProverTimes
 }
 
-// Precomputation holds the protocol-dependent prover-side state that
+// Precomputation holds the backend-dependent prover-side state that
 // depends only on the compiled program, not on a batch: for Zaatar the QAP
 // encoding (divisor polynomial, Newton inverse series, NTT subproduct
-// tree). It is immutable and safe to share between concurrent provers, so a
-// long-lived service can build it once per program and hand it to every
-// session (transport.Service does exactly that).
+// tree), for sum-check the layered circuit. It is immutable and safe to
+// share between concurrent provers, so a long-lived service can build it
+// once per program and hand it to every session (transport.Service does
+// exactly that). Keyed by backend name so a cache hit for one backend never
+// leaks into a session negotiating another.
 type Precomputation struct {
-	Protocol Protocol
-	q        *qap.QAP
+	Backend string
+
+	bk  pcp.Backend
+	pre pcp.Precomputed
+}
+
+// PreprocessBackend builds the prover-side precomputation for a program
+// under the named backend.
+func PreprocessBackend(prog *compiler.Program, backend string) (*Precomputation, error) {
+	bk, err := pcp.Lookup(backend)
+	if err != nil {
+		return nil, err
+	}
+	pre, err := bk.Precompute(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Precomputation{Backend: bk.Name(), bk: bk, pre: pre}, nil
 }
 
 // Preprocess builds the prover-side precomputation for a program under the
 // given protocol.
+//
+// Deprecated: use PreprocessBackend with a backend name.
 func Preprocess(prog *compiler.Program, protocol Protocol) (*Precomputation, error) {
-	pre := &Precomputation{Protocol: protocol}
-	if protocol == Zaatar {
-		var err error
-		if pre.q, err = qap.New(prog.Field, prog.Quad); err != nil {
-			return nil, err
-		}
-	}
-	return pre, nil
+	return PreprocessBackend(prog, protocol.String())
 }
 
 // NewProver prepares the prover for a computation.
@@ -93,16 +106,16 @@ func NewProver(prog *compiler.Program, cfg Config) (*Prover, error) {
 }
 
 // NewProverPre is NewProver reusing a cached Precomputation; pre may be nil
-// (or built for a different protocol), in which case the precomputation is
+// (or built for a different backend), in which case the precomputation is
 // performed here.
 func NewProverPre(prog *compiler.Program, cfg Config, pre *Precomputation) (*Prover, error) {
-	if pre == nil || pre.Protocol != cfg.Protocol {
+	if pre == nil || pre.Backend != cfg.BackendName() {
 		var err error
-		if pre, err = Preprocess(prog, cfg.Protocol); err != nil {
+		if pre, err = PreprocessBackend(prog, cfg.BackendName()); err != nil {
 			return nil, err
 		}
 	}
-	return &Prover{Prog: prog, Cfg: cfg, q: pre.q}, nil
+	return &Prover{Prog: prog, Cfg: cfg, bk: pre.bk, pre: pre.pre}, nil
 }
 
 // HandleCommitRequest stores the batch's encrypted commitment vectors.
@@ -130,11 +143,7 @@ func (p *Prover) Commit(ctx context.Context, inputs []*big.Int) (*Commitment, *I
 	solveTr := trace.Start(ctx, "prover.solve")
 	var w []field.Element
 	var err error
-	if p.Cfg.Protocol == Zaatar {
-		cm.Output, w, err = p.Prog.SolveQuad(inputs)
-	} else {
-		cm.Output, w, err = p.Prog.SolveGinger(inputs)
-	}
+	cm.Output, w, err = p.bk.Solve(p.pre, p.Prog, inputs)
 	solveTr.End()
 	if err != nil {
 		return nil, nil, err
@@ -142,22 +151,18 @@ func (p *Prover) Commit(ctx context.Context, inputs []*big.Int) (*Commitment, *I
 	st.Times.Solve = time.Since(start)
 
 	// Construct the proof vector. For Zaatar the dominant work is the NTT
-	// polynomial division computing H(t); for Ginger it is the z⊗z tensor.
+	// polynomial division computing H(t); for Ginger it is the z⊗z tensor;
+	// for sum-check the witness is the layered evaluation itself and the
+	// real proof is built at answer time (it depends on the batch salt).
 	start = time.Now()
-	kernelName := "kernel.ntt.divide"
-	if p.Cfg.Protocol != Zaatar {
-		kernelName = "kernel.tensor"
-	}
-	buildTr := trace.Start(ctx, kernelName)
-	if p.Cfg.Protocol == Zaatar {
-		st.U1, st.U2, err = pcp.BuildProof(p.q, w)
-	} else {
-		st.U1, st.U2, err = pcp.BuildGingerProof(f, p.Prog.Ginger, w)
-	}
-	buildTr.WithArg("u1", int64(len(st.U1))).WithArg("u2", int64(len(st.U2))).End()
+	buildTr := trace.Start(ctx, p.bk.ConstructKernel())
+	proof, err := p.bk.BuildProof(p.pre, w)
 	if err != nil {
+		buildTr.End()
 		return nil, nil, err
 	}
+	st.U1, st.U2 = proof.U1, proof.U2
+	buildTr.WithArg("u1", int64(len(st.U1))).WithArg("u2", int64(len(st.U2))).End()
 	st.Times.ConstructU = time.Since(start)
 
 	start = time.Now()
@@ -187,17 +192,13 @@ func (p *Prover) Commit(ctx context.Context, inputs []*big.Int) (*Commitment, *I
 	return cm, st, nil
 }
 
-// HandleDecommit regenerates the batch queries from the revealed seed.
+// HandleDecommit regenerates the batch query state from the revealed seed.
 func (p *Prover) HandleDecommit(req *DecommitRequest) error {
-	z, g, err := queriesFromSeed(p.Prog, p.Cfg, p.q, req.Seed)
+	q, err := queriesFromSeed(p.bk, p.pre, p.Cfg.params(), req.Seed)
 	if err != nil {
 		return err
 	}
-	if p.Cfg.Protocol == Zaatar {
-		p.queries1, p.queries2 = z.ZQueries, z.HQueries
-	} else {
-		p.queries1, p.queries2 = g.Z1Queries, g.Z2Queries
-	}
+	p.queries = q
 	p.t1, p.t2 = req.T1, req.T2
 	return nil
 }
@@ -209,15 +210,16 @@ func (p *Prover) Respond(ctx context.Context, st *InstanceState) (*Response, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if p.queries1 == nil {
+	if p.queries == nil {
 		return nil, errPhase
 	}
 	f := p.Prog.Field
 	start := time.Now()
-	resp := &Response{
-		R1: pcp.Answer(f, st.U1, p.queries1),
-		R2: pcp.Answer(f, st.U2, p.queries2),
+	r1, r2, err := p.queries.Answer(&pcp.Proof{U1: st.U1, U2: st.U2})
+	if err != nil {
+		return nil, err
 	}
+	resp := &Response{R1: r1, R2: r2}
 	if p.t1 != nil {
 		if len(p.t1) != len(st.U1) || len(p.t2) != len(st.U2) {
 			return nil, errors.New("vc: consistency point length mismatch")

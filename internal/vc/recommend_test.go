@@ -4,13 +4,12 @@ import (
 	"testing"
 
 	"zaatar/internal/compiler"
-	"zaatar/internal/constraint"
 	"zaatar/internal/field"
 )
 
-// TestRecommendProtocolCompiledPrograms: compiler output always keeps K₂
-// small, so Zaatar wins.
-func TestRecommendProtocolCompiledPrograms(t *testing.T) {
+// The model itself is tested in internal/costmodel; here we only check the
+// deprecated wrapper's name→enum mapping.
+func TestRecommendProtocolWrapper(t *testing.T) {
 	prog, err := compiler.Compile(field.F128(), `
 		const N = 6;
 		input x[N] : int16;
@@ -21,39 +20,14 @@ func TestRecommendProtocolCompiledPrograms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := RecommendProtocol(prog.Ginger, prog.Quad); got != Zaatar {
-		t.Errorf("compiled program recommended %v, want zaatar", got)
+	got := RecommendProtocol(prog.Ginger, prog.Quad)
+	if got != Zaatar {
+		t.Errorf("RecommendProtocol = %v, want Zaatar", got)
 	}
-}
-
-// TestRecommendProtocolDegenerate reproduces §4's degenerate case: a single
-// constraint evaluating a dense degree-2 polynomial (every pair of
-// variables multiplied) makes Ginger's encoding the concise one.
-func TestRecommendProtocolDegenerate(t *testing.T) {
-	f := field.F128()
-	one := f.One()
-	n := 12
-	// One constraint: Σ_{i≤j} z_i·z_j - out = 0 over unbound wires 1..n,
-	// with out an output wire.
-	var c constraint.GingerConstraint
-	for i := 1; i <= n; i++ {
-		for j := i; j <= n; j++ {
-			c = append(c, constraint.Term{Coeff: one, A: i, B: j})
-		}
+	if got.String() != "zaatar" {
+		t.Errorf("String() = %q, want zaatar", got.String())
 	}
-	c = append(c, constraint.Term{Coeff: f.Neg(one), A: n + 1})
-	gs := &constraint.GingerSystem{
-		NumVars: n + 1,
-		Out:     []int{n + 1},
-		Cons:    []constraint.GingerConstraint{c},
-	}
-	qs := constraint.ToQuad(f, gs)
-	// Sanity: the quad system has K2 = n(n+1)/2 extra variables.
-	if qs.NumVars != gs.NumVars+n*(n+1)/2 {
-		t.Fatalf("unexpected K2 accounting: %d vars", qs.NumVars)
-	}
-	if got := RecommendProtocol(gs, qs); got != Ginger {
-		ug, uz := constraint.ProofVectorSizes(gs, qs)
-		t.Errorf("degenerate system recommended %v (|u_g|=%d |u_z|=%d), want ginger", got, ug, uz)
+	if Ginger.String() != "ginger" {
+		t.Errorf("Ginger.String() = %q", Ginger.String())
 	}
 }

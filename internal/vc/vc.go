@@ -16,9 +16,14 @@
 // seed. Binding holds because every instance's commitment is collected
 // before the seed is revealed.
 //
-// The prover supports both protocols of the paper — the QAP-based Zaatar
-// PCP and Ginger's classical PCP — behind one Config switch, and can spread
-// a batch over a worker pool (the paper's GPU/cluster parallelism; Figure 6).
+// The driver is backend-agnostic: every proof encoding — the QAP-based
+// Zaatar PCP, Ginger's classical PCP, and the GKR/sum-check lane — plugs in
+// behind the pcp.Backend interface, selected by name through one Config
+// field. Backends that need no commitment (NeedsCommitment() == false) skip
+// the cryptographic phases entirely: the commit request is empty, the
+// commitment carries only the claimed outputs, and the response is the
+// backend's transcript proof. The driver can spread a batch over a worker
+// pool (the paper's GPU/cluster parallelism; Figure 6).
 package vc
 
 import (
@@ -28,17 +33,20 @@ import (
 	"io"
 	"math/big"
 
-	"zaatar/internal/compiler"
 	"zaatar/internal/constraint"
+	"zaatar/internal/costmodel"
 	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
 	"zaatar/internal/obs"
 	"zaatar/internal/pcp"
 	"zaatar/internal/prg"
-	"zaatar/internal/qap"
 )
 
 // Protocol selects the proof encoding.
+//
+// Deprecated: Protocol survives for the v1 API surface; it is now only a
+// shorthand for the backend names of internal/pcp. New code should set
+// Config.Backend directly.
 type Protocol int
 
 const (
@@ -49,16 +57,25 @@ const (
 	Ginger
 )
 
+// protocolNames maps the legacy enum onto pcp backend identifiers. Indexed
+// lookup (not comparison) so the enum stays a pure naming shim.
+var protocolNames = [...]string{pcp.BackendZaatar, pcp.BackendGinger}
+
 func (p Protocol) String() string {
-	if p == Ginger {
-		return "ginger"
+	if int(p) >= 0 && int(p) < len(protocolNames) {
+		return protocolNames[p]
 	}
-	return "zaatar"
+	return pcp.BackendZaatar
 }
 
 // Config controls one verifier/prover pair.
 type Config struct {
-	// Protocol picks Zaatar or Ginger. Default Zaatar.
+	// Backend names the proof backend (see pcp.Names). Empty falls back to
+	// Protocol's name, preserving the legacy two-way switch.
+	Backend string
+	// Protocol picks Zaatar or Ginger when Backend is empty.
+	//
+	// Deprecated: set Backend.
 	Protocol Protocol
 	// Params are the PCP repetition counts. Zero value means
 	// pcp.DefaultParams().
@@ -101,8 +118,23 @@ func (c Config) params() pcp.Params {
 	return c.Params
 }
 
+// BackendName resolves the configured backend identifier: Backend if set,
+// otherwise the legacy Protocol's name.
+func (c Config) BackendName() string {
+	if c.Backend != "" {
+		return c.Backend
+	}
+	return c.Protocol.String()
+}
+
+func (c Config) backend() (pcp.Backend, error) {
+	return pcp.Lookup(c.BackendName())
+}
+
 // CommitRequest opens a batch: the encrypted commitment vectors for the two
-// proof oracles.
+// proof oracles. Both vectors are empty for backends that need no
+// commitment; the request still opens the batch (phase ordering is what
+// binds the prover's outputs before the seed reveal).
 type CommitRequest struct {
 	EncR1 []elgamal.Ciphertext // for π_z (Zaatar) or π₁ (Ginger)
 	EncR2 []elgamal.Ciphertext // for π_h (Zaatar) or π₂ (Ginger)
@@ -131,16 +163,11 @@ type Response struct {
 
 const seedLen = 32
 
-// queriesFromSeed deterministically regenerates the batch's PCP queries.
-// Both parties call this with the same seed.
-func queriesFromSeed(prog *compiler.Program, cfg Config, q *qap.QAP, seed []byte) (z *pcp.ZaatarPCP, g *pcp.GingerPCP, err error) {
-	src := prg.NewFromSeed(seed, 1)
-	if cfg.Protocol == Ginger {
-		g, err = pcp.NewGinger(prog.Field, prog.Ginger, cfg.params(), src)
-		return nil, g, err
-	}
-	z, err = pcp.NewZaatar(q, cfg.params(), src)
-	return z, nil, err
+// queriesFromSeed deterministically regenerates the batch's query state.
+// Both parties call this with the same seed: for commitment lanes that
+// yields the PCP query vectors, for transcript lanes the batch salt.
+func queriesFromSeed(bk pcp.Backend, pre pcp.Precomputed, params pcp.Params, seed []byte) (pcp.Queries, error) {
+	return bk.Queries(pre, params, prg.NewFromSeed(seed, 1))
 }
 
 // group returns the ElGamal group for the configuration.
@@ -167,18 +194,14 @@ func freshSeed(cfg Config) ([]byte, error) {
 
 var errPhase = errors.New("vc: protocol phase violation")
 
-// RecommendProtocol implements footnote 5 of §4 (the hybrid idea later
-// developed by Vu et al. [57]): the degenerate computations for which
-// Ginger's encoding beats Zaatar's — dense degree-2 forms where K₂
-// approaches (|Z|²−|Z|)/2 — are detectable from the compiled constraint
-// statistics, so the system can simply pick the encoding with the smaller
-// proof vector. Programs produced by this repository's compiler always
-// recommend Zaatar (the compiler materializes every product into a fresh
-// variable, keeping K₂ ≤ |C|); hand-written constraint systems can tip the
-// other way.
+// RecommendProtocol picks the cheaper of the two commitment-lane encodings
+// (footnote 5 of §4).
+//
+// Deprecated: the model moved to costmodel.RecommendProtocol (and its
+// three-way generalization costmodel.RecommendBackend); this wrapper maps
+// the backend name back onto the legacy enum.
 func RecommendProtocol(gs *constraint.GingerSystem, qs *constraint.QuadSystem) Protocol {
-	ug, uz := constraint.ProofVectorSizes(gs, qs)
-	if ug < uz {
+	if costmodel.RecommendProtocol(gs, qs) == pcp.BackendGinger {
 		return Ginger
 	}
 	return Zaatar

@@ -13,7 +13,6 @@ import (
 	"zaatar/internal/field"
 	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
-	"zaatar/internal/qap"
 )
 
 // Verifier holds one batch's verifier state. Create with NewVerifier; then
@@ -22,11 +21,11 @@ type Verifier struct {
 	Prog *compiler.Program
 	Cfg  Config
 
-	q                  *qap.QAP
-	zaatar             *pcp.ZaatarPCP
-	ginger             *pcp.GingerPCP
+	bk                 pcp.Backend
+	pre                pcp.Precomputed
+	queries            pcp.Queries
 	seed               []byte
-	queries1, queries2 [][]field.Element // flattened per-oracle query lists
+	queries1, queries2 [][]field.Element // flattened query lists; nil for transcript lanes
 
 	sk       *elgamal.SecretKey
 	key1     *commit.Key
@@ -58,23 +57,20 @@ func NewVerifierCtx(ctx context.Context, prog *compiler.Program, cfg Config) (*V
 	if v.seed, err = freshSeed(cfg); err != nil {
 		return nil, err
 	}
-	qTr := trace.Start(ctx, "verifier.queries")
-	if cfg.Protocol == Zaatar {
-		if v.q, err = qap.New(prog.Field, prog.Quad); err != nil {
-			return nil, err
-		}
-	}
-	if v.zaatar, v.ginger, err = queriesFromSeed(prog, cfg, v.q, v.seed); err != nil {
+	if v.bk, err = cfg.backend(); err != nil {
 		return nil, err
 	}
-	if cfg.Protocol == Zaatar {
-		v.queries1, v.queries2 = v.zaatar.ZQueries, v.zaatar.HQueries
-	} else {
-		v.queries1, v.queries2 = v.ginger.Z1Queries, v.ginger.Z2Queries
+	qTr := trace.Start(ctx, "verifier.queries")
+	if v.pre, err = v.bk.Precompute(prog); err != nil {
+		return nil, err
 	}
+	if v.queries, err = queriesFromSeed(v.bk, v.pre, cfg.params(), v.seed); err != nil {
+		return nil, err
+	}
+	v.queries1, v.queries2 = v.queries.Vectors()
 	qTr.End()
 
-	if !cfg.NoCommitment {
+	if v.bk.NeedsCommitment() && !cfg.NoCommitment {
 		if err := v.genKeys(ctx); err != nil {
 			return nil, err
 		}
@@ -135,16 +131,12 @@ func (v *Verifier) Reseed(ctx context.Context, seed []byte) error {
 		return err
 	}
 	v.seed = s
-	if v.zaatar, v.ginger, err = queriesFromSeed(v.Prog, v.Cfg, v.q, s); err != nil {
+	if v.queries, err = queriesFromSeed(v.bk, v.pre, v.Cfg.params(), s); err != nil {
 		return err
 	}
-	if v.Cfg.Protocol == Zaatar {
-		v.queries1, v.queries2 = v.zaatar.ZQueries, v.zaatar.HQueries
-	} else {
-		v.queries1, v.queries2 = v.ginger.Z1Queries, v.ginger.Z2Queries
-	}
+	v.queries1, v.queries2 = v.queries.Vectors()
 	v.decommitBuilt = false
-	if !v.Cfg.NoCommitment {
+	if v.bk.NeedsCommitment() && !v.Cfg.NoCommitment {
 		if err := v.genKeys(ctx); err != nil {
 			return err
 		}
@@ -152,20 +144,20 @@ func (v *Verifier) Reseed(ctx context.Context, seed []byte) error {
 	return nil
 }
 
-// oracleLens returns the two proof-vector lengths |u₁|, |u₂|.
+// oracleLens returns the two proof-vector lengths |u₁|, |u₂| (zero for
+// transcript lanes, which commit to no linear oracle).
 func (v *Verifier) oracleLens() (int, int) {
-	if v.Cfg.Protocol == Zaatar {
-		return v.q.NZ, v.q.NC + 1
-	}
-	nz := v.Prog.Ginger.NumUnbound()
-	return nz, nz * nz
+	return v.bk.OracleLens(v.pre)
 }
 
-// ProofVectorLen returns |u| = |u₁| + |u₂| for the configured protocol.
+// ProofVectorLen returns |u| = |u₁| + |u₂| for the configured backend.
 func (v *Verifier) ProofVectorLen() int {
 	a, b := v.oracleLens()
 	return a + b
 }
+
+// Backend reports the resolved backend name.
+func (v *Verifier) Backend() string { return v.bk.Name() }
 
 // SetupDuration reports the time spent in NewVerifier (query + key setup),
 // the amortized cost that determines break-even batch sizes.
@@ -219,7 +211,7 @@ func (v *Verifier) VerifyInstance(ctx context.Context, inputs []*big.Int, cm *Co
 	if !v.decommitBuilt {
 		return false, errPhase.Error()
 	}
-	if len(resp.R1) != len(v.queries1) || len(resp.R2) != len(v.queries2) {
+	if v.queries1 != nil && (len(resp.R1) != len(v.queries1) || len(resp.R2) != len(v.queries2)) {
 		return false, "response count mismatch"
 	}
 	// Consistency tests bind the revealed answers to the committed linear
@@ -238,12 +230,7 @@ func (v *Verifier) VerifyInstance(ctx context.Context, inputs []*big.Int, cm *Co
 	if err != nil {
 		return false, fmt.Sprintf("bad io: %v", err)
 	}
-	var res pcp.CheckResult
-	if v.Cfg.Protocol == Zaatar {
-		res = v.zaatar.Check(resp.R1, resp.R2, io)
-	} else {
-		res = v.ginger.Check(resp.R1, resp.R2, io)
-	}
+	res := v.queries.Decide(resp.R1, resp.R2, io)
 	if !res.OK {
 		return false, res.Reason
 	}

@@ -67,6 +67,14 @@ func WithProgramCacheSize(n int) ServerOption {
 	return func(o *serverOptions) { o.svc.CacheSize = n }
 }
 
+// WithServerBackends restricts which proof backends the service negotiates
+// (a client's offer is matched against this list; see ErrNoCommonBackend in
+// the wire protocol). By default every backend compiled into the build is
+// available.
+func WithServerBackends(names ...string) ServerOption {
+	return func(o *serverOptions) { o.svc.Backends = names }
+}
+
 // WithServerMetrics directs the service's counters and spans (the
 // transport.*, including transport.cache.* and transport.admission.*
 // series) into r instead of the process-wide default registry.

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"zaatar/internal/compiler"
+	"zaatar/internal/costmodel"
 	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
 	"zaatar/internal/obs"
@@ -147,9 +148,42 @@ func WithField220() Option {
 // WithGingerProtocol selects the baseline quadratic proof encoding instead
 // of the QAP-based one — useful only for comparison; it is restricted to
 // small computations because the proof vector is |Z|².
+//
+// Deprecated: use WithBackend(BackendGinger). Retained for compatibility;
+// WithBackend takes precedence when both are given.
 func WithGingerProtocol() RunOption {
 	return runOption(func(o *options) { o.cfg.Protocol = vc.Ginger })
 }
+
+// Backend names accepted by WithBackend (besides BackendAuto).
+const (
+	// BackendZaatar is the QAP-based linear proof encoding (the default).
+	BackendZaatar = pcp.BackendZaatar
+	// BackendGinger is the quadratic baseline encoding.
+	BackendGinger = pcp.BackendGinger
+	// BackendSumcheck is the sum-check/GKR lane for layered circuits: no
+	// commitment cryptography, so the prover runs orders of magnitude
+	// faster, but only programs that stratify (pure add/mul arithmetic,
+	// no comparisons or division advice) are accepted.
+	BackendSumcheck = pcp.BackendSumcheck
+	// BackendAuto defers the choice to the cost model at run (or dial)
+	// time; see RecommendBackend.
+	BackendAuto = "auto"
+)
+
+// WithBackend selects the proof backend by name: BackendZaatar,
+// BackendGinger, BackendSumcheck, or BackendAuto to let the cost model pick
+// per program. On a Dial'ed client the chosen backend leads the offer sent
+// to the server; BackendAuto additionally appends BackendZaatar as a
+// fallback so a server built without the recommended lane can still serve
+// the session.
+func WithBackend(name string) RunOption {
+	return runOption(func(o *options) { o.cfg.Backend = name })
+}
+
+// Backends lists the proof backends compiled into this build, sorted by
+// name.
+func Backends() []string { return pcp.Names() }
 
 // WithParams overrides the PCP repetition counts (ρ_lin, ρ). The default is
 // the paper's production setting (20, 8) with soundness error below
@@ -227,6 +261,7 @@ func RunContext(ctx context.Context, prog *Program, batch [][]*big.Int, opts ...
 	if err := checkField(prog, o); err != nil {
 		return nil, err
 	}
+	resolveBackend(prog, &o)
 	return vc.RunBatch(ctx, prog, o.cfg, batch)
 }
 
@@ -236,6 +271,7 @@ func NewVerifier(prog *Program, opts ...RunOption) (*Verifier, error) {
 	if err := checkField(prog, o); err != nil {
 		return nil, err
 	}
+	resolveBackend(prog, &o)
 	return vc.NewVerifier(prog, o.cfg)
 }
 
@@ -245,7 +281,17 @@ func NewProver(prog *Program, opts ...RunOption) (*Prover, error) {
 	if err := checkField(prog, o); err != nil {
 		return nil, err
 	}
+	resolveBackend(prog, &o)
 	return vc.NewProver(prog, o.cfg)
+}
+
+// resolveBackend replaces the BackendAuto placeholder with the cost model's
+// pick for this program; concrete names (and the legacy Protocol field) pass
+// through untouched for vc to validate.
+func resolveBackend(prog *Program, o *options) {
+	if o.cfg.Backend == BackendAuto {
+		o.cfg.Backend = RecommendBackend(prog)
+	}
 }
 
 // Protocol identifies a proof encoding; see the vc package constants
@@ -267,4 +313,13 @@ const (
 // hand-written constraint systems with dense degree-2 forms.
 func RecommendProtocol(prog *Program) Protocol {
 	return vc.RecommendProtocol(prog.Ginger, prog.Quad)
+}
+
+// RecommendBackend picks the cheapest proof backend for a compiled program:
+// the sum-check lane when the circuit stratifies and its field-only prover
+// undercuts the cryptographic lanes at the §5.1 cost ratios, otherwise
+// whichever of Zaatar and Ginger has the smaller proof vector. This is what
+// BackendAuto resolves to.
+func RecommendBackend(prog *Program) string {
+	return costmodel.RecommendBackend(prog.Field, prog.Ginger, prog.Quad)
 }
