@@ -505,6 +505,7 @@ func BenchmarkAblationMultiexp(b *testing.B) {
 		{"naive", g.MultiExpNaive},
 		{"straus", g.MultiExpStraus},
 		{"pippenger", g.MultiExpPippenger},
+		{"pippenger-signed", g.MultiExpSigned},
 		{"parallel", func(bases, exps []*big.Int) *big.Int {
 			return g.MultiExpParallel(bases, exps, 4)
 		}},
@@ -518,6 +519,45 @@ func BenchmarkAblationMultiexp(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkPreparedInnerProduct compares the commit phase's homomorphic
+// inner product with and without a PreparedVector: prepared bases skip the
+// per-call Montgomery conversion and get signed-digit windows with their
+// batch inversion already paid, which is how the cost amortizes across the
+// β instances of a batch that all commit against the same Enc(r).
+func BenchmarkPreparedInnerProduct(b *testing.B) {
+	g := elgamal.GroupF128()
+	f := field.F128()
+	rnd := prg.NewFromSeed([]byte("prepared-ip-bench"), 1)
+	sk, err := g.GenerateKey(rnd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{256, 1024} {
+		m := f.RandVector(n, rnd)
+		cts, err := sk.EncryptVector(f, m, rnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := f.RandVector(n, rnd)
+		b.Run(fmt.Sprintf("unprepared/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.InnerProduct(cts, f, u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("prepared/n=%d", n), func(b *testing.B) {
+			pv := g.Prepare(cts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.InnerProductPrepared(pv, f, u, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: micro, model, fig4, fig5, fig6, fig7, fig8, fig9, cache, backend, baseline, all")
+		exp     = flag.String("exp", "all", "experiment: micro, model, fig4, fig5, fig6, fig7, fig8, fig9, cache, backend, scaling, baseline, all")
 		scale   = flag.String("scale", "default", "instance sizes: small, default, paper")
 		rhoLin  = flag.Int("rholin", 0, "linearity test iterations (0 = paper's 20)")
 		rho     = flag.Int("rho", 0, "PCP repetitions (0 = paper's 8)")
@@ -99,6 +99,10 @@ func main() {
 			r, err := experiments.RunBackend(bo, *beta)
 			check(err)
 			experiments.RenderBackend(os.Stdout, r)
+		case "scaling":
+			r, err := experiments.RunScaling(o, workerCounts)
+			check(err)
+			experiments.RenderScaling(os.Stdout, r)
 		case "micro":
 			experiments.RenderMicro(os.Stdout, experiments.RunMicro(o))
 		case "model":

@@ -74,6 +74,21 @@ func CommitParallel(group *elgamal.Group, f *field.Field, encR []elgamal.Ciphert
 	return group.InnerProductParallel(encR, f, u, workers)
 }
 
+// Prepare caches the Montgomery-domain conversion and batch inverses of
+// Enc(r) for a batch: every instance commits against the same encrypted
+// vector, so a prover that prepares once and calls CommitPrepared per
+// instance skips the per-call base conversion and gets signed-digit
+// multiexp windows at no inversion cost.
+func Prepare(group *elgamal.Group, encR []elgamal.Ciphertext) *elgamal.PreparedVector {
+	return group.Prepare(encR)
+}
+
+// CommitPrepared is CommitParallel against a prepared Enc(r); results are
+// identical to Commit for any worker count.
+func CommitPrepared(group *elgamal.Group, f *field.Field, pv *elgamal.PreparedVector, u []field.Element, workers int) (Commitment, error) {
+	return group.InnerProductPrepared(pv, f, u, workers)
+}
+
 // Decommit carries the revealed queries plus the consistency point t.
 type Decommit struct {
 	Queries [][]field.Element

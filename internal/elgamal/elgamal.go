@@ -18,11 +18,13 @@ package elgamal
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"math/big"
 	"sync"
 
 	"zaatar/internal/field"
+	"zaatar/internal/obs"
 	"zaatar/internal/par"
 )
 
@@ -40,6 +42,48 @@ type Group struct {
 
 	konce   sync.Once
 	kernels *kernels
+}
+
+// Validate sanity-checks a Group that arrived from an untrusted peer (gob
+// decodes only the exported P, G, Q). It rejects shapes that would corrupt
+// or crash the Montgomery kernels: nil or non-positive parameters, an even
+// modulus, or a subgroup order not strictly inside (1, P). It does not
+// verify primality or subgroup membership — the commitment protocol's
+// soundness never depends on the prover checking those, only the kernels'
+// preconditions do.
+func (g *Group) Validate() error {
+	if g == nil || g.P == nil || g.G == nil || g.Q == nil {
+		return errors.New("elgamal: group with nil parameters")
+	}
+	if g.P.Sign() <= 0 || g.P.Bit(0) == 0 {
+		return errors.New("elgamal: group modulus must be odd and positive")
+	}
+	two := big.NewInt(2)
+	if g.Q.Cmp(two) < 0 || g.Q.Cmp(g.P) >= 0 {
+		return errors.New("elgamal: subgroup order out of range")
+	}
+	if g.G.Cmp(two) < 0 || g.G.Cmp(g.P) >= 0 {
+		return errors.New("elgamal: generator out of range")
+	}
+	return nil
+}
+
+// CheckCiphertexts verifies that every component of cts is a canonical
+// nonzero residue mod P — the kernels' precondition: a component ≡ 0 mod P
+// has no inverse for the signed-digit windows (Prepare would panic in the
+// batch inversion), and an out-of-range value overflows the fixed-width limb
+// encoding. Honest Encrypt output always passes; servers call this on
+// wire-supplied vectors before Prepare so a malicious ciphertext surfaces as
+// a protocol error instead of a panic.
+func (g *Group) CheckCiphertexts(cts []Ciphertext) error {
+	for i := range cts {
+		for _, c := range [...]*big.Int{cts[i].A, cts[i].B} {
+			if c == nil || c.Sign() <= 0 || c.Cmp(g.P) >= 0 {
+				return fmt.Errorf("elgamal: ciphertext %d component is not a canonical nonzero residue mod P", i)
+			}
+		}
+	}
+	return nil
 }
 
 // PublicKey is an ElGamal public key h = g^x.
@@ -114,9 +158,14 @@ func (pk *PublicKey) EncryptVector(f *field.Field, v []field.Element, rnd io.Rea
 // EncryptVectorParallel encrypts v over a pool of workers. The encryption
 // exponents are drawn from rnd serially up front (element order, exactly as
 // the serial path consumes the stream), so for a deterministic rnd the
-// output is identical for every worker count; only the fixed-base
-// exponentiations are sharded. This is the verifier's per-batch Enc(r)
-// setup — the e·|u| term of Figure 3's "construct queries" row.
+// output is identical for every worker count; only the fixed-base work is
+// sharded. This is the verifier's per-batch Enc(r) setup — the e·|u| term
+// of Figure 3's "construct queries" row.
+//
+// Unlike per-element Encrypt, the whole vector shares one reduction of all
+// exponents to limbs, per-shard scratch buffers, and a Montgomery-domain
+// combine: B = h^k·g^m is formed by chaining the two table walks into one
+// accumulator, dropping the per-element big.Int multiply-and-mod.
 func (pk *PublicKey) EncryptVectorParallel(f *field.Field, v []field.Element, rnd io.Reader, workers int) ([]Ciphertext, error) {
 	ks := make([]*big.Int, len(v))
 	for i := range ks {
@@ -126,16 +175,60 @@ func (pk *PublicKey) EncryptVectorParallel(f *field.Field, v []field.Element, rn
 		}
 		ks[i] = k
 	}
+	if len(v) == 0 {
+		return []Ciphertext{}, nil
+	}
 	g := pk.Group
 	tG := g.FixedBase(g.G)
 	tH := g.FixedBase(pk.H)
+	m := g.kern().m
+	ql := (g.Q.BitLen() + 63) / 64
+	// One flattened limb reduction for both exponent vectors. randExponent
+	// output is always < Q; field elements usually are too (the production
+	// fields equal the exponent order), but a field with p > Q is reduced
+	// here — exactly as the per-element Exp path always did — rather than
+	// silently encoding an unreduced exponent.
+	klimbs := make([]uint64, len(v)*ql)
+	mlimbs := make([]uint64, len(v)*ql)
+	var tmp big.Int
+	for i := range v {
+		copy(klimbs[i*ql:], limbsFromBig(ks[i], ql))
+		e := f.ToBig(v[i])
+		if e.Sign() < 0 || e.Cmp(g.Q) >= 0 {
+			tmp.Mod(e, g.Q)
+			e = &tmp
+		}
+		copy(mlimbs[i*ql:], limbsFromBig(e, ql))
+	}
 	out := make([]Ciphertext, len(v))
-	_ = par.ForEach(context.Background(), len(v), workers, func(i int) error {
-		a := tG.Exp(ks[i])
-		b := tH.Exp(ks[i])
-		gm := tG.Exp(f.ToBig(v[i]))
-		b.Mul(b, gm).Mod(b, g.P)
-		out[i] = Ciphertext{A: a, B: b}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(v) {
+		workers = len(v)
+	}
+	_ = par.ForEach(context.Background(), workers, workers, func(s int) error {
+		lo, hi := len(v)*s/workers, len(v)*(s+1)/workers
+		if lo == hi {
+			return nil
+		}
+		obs.Default().Counter(MetricFixedBaseExps).Add(int64(3 * (hi - lo)))
+		t := m.scratch()
+		acc := make([]uint64, m.n)
+		for i := lo; i < hi; i++ {
+			ke := klimbs[i*ql : (i+1)*ql]
+			a := big.NewInt(1)
+			if tG.accMont(acc, ke, false, t) {
+				a = m.fromMont(acc, t)
+			}
+			b := big.NewInt(1)
+			started := tH.accMont(acc, ke, false, t)
+			started = tG.accMont(acc, mlimbs[i*ql:(i+1)*ql], started, t)
+			if started {
+				b = m.fromMont(acc, t)
+			}
+			out[i] = Ciphertext{A: a, B: b}
+		}
 		return nil
 	})
 	return out, nil

@@ -56,6 +56,55 @@ func TestProductionGroups(t *testing.T) {
 	}
 }
 
+// TestValidateAndCheckCiphertexts covers the ingest screens for
+// wire-supplied material: honest output passes, every degenerate shape that
+// would violate a kernel precondition is named and rejected.
+func TestValidateAndCheckCiphertexts(t *testing.T) {
+	g, f := testGroup(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("honest group rejected: %v", err)
+	}
+	badGroups := map[string]*Group{
+		"nil group":     nil,
+		"nil modulus":   {G: g.G, Q: g.Q},
+		"even modulus":  {P: new(big.Int).Add(g.P, big.NewInt(1)), G: g.G, Q: g.Q},
+		"order too big": {P: g.P, G: g.G, Q: new(big.Int).Set(g.P)},
+		"order zero":    {P: g.P, G: g.G, Q: big.NewInt(0)},
+		"generator 1":   {P: g.P, G: big.NewInt(1), Q: g.Q},
+		"generator > P": {P: g.P, G: new(big.Int).Add(g.P, big.NewInt(5)), Q: g.Q},
+	}
+	for name, bg := range badGroups {
+		if err := bg.Validate(); err == nil {
+			t.Errorf("Validate accepted %s", name)
+		}
+	}
+
+	rnd := prg.NewFromSeed([]byte("check-cts"), 0)
+	sk, err := g.GenerateKey(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts, err := sk.EncryptVector(f, f.RandVector(4, rnd), rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckCiphertexts(cts); err != nil {
+		t.Fatalf("honest ciphertexts rejected: %v", err)
+	}
+	bad := [...]*big.Int{big.NewInt(0), new(big.Int).Set(g.P), new(big.Int).Lsh(g.P, 3), big.NewInt(-1), nil}
+	for i, c := range bad {
+		cs := append([]Ciphertext(nil), cts...)
+		if i%2 == 0 {
+			cs[i%len(cs)].A = c
+		} else {
+			cs[i%len(cs)].B = c
+		}
+		if err := g.CheckCiphertexts(cs); err == nil {
+			t.Errorf("CheckCiphertexts accepted component %v", c)
+		}
+	}
+}
+
 func TestGeneratedGroup(t *testing.T) {
 	g, f := testGroup(t)
 	checkGroup(t, g, "generated group")
@@ -190,6 +239,22 @@ func BenchmarkEncrypt(b *testing.B) {
 				_, _ = sk.Encrypt(tc.f, m, rnd)
 			}
 		})
+	}
+}
+
+func BenchmarkEncryptVector(b *testing.B) {
+	// The verifier's per-batch Enc(r) setup: vector encryption sharing one
+	// exponent reduction, per-shard scratch, and Montgomery-domain combines
+	// across the whole vector (vs. three independent table exps per element).
+	g, f := GroupF128(), field.F128()
+	rnd := prg.NewFromSeed([]byte("bench-vec"), 3)
+	sk, _ := g.GenerateKey(rnd)
+	v := f.RandVector(256, rnd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.EncryptVector(f, v, rnd); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

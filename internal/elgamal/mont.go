@@ -21,12 +21,21 @@ type montCtx struct {
 	one  []uint64 // R mod P: Montgomery form of 1
 	r2   []uint64 // R² mod P: converts into Montgomery form
 	pBig *big.Int
+
+	// fixed selects a constant-width multiplication kernel (montfixed.go)
+	// for the production limb counts; 0 runs the variable-width loop. It is
+	// decided once here, at construction, so generic widths and -tags
+	// purego builds keep working with no per-call probing.
+	fixed int
 }
 
 func newMontCtx(p *big.Int) *montCtx {
 	n := (p.BitLen() + 63) / 64
 	m := &montCtx{n: n, pBig: new(big.Int).Set(p)}
 	m.p = limbsFromBig(p, n)
+	if hasFixedMont && (n == 16 || n == 4) {
+		m.fixed = n
+	}
 
 	// inv = -p⁻¹ mod 2^64 by Newton iteration (p odd ⇒ p ≡ p⁻¹ mod 2).
 	x := m.p[0]
@@ -88,9 +97,24 @@ func madd2m(a, b, t, c uint64) (hi, lo uint64) {
 // scratch returns a scratch slice sized for mul.
 func (m *montCtx) scratch() []uint64 { return make([]uint64, m.n+2) }
 
-// mul sets dst = a·b·R⁻¹ mod P (the Montgomery product) using CIOS with
-// s+2 working words. dst may alias a or b; t is scratch of length n+2.
+// mul sets dst = a·b·R⁻¹ mod P (the Montgomery product). dst may alias a or
+// b; t is scratch of length n+2. The production widths (16-limb groups,
+// 4-limb test groups) run the constant-width kernels selected at
+// construction; everything else takes the variable-width CIOS loop.
 func (m *montCtx) mul(dst, a, b, t []uint64) {
+	switch m.fixed {
+	case 16:
+		mulMont16((*[16]uint64)(m.p), m.inv, (*[16]uint64)(dst), (*[16]uint64)(a), (*[16]uint64)(b))
+		return
+	case 4:
+		mulMont4((*[4]uint64)(m.p), m.inv, (*[4]uint64)(dst), (*[4]uint64)(a), (*[4]uint64)(b))
+		return
+	}
+	m.mulGeneric(dst, a, b, t)
+}
+
+// mulGeneric is the variable-width CIOS loop with s+2 working words.
+func (m *montCtx) mulGeneric(dst, a, b, t []uint64) {
 	n := m.n
 	for i := range t {
 		t[i] = 0
@@ -150,4 +174,35 @@ func (m *montCtx) fromMont(a []uint64, t []uint64) *big.Int {
 	out := make([]uint64, m.n)
 	m.mul(out, a, oneRaw, t)
 	return bigFromLimbs(out)
+}
+
+// batchInv inverts every Montgomery-domain element of src (n-limb each,
+// flattened) into dst using Montgomery's trick: one modular inversion plus
+// 3(k-1)+2 multiplications for k elements. This is what makes signed-digit
+// multiexp windows affordable in a Z_P* group, where a per-base inversion
+// would otherwise cost a full extended GCD each. dst must not alias src; it
+// panics on a non-invertible (≡ 0 mod P) input, which in this package always
+// indicates a protocol bug.
+func (m *montCtx) batchInv(dst, src []uint64, t []uint64) {
+	mn := m.n
+	k := len(src) / mn
+	if k == 0 {
+		return
+	}
+	prefix := make([]uint64, len(src))
+	acc := make([]uint64, mn)
+	copy(acc, m.one)
+	for i := 0; i < k; i++ {
+		copy(prefix[i*mn:(i+1)*mn], acc)
+		m.mul(acc, acc, src[i*mn:(i+1)*mn], t)
+	}
+	inv := m.fromMont(acc, t)
+	if inv.ModInverse(inv, m.pBig) == nil {
+		panic("elgamal: batchInv of non-invertible element")
+	}
+	m.toMont(acc, inv, t)
+	for i := k - 1; i >= 0; i-- {
+		m.mul(dst[i*mn:(i+1)*mn], acc, prefix[i*mn:(i+1)*mn], t)
+		m.mul(acc, acc, src[i*mn:(i+1)*mn], t)
+	}
 }

@@ -1,0 +1,31 @@
+package elgamal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMontMul(b *testing.B) {
+	g := GroupF128()
+	m := g.kern().m
+	rng := rand.New(rand.NewSource(1))
+	a := make([]uint64, m.n)
+	c := make([]uint64, m.n)
+	for i := range a {
+		a[i] = rng.Uint64()
+		c[i] = rng.Uint64()
+	}
+	a[m.n-1] %= m.p[m.n-1]
+	c[m.n-1] %= m.p[m.n-1]
+	t := m.scratch()
+	b.Run("dispatched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.mul(a, a, c, t)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.mulGeneric(a, a, c, t)
+		}
+	})
+}

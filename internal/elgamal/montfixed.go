@@ -1,0 +1,113 @@
+//go:build !purego
+
+package elgamal
+
+import "math/bits"
+
+// hasFixedMont reports whether this build carries the constant-width
+// Montgomery multiplication paths for the production limb counts (16-limb
+// 1024-bit groups; 4-limb 256-bit test groups). newMontCtx consults it once
+// per context, so `-tags purego` builds prove the variable-width loop still
+// carries the whole protocol.
+const hasFixedMont = true
+
+// The fixed-width kernels mirror the generic CIOS loop in mont.go but run
+// over array pointers with constant trip counts: the compiler drops every
+// bounds check and slice-header load, which is where the variable-width loop
+// loses on the multiexp hot path. dst may alias a or b — it is written only
+// after the last read of either.
+
+func mulMont16(p *[16]uint64, inv uint64, dst, a, b *[16]uint64) {
+	const n = 16
+	var t [n + 2]uint64
+	for i := 0; i < n; i++ {
+		var c uint64
+		bi := b[i]
+		// Inner loops unrolled ×4: the madd chains are carry-serial, so
+		// the only headroom left is loop control, which at 16 limbs is a
+		// measurable slice of each 8-instruction body.
+		for j := 0; j < n; j += 4 {
+			c, t[j] = madd2m(a[j], bi, t[j], c)
+			c, t[j+1] = madd2m(a[j+1], bi, t[j+1], c)
+			c, t[j+2] = madd2m(a[j+2], bi, t[j+2], c)
+			c, t[j+3] = madd2m(a[j+3], bi, t[j+3], c)
+		}
+		var cr uint64
+		t[n], cr = bits.Add64(t[n], c, 0)
+		t[n+1] = cr
+		mu := t[0] * inv
+		c, _ = madd2m(mu, p[0], t[0], 0)
+		c, t[0] = madd2m(mu, p[1], t[1], c)
+		c, t[1] = madd2m(mu, p[2], t[2], c)
+		c, t[2] = madd2m(mu, p[3], t[3], c)
+		for j := 4; j < n; j += 4 {
+			c, t[j-1] = madd2m(mu, p[j], t[j], c)
+			c, t[j] = madd2m(mu, p[j+1], t[j+1], c)
+			c, t[j+1] = madd2m(mu, p[j+2], t[j+2], c)
+			c, t[j+2] = madd2m(mu, p[j+3], t[j+3], c)
+		}
+		t[n-1], cr = bits.Add64(t[n], c, 0)
+		t[n] = t[n+1] + cr
+		t[n+1] = 0
+	}
+	// Result < 2P; subtract P once if it overflowed 2^(64n) or is ≥ P.
+	ge := t[n] != 0
+	if !ge {
+		ge = true // t == p counts as ≥
+		for i := n - 1; i >= 0; i-- {
+			if t[i] != p[i] {
+				ge = t[i] > p[i]
+				break
+			}
+		}
+	}
+	if !ge {
+		*dst = *(*[n]uint64)(t[:n])
+		return
+	}
+	var bw uint64
+	for j := 0; j < n; j++ {
+		dst[j], bw = bits.Sub64(t[j], p[j], bw)
+	}
+}
+
+func mulMont4(p *[4]uint64, inv uint64, dst, a, b *[4]uint64) {
+	const n = 4
+	var t [n + 2]uint64
+	for i := 0; i < n; i++ {
+		var c uint64
+		bi := b[i]
+		for j := 0; j < n; j++ {
+			c, t[j] = madd2m(a[j], bi, t[j], c)
+		}
+		var cr uint64
+		t[n], cr = bits.Add64(t[n], c, 0)
+		t[n+1] = cr
+		mu := t[0] * inv
+		c, _ = madd2m(mu, p[0], t[0], 0)
+		for j := 1; j < n; j++ {
+			c, t[j-1] = madd2m(mu, p[j], t[j], c)
+		}
+		t[n-1], cr = bits.Add64(t[n], c, 0)
+		t[n] = t[n+1] + cr
+		t[n+1] = 0
+	}
+	ge := t[n] != 0
+	if !ge {
+		ge = true
+		for i := n - 1; i >= 0; i-- {
+			if t[i] != p[i] {
+				ge = t[i] > p[i]
+				break
+			}
+		}
+	}
+	if !ge {
+		*dst = *(*[n]uint64)(t[:n])
+		return
+	}
+	var bw uint64
+	for j := 0; j < n; j++ {
+		dst[j], bw = bits.Sub64(t[j], p[j], bw)
+	}
+}

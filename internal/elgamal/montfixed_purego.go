@@ -1,0 +1,19 @@
+//go:build purego
+
+package elgamal
+
+// hasFixedMont is false under the purego tag: every Montgomery context runs
+// the variable-width CIOS loop, which CI exercises to keep the generic lane
+// honest.
+const hasFixedMont = false
+
+// The stubs are never reached when hasFixedMont is false; they keep the
+// dispatch switch in montCtx.mul compiling without a build-tag fork there.
+
+func mulMont16(p *[16]uint64, inv uint64, dst, a, b *[16]uint64) {
+	panic("elgamal: fixed-width path called in purego build")
+}
+
+func mulMont4(p *[4]uint64, inv uint64, dst, a, b *[4]uint64) {
+	panic("elgamal: fixed-width path called in purego build")
+}

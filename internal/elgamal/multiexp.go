@@ -88,18 +88,19 @@ func (sc *scalars) digit(i, pos, w int) uint64 {
 	return v & (1<<uint(w) - 1)
 }
 
-// pippengerWindow picks the bucket width minimizing the kernel's mult count
-// t·(n + 2·2^w + w) for n bases and qbits-bit exponents.
-func pippengerWindow(n, qbits int) int {
-	best, bestCost := 1, int(^uint(0)>>1)
-	for w := 1; w <= 16; w++ {
-		t := (qbits + w - 1) / w
-		cost := t * (n + 2*(1<<uint(w)) + w)
-		if cost < bestCost {
-			best, bestCost = w, cost
+// pippengerPlan picks the bucket width minimizing the kernel's mult count
+// t·(n + 2·2^w + w) for n bases and qbits-bit exponents, and returns the
+// minimum so run can weigh it against the signed-digit plan (signed.go).
+func pippengerPlan(n, qbits int) (w, cost int) {
+	w, cost = 1, int(^uint(0)>>1)
+	for cand := 1; cand <= 16; cand++ {
+		t := (qbits + cand - 1) / cand
+		c := t * (n + 2*(1<<uint(cand)) + cand)
+		if c < cost {
+			w, cost = cand, c
 		}
 	}
-	return best
+	return w, cost
 }
 
 // strausWindow is the fixed per-base table width of the Straus kernel.
@@ -153,29 +154,7 @@ func (k *kernels) pippenger(mb []uint64, n int, sc *scalars, w int, t []uint64) 
 				stamp[d] = j + 1
 			}
 		}
-		// Collapse Σ d·B_d with the running-product trick.
-		runSet, sumSet := false, false
-		for d := nbuckets; d >= 1; d-- {
-			if stamp[d] == j+1 {
-				b := buckets[(d-1)*mn : d*mn]
-				if runSet {
-					m.mul(run, run, b, t)
-				} else {
-					copy(run, b)
-					runSet = true
-				}
-			}
-			if !runSet {
-				continue
-			}
-			if sumSet {
-				m.mul(sum, sum, run, t)
-			} else {
-				copy(sum, run)
-				sumSet = true
-			}
-		}
-		if !sumSet {
+		if !k.collapseBuckets(buckets, stamp, j, nbuckets, run, sum, t) {
 			continue
 		}
 		if started {
@@ -186,6 +165,38 @@ func (k *kernels) pippenger(mb []uint64, n int, sc *scalars, w int, t []uint64) 
 		}
 	}
 	return acc, started
+}
+
+// collapseBuckets folds the current window's Σ d·B_d into sum using the
+// running-product trick (a reverse sweep where run accumulates suffix
+// products). Shared by the unsigned and signed bucket kernels; stamp[d] ==
+// j+1 marks the buckets this window actually filled. Returns false when the
+// window was empty.
+func (k *kernels) collapseBuckets(buckets []uint64, stamp []int, j, nbuckets int, run, sum, t []uint64) bool {
+	m := k.m
+	mn := m.n
+	runSet, sumSet := false, false
+	for d := nbuckets; d >= 1; d-- {
+		if stamp[d] == j+1 {
+			b := buckets[(d-1)*mn : d*mn]
+			if runSet {
+				m.mul(run, run, b, t)
+			} else {
+				copy(run, b)
+				runSet = true
+			}
+		}
+		if !runSet {
+			continue
+		}
+		if sumSet {
+			m.mul(sum, sum, run, t)
+		} else {
+			copy(sum, run)
+			sumSet = true
+		}
+	}
+	return sumSet
 }
 
 // straus computes the same product with per-base windowed tables and shared
@@ -237,6 +248,7 @@ const (
 	algoAuto multiExpAlgo = iota
 	algoStraus
 	algoPippenger
+	algoPippengerSigned
 )
 
 // multiExp is the shared serial entry point for the exported variants.
@@ -254,12 +266,25 @@ func (g *Group) multiExp(bases []*big.Int, sc *scalars, algo multiExpAlgo) *big.
 	return k.m.fromMont(acc, t)
 }
 
-// run dispatches one shard to the selected kernel.
+// run dispatches one shard to the selected kernel. Under algoAuto the two
+// Pippenger variants compete on their cost models; with no cached inverses
+// the signed plan carries its batch-inversion surcharge, so it only wins
+// where halved buckets genuinely outweigh ~3n extra mults (prepared vectors
+// drop that surcharge — see runPrepared in signed.go).
 func (k *kernels) run(mb []uint64, n int, sc *scalars, algo multiExpAlgo, t []uint64) ([]uint64, bool) {
 	if algo == algoStraus || (algo == algoAuto && n <= strausMaxBases) {
 		return k.straus(mb, n, sc, t)
 	}
-	return k.pippenger(mb, n, sc, pippengerWindow(n, sc.bits), t)
+	if algo == algoPippengerSigned {
+		return k.runSigned(mb, n, sc, t)
+	}
+	uw, ucost := pippengerPlan(n, sc.bits)
+	if algo == algoAuto {
+		if _, scost := pippengerSignedPlan(n, sc.bits, false); scost < ucost {
+			return k.runSigned(mb, n, sc, t)
+		}
+	}
+	return k.pippenger(mb, n, sc, uw, t)
 }
 
 func recordMultiExp(n int) obs.Span {
@@ -302,6 +327,19 @@ func (g *Group) MultiExpPippenger(bases, exps []*big.Int) *big.Int {
 	return g.multiExp(bases, &sc, algoPippenger)
 }
 
+// MultiExpSigned forces the signed-digit Pippenger kernel (signed.go),
+// batch-inverting the bases inline. Exists for the ablation benchmark and
+// edge-case tests; production callers reach the signed kernel through auto
+// selection or a PreparedVector.
+func (g *Group) MultiExpSigned(bases, exps []*big.Int) *big.Int {
+	if len(bases) != len(exps) {
+		panic("elgamal: MultiExp length mismatch")
+	}
+	defer recordMultiExp(len(bases)).End()
+	sc := g.reduceScalars(exps)
+	return g.multiExp(bases, &sc, algoPippengerSigned)
+}
+
 // MultiExpNaive is the exp-and-multiply reference the kernels are verified
 // and benchmarked against: one full-width modexp per base.
 func (g *Group) MultiExpNaive(bases, exps []*big.Int) *big.Int {
@@ -337,7 +375,6 @@ func (g *Group) MultiExpParallel(bases, exps []*big.Int, workers int) *big.Int {
 	defer recordMultiExp(n).End()
 	sc := g.reduceScalars(exps)
 	k := g.kern()
-	mn := k.m.n
 	partials := make([][]uint64, workers)
 	_ = par.ForEach(context.Background(), workers, workers, func(s int) error {
 		lo, hi := n*s/workers, n*(s+1)/workers
@@ -352,23 +389,11 @@ func (g *Group) MultiExpParallel(bases, exps []*big.Int, workers int) *big.Int {
 		}
 		return nil
 	})
-	t := k.m.scratch()
-	var acc []uint64
-	for _, p := range partials {
-		if p == nil {
-			continue
-		}
-		if acc == nil {
-			acc = make([]uint64, mn)
-			copy(acc, p)
-			continue
-		}
-		k.m.mul(acc, acc, p, t)
-	}
-	if acc == nil {
+	acc, ok := k.foldPartials(partials)
+	if !ok {
 		return big.NewInt(1)
 	}
-	return k.m.fromMont(acc, t)
+	return k.m.fromMont(acc, k.m.scratch())
 }
 
 // minShard is the smallest per-worker slice worth the goroutine handoff.

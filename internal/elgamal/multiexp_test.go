@@ -110,6 +110,9 @@ func TestMultiExpMatchesNaive(t *testing.T) {
 			if got := g.MultiExpPippenger(bases, exps); got.Cmp(want) != 0 {
 				t.Errorf("MultiExpPippenger = %v, want %v", got, want)
 			}
+			if got := g.MultiExpSigned(bases, exps); got.Cmp(want) != 0 {
+				t.Errorf("MultiExpSigned = %v, want %v", got, want)
+			}
 			for _, workers := range []int{1, 2, 3, 8} {
 				if got := g.MultiExpParallel(bases, exps, workers); got.Cmp(want) != 0 {
 					t.Errorf("MultiExpParallel(workers=%d) = %v, want %v", workers, got, want)

@@ -102,14 +102,16 @@ func newFixedBaseTable(g *Group, base *big.Int) *FixedBaseTable {
 	return tb
 }
 
-// expMont accumulates base^e (e given as reduced limbs) into dst in
-// Montgomery form; ok=false means the result is the identity.
-func (tb *FixedBaseTable) expMont(dst []uint64, elimbs []uint64, sc *scalars, t []uint64) bool {
+// accMont multiplies base^e into dst in Montgomery form, where e is given
+// as reduced little-endian limbs; started reports whether dst already holds
+// a value, and the return value is the updated flag (false: identity so
+// far). Chaining two walks into one accumulator — h^k then g^m — is how
+// batch encryption forms B = h^k·g^m without leaving the Montgomery domain.
+func (tb *FixedBaseTable) accMont(dst, elimbs []uint64, started bool, t []uint64) bool {
 	m := tb.m
 	mn := m.n
 	tabLen := 1<<uint(tb.w) - 1
-	started := false
-	s := scalars{limbs: elimbs, ql: len(elimbs), bits: sc.bits}
+	s := scalars{limbs: elimbs, ql: len(elimbs), bits: tb.g.Q.BitLen()}
 	for j := 0; j < tb.nwin; j++ {
 		d := int(s.digit(0, j*tb.w, tb.w))
 		if d == 0 {
@@ -136,12 +138,10 @@ func (tb *FixedBaseTable) Exp(e *big.Int) *big.Int {
 		e = new(big.Int).Mod(e, g.Q)
 	}
 	m := tb.m
-	qbits := g.Q.BitLen()
-	ql := (qbits + 63) / 64
-	sc := scalars{ql: ql, bits: qbits}
+	ql := (g.Q.BitLen() + 63) / 64
 	t := m.scratch()
 	dst := make([]uint64, m.n)
-	if !tb.expMont(dst, limbsFromBig(e, ql), &sc, t) {
+	if !tb.accMont(dst, limbsFromBig(e, ql), false, t) {
 		return big.NewInt(1)
 	}
 	return m.fromMont(dst, t)

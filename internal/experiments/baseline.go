@@ -18,8 +18,9 @@ import (
 // added the cache-amortization section (cold vs warm session setup and the
 // batches-per-connection curve); schema 3 added the backend-comparison
 // section (Zaatar commitment lane vs sum-check transcript lane on the
-// layered matmul-chain workload).
-const BaselineSchema = 3
+// layered matmul-chain workload); schema 4 added the commit-throughput
+// scaling curve (workers → commits/s).
+const BaselineSchema = 4
 
 // Baseline is the machine-readable benchmark snapshot zaatar-bench -json
 // emits: per-phase wall times and latency percentiles for each §5
@@ -54,6 +55,11 @@ type Baseline struct {
 	// Backend is the proof-backend comparison (schema ≥ 3): the layered
 	// matmul-chain batch proved under the Zaatar and sum-check lanes.
 	Backend *BackendResult `json:"backend,omitempty"`
+
+	// Scaling is the commit-throughput curve over kernel worker counts
+	// (schema ≥ 4). Interpret it against NumCPU: workers beyond the
+	// visible cores measure sharding overhead, not speedup.
+	Scaling *ScalingResult `json:"scaling,omitempty"`
 }
 
 // BaselineBench is one benchmark's measured batch.
@@ -196,6 +202,14 @@ func RunBaseline(o Options, beta int) (*Baseline, error) {
 		return nil, err
 	}
 	b.Backend = backend
+
+	if o.Crypto {
+		scaling, err := RunScaling(o, nil)
+		if err != nil {
+			return nil, err
+		}
+		b.Scaling = scaling
+	}
 	return b, nil
 }
 
@@ -239,5 +253,9 @@ func RenderBaseline(w io.Writer, b *Baseline) {
 	if b.Backend != nil {
 		fmt.Fprintln(w)
 		RenderBackend(w, b.Backend)
+	}
+	if b.Scaling != nil {
+		fmt.Fprintln(w)
+		RenderScaling(w, b.Scaling)
 	}
 }

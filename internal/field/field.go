@@ -17,10 +17,31 @@ import (
 	"fmt"
 	"math/big"
 	"math/bits"
+
+	"zaatar/internal/obs"
 )
 
 // Limbs is the number of 64-bit limbs in an Element.
 const Limbs = 4
+
+// Field constructions record which multiplication path they selected into
+// the process-wide registry ("field.mul.*" in docs/PROTOCOL.md §5.1), so a
+// deployment can tell at a glance whether it is running the specialized
+// kernels or the purego fallback.
+const (
+	// MetricMulFixed counts Fields dispatched to the unrolled fixed-limb
+	// Montgomery multiply.
+	MetricMulFixed = "field.mul.fixed"
+	// MetricMulGeneric counts Fields dispatched to the generic CIOS loop.
+	MetricMulGeneric = "field.mul.generic"
+)
+
+func metricMulPath() string {
+	if hasFixedLimb {
+		return MetricMulFixed
+	}
+	return MetricMulGeneric
+}
 
 // Element is a field element in Montgomery form: the value it represents is
 // (e[0] + e[1]·2^64 + e[2]·2^128 + e[3]·2^192) · R⁻¹ mod p, with R = 2^256.
@@ -36,9 +57,16 @@ type Field struct {
 	pBig *big.Int
 	bits int // bit length of p
 
-	inv uint64  // -p⁻¹ mod 2^64, for Montgomery reduction
-	r   Element // R mod p: the Montgomery form of 1
-	r2  Element // R² mod p: used to convert into Montgomery form
+	inv uint64        // -p⁻¹ mod 2^64, for Montgomery reduction
+	r   Element       // R mod p: the Montgomery form of 1
+	r2  Element       // R² mod p: used to convert into Montgomery form
+	p2  [Limbs]uint64 // 2p, the lazy-domain modulus (p < 2^254, so it fits)
+
+	// fixed selects the unrolled fixed-limb Montgomery multiply. It is
+	// decided exactly once, at construction, so builds without the
+	// specialization (-tags purego) and future generic widths keep working
+	// through the loop CIOS with no per-call feature probing.
+	fixed bool
 
 	twoAdicity  uint    // s where p-1 = odd·2^s
 	rootOfUnity Element // a primitive 2^s-th root of unity (Montgomery form)
@@ -76,6 +104,9 @@ func New(name string, p *big.Int) (*Field, error) {
 	r2 := new(big.Int).Lsh(big.NewInt(1), 2*64*Limbs)
 	r2.Mod(r2, p)
 	copyLimbs((*[Limbs]uint64)(&f.r2), r2)
+	copyLimbs(&f.p2, new(big.Int).Lsh(p, 1))
+	f.fixed = hasFixedLimb
+	obs.Default().Counter(metricMulPath()).Inc()
 
 	pm1 := new(big.Int).Sub(p, big.NewInt(1))
 	f.halfP = new(big.Int).Rsh(pm1, 1)
@@ -287,9 +318,83 @@ func madd2(a, b, t, c uint64) (hi, lo uint64) {
 	return
 }
 
-// Mul returns a·b using CIOS Montgomery multiplication (Acar's algorithm
-// with s+2 working words, correct for any odd modulus < 2^254).
+// Mul returns a·b using CIOS Montgomery multiplication. The unrolled
+// fixed-limb path (mulfixed.go) is selected once at construction; builds
+// without it (-tags purego) run the generic loop below.
 func (f *Field) Mul(a, b Element) Element {
+	if f.fixed {
+		return f.reduceOnce(mulUnrolled4(&f.p, f.inv, a, b))
+	}
+	return f.mulGeneric(a, b)
+}
+
+// MulLazy returns a·b in the lazy domain: for operands in [0, 2p) the result
+// is in [0, 2p) (this needs p < 2^254, which New enforces). The NTT
+// butterflies run whole transform levels in this domain and pay the final
+// conditional subtraction once per element, not once per multiply.
+func (f *Field) MulLazy(a, b Element) Element {
+	if f.fixed {
+		return mulUnrolled4(&f.p, f.inv, a, b)
+	}
+	return f.mulGenericRaw(a, b)
+}
+
+// AddLazy returns a + b in the lazy domain [0, 2p): the sum is reduced by
+// 2p, not p, saving the exact-reduction compare on the NTT hot path.
+func (f *Field) AddLazy(a, b Element) Element {
+	var c uint64
+	var out Element
+	out[0], c = bits.Add64(a[0], b[0], 0)
+	out[1], c = bits.Add64(a[1], b[1], c)
+	out[2], c = bits.Add64(a[2], b[2], c)
+	out[3], _ = bits.Add64(a[3], b[3], c)
+	var bw uint64
+	var t Element
+	t[0], bw = bits.Sub64(out[0], f.p2[0], 0)
+	t[1], bw = bits.Sub64(out[1], f.p2[1], bw)
+	t[2], bw = bits.Sub64(out[2], f.p2[2], bw)
+	t[3], bw = bits.Sub64(out[3], f.p2[3], bw)
+	if bw != 0 {
+		return out
+	}
+	return t
+}
+
+// SubLazy returns a - b in the lazy domain [0, 2p).
+func (f *Field) SubLazy(a, b Element) Element {
+	var bw uint64
+	var out Element
+	out[0], bw = bits.Sub64(a[0], b[0], 0)
+	out[1], bw = bits.Sub64(a[1], b[1], bw)
+	out[2], bw = bits.Sub64(a[2], b[2], bw)
+	out[3], bw = bits.Sub64(a[3], b[3], bw)
+	if bw != 0 {
+		var c uint64
+		out[0], c = bits.Add64(out[0], f.p2[0], 0)
+		out[1], c = bits.Add64(out[1], f.p2[1], c)
+		out[2], c = bits.Add64(out[2], f.p2[2], c)
+		out[3], _ = bits.Add64(out[3], f.p2[3], c)
+	}
+	return out
+}
+
+// Reduce maps a lazy-domain value in [0, 2p) back to the canonical range
+// [0, p). It is the identity on already-canonical elements.
+func (f *Field) Reduce(a Element) Element {
+	return f.reduceOnce(a)
+}
+
+// mulGeneric is the generic-path full product: the CIOS loop plus the exact
+// final reduction. It is the purego fallback and the reference lane of the
+// differential fuzz target.
+func (f *Field) mulGeneric(a, b Element) Element {
+	return f.reduceOnce(f.mulGenericRaw(a, b))
+}
+
+// mulGenericRaw is the variable-bound CIOS loop (Acar's algorithm with s+2
+// working words, correct for any odd modulus < 2^254), without the final
+// exact reduction: for operands in [0, 2p) the result is in [0, 2p).
+func (f *Field) mulGenericRaw(a, b Element) Element {
 	var t [Limbs + 2]uint64
 	for i := 0; i < Limbs; i++ {
 		// t += a * b[i]
@@ -312,18 +417,10 @@ func (f *Field) Mul(a, b Element) Element {
 		t[Limbs] = t[Limbs+1] + cr
 		t[Limbs+1] = 0
 	}
-	out := Element{t[0], t[1], t[2], t[3]}
-	if t[Limbs] != 0 {
-		// The result exceeds 2^256; since it is < 2p it suffices to
-		// subtract p once.
-		var bw uint64
-		out[0], bw = bits.Sub64(out[0], f.p[0], 0)
-		out[1], bw = bits.Sub64(out[1], f.p[1], bw)
-		out[2], bw = bits.Sub64(out[2], f.p[2], bw)
-		out[3], _ = bits.Sub64(out[3], f.p[3], bw)
-		return out
-	}
-	return f.reduceOnce(out)
+	// With p < 2^254 the CIOS accumulator never reaches 2^256 (the result
+	// is < 2p < 2^255 even for lazy-domain operands), so t[Limbs] is zero
+	// here and the four low words carry the whole product.
+	return Element{t[0], t[1], t[2], t[3]}
 }
 
 // Square returns a².

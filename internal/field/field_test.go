@@ -416,6 +416,30 @@ func BenchmarkInv(b *testing.B) {
 	}
 }
 
+func BenchmarkBatchInv(b *testing.B) {
+	// Montgomery's trick vs. one Fermat inversion per element — the delta
+	// the poly layer banks on for Lagrange denominators and NTT scalings.
+	f := F128()
+	rng := testReader{rand.New(rand.NewSource(21))}
+	src := make([]Element, 1024)
+	for i := range src {
+		src[i] = f.RandNonZero(rng)
+	}
+	dst := make([]Element, len(src))
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.BatchInv(dst, src)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range src {
+				dst[j] = f.Inv(src[j])
+			}
+		}
+	})
+}
+
 func BenchmarkInnerProduct(b *testing.B) {
 	f := F128()
 	rng := testReader{rand.New(rand.NewSource(14))}

@@ -1,0 +1,147 @@
+package field
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// edgeBytes is the boundary corpus of TestMulExhaustiveEdges in byte form:
+// 0, 1, p-1, p-2, and all-ones limbs, the values where carry handling in the
+// CIOS loops matters most. It seeds FuzzFieldMul.
+func edgeBytes(f *Field) [][]byte {
+	p := f.Modulus()
+	vals := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).Sub(p, big.NewInt(1)),
+		new(big.Int).Sub(p, big.NewInt(2)),
+		new(big.Int).Rsh(p, 1),
+	}
+	out := make([][]byte, 0, len(vals)+1)
+	for _, v := range vals {
+		buf := make([]byte, Limbs*8)
+		v.FillBytes(buf)
+		out = append(out, buf)
+	}
+	out = append(out, bytes.Repeat([]byte{0xff}, Limbs*8))
+	return out
+}
+
+// elementFromBytes interprets 32 big-endian bytes as an integer, reduces it
+// mod p, and converts to Montgomery form via the generic path only (so the
+// fixed-limb lane under test is not used to build its own inputs).
+func elementFromBytes(f *Field, b []byte) (Element, *big.Int) {
+	v := new(big.Int).SetBytes(b)
+	v.Mod(v, f.pBig)
+	var raw Element
+	copyLimbs((*[Limbs]uint64)(&raw), v)
+	return f.mulGeneric(raw, f.r2), v
+}
+
+// FuzzFieldMul differentially fuzzes the three multiplication lanes: the
+// dispatched Mul (unrolled fixed-limb unless built with -tags purego), the
+// generic CIOS loop, and a big.Int reference — plus the lazy-domain product,
+// which must agree after one exact reduction. Any divergence is a soundness
+// bug in the specialized kernels.
+func FuzzFieldMul(fz *testing.F) {
+	fields := allFields()
+	for _, f := range fields {
+		for _, e := range edgeBytes(f) {
+			fz.Add(e, e)
+			fz.Add(e, []byte{1})
+		}
+	}
+	fz.Fuzz(func(t *testing.T, ab, bb []byte) {
+		if len(ab) > Limbs*8 || len(bb) > Limbs*8 {
+			return
+		}
+		for _, f := range fields {
+			a, av := elementFromBytes(f, ab)
+			b, bv := elementFromBytes(f, bb)
+
+			want := new(big.Int).Mul(av, bv)
+			want.Mod(want, f.pBig)
+
+			got := f.Mul(a, b)
+			if f.ToBig(got).Cmp(want) != 0 {
+				t.Fatalf("%s: dispatched Mul diverges from big.Int: %v·%v got %v want %v",
+					f.Name(), av, bv, f.ToBig(got), want)
+			}
+			gen := f.mulGeneric(a, b)
+			if gen != got {
+				t.Fatalf("%s: generic CIOS diverges from dispatched Mul: %v·%v", f.Name(), av, bv)
+			}
+			lazy := f.Reduce(f.MulLazy(a, b))
+			if lazy != got {
+				t.Fatalf("%s: lazy product diverges after reduction: %v·%v", f.Name(), av, bv)
+			}
+		}
+	})
+}
+
+// TestLazyDomainOps checks the lazy-domain contract directly: operands in
+// [0, 2p) stay in [0, 2p) through MulLazy/AddLazy/SubLazy, and Reduce maps
+// every result to the canonical representative.
+func TestLazyDomainOps(t *testing.T) {
+	rng := testReader{rand.New(rand.NewSource(7))}
+	for _, f := range allFields() {
+		p := f.Modulus()
+		p2 := new(big.Int).Lsh(p, 1)
+		inLazy := func(e Element) bool {
+			// Lift the raw limbs (Montgomery form is irrelevant to the
+			// range check — the domain bound is on the representation).
+			v := new(big.Int)
+			buf := make([]byte, Limbs*8)
+			for i := 0; i < Limbs; i++ {
+				putBE(buf[(Limbs-1-i)*8:], e[i])
+			}
+			return v.SetBytes(buf).Cmp(p2) < 0
+		}
+		for i := 0; i < 300; i++ {
+			a, b := f.Rand(rng), f.Rand(rng)
+			// Push operands into the upper lazy range [p, 2p) half the time.
+			if i%2 == 1 {
+				a = f.AddLazy(a, rawP(f))
+			}
+			la := f.MulLazy(a, b)
+			if !inLazy(la) {
+				t.Fatalf("%s: MulLazy left the lazy domain", f.Name())
+			}
+			if f.Reduce(la) != f.Mul(f.Reduce(a), b) {
+				t.Fatalf("%s: MulLazy ≠ Mul after reduction", f.Name())
+			}
+			s := f.AddLazy(a, b)
+			if !inLazy(s) {
+				t.Fatalf("%s: AddLazy left the lazy domain", f.Name())
+			}
+			if f.Reduce(s) != f.Add(f.Reduce(a), b) {
+				t.Fatalf("%s: AddLazy ≠ Add after reduction", f.Name())
+			}
+			d := f.SubLazy(a, b)
+			if !inLazy(d) {
+				t.Fatalf("%s: SubLazy left the lazy domain", f.Name())
+			}
+			if f.Reduce(d) != f.Sub(f.Reduce(a), b) {
+				t.Fatalf("%s: SubLazy ≠ Sub after reduction", f.Name())
+			}
+		}
+	}
+}
+
+// rawP returns the modulus itself as raw limbs: AddLazy-ing it onto a
+// canonical element shifts the representation into [p, 2p) without changing
+// the residue, exercising the upper half of the lazy domain.
+func rawP(f *Field) Element {
+	return Element{f.p[0], f.p[1], f.p[2], f.p[3]}
+}
+
+// TestMulPathDispatch pins the construction-time dispatch: in a default
+// build every Field selects the fixed-limb path, under -tags purego none do.
+func TestMulPathDispatch(t *testing.T) {
+	for _, f := range allFields() {
+		if f.fixed != hasFixedLimb {
+			t.Fatalf("%s: fixed=%v, want %v", f.Name(), f.fixed, hasFixedLimb)
+		}
+	}
+}

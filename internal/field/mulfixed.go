@@ -1,0 +1,93 @@
+//go:build !purego
+
+package field
+
+import "math/bits"
+
+// hasFixedLimb reports whether this build carries the unrolled fixed-limb
+// Montgomery multiplication path. New() consults it exactly once per Field,
+// so a `-tags purego` build exercises the generic CIOS loop everywhere (the
+// CI fallback job builds and tests with that tag).
+const hasFixedLimb = true
+
+// madd1 returns a·b + c as (hi, lo); it cannot overflow 128 bits.
+func madd1(a, b, c uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(a, b)
+	var carry uint64
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return
+}
+
+// mulUnrolled4 is the fully unrolled 4-limb CIOS Montgomery product with the
+// final conditional subtraction left to the caller: the result is < 2p.
+//
+// Correctness of the truncated return relies on the construction-time bound
+// p < 2^254: for operands a, b < 2p the CIOS accumulator ends below
+// (4p² + p·2^256)/2^256 < 2p < 2^255, so the fifth working word is always
+// zero and the product fits the four returned limbs. This is also what makes
+// the value a legal input to another lazy multiplication — the NTT
+// butterflies (internal/poly) stay in the [0, 2p) domain across whole
+// transform levels and reduce once at the end.
+func mulUnrolled4(p *[Limbs]uint64, inv uint64, a, b Element) Element {
+	var t0, t1, t2, t3, t4 uint64
+	var c, cr uint64
+
+	// --- i = 0: t = a·b[0] (accumulator starts at zero) ---
+	b0 := b[0]
+	c, t0 = bits.Mul64(a[0], b0)
+	c, t1 = madd1(a[1], b0, c)
+	c, t2 = madd1(a[2], b0, c)
+	t4, t3 = madd1(a[3], b0, c)
+	m := t0 * inv
+	c, _ = madd2(m, p[0], t0, 0)
+	c, t0 = madd2(m, p[1], t1, c)
+	c, t1 = madd2(m, p[2], t2, c)
+	c, t2 = madd2(m, p[3], t3, c)
+	t3, cr = bits.Add64(t4, c, 0)
+	t4 = cr
+
+	// --- i = 1..3: t += a·b[i], then one Montgomery reduction step ---
+	b1 := b[1]
+	c, t0 = madd2(a[0], b1, t0, 0)
+	c, t1 = madd2(a[1], b1, t1, c)
+	c, t2 = madd2(a[2], b1, t2, c)
+	c, t3 = madd2(a[3], b1, t3, c)
+	t4, _ = bits.Add64(t4, c, 0)
+	m = t0 * inv
+	c, _ = madd2(m, p[0], t0, 0)
+	c, t0 = madd2(m, p[1], t1, c)
+	c, t1 = madd2(m, p[2], t2, c)
+	c, t2 = madd2(m, p[3], t3, c)
+	t3, cr = bits.Add64(t4, c, 0)
+	t4 = cr
+
+	b2 := b[2]
+	c, t0 = madd2(a[0], b2, t0, 0)
+	c, t1 = madd2(a[1], b2, t1, c)
+	c, t2 = madd2(a[2], b2, t2, c)
+	c, t3 = madd2(a[3], b2, t3, c)
+	t4, _ = bits.Add64(t4, c, 0)
+	m = t0 * inv
+	c, _ = madd2(m, p[0], t0, 0)
+	c, t0 = madd2(m, p[1], t1, c)
+	c, t1 = madd2(m, p[2], t2, c)
+	c, t2 = madd2(m, p[3], t3, c)
+	t3, cr = bits.Add64(t4, c, 0)
+	t4 = cr
+
+	b3 := b[3]
+	c, t0 = madd2(a[0], b3, t0, 0)
+	c, t1 = madd2(a[1], b3, t1, c)
+	c, t2 = madd2(a[2], b3, t2, c)
+	c, t3 = madd2(a[3], b3, t3, c)
+	t4, _ = bits.Add64(t4, c, 0)
+	m = t0 * inv
+	c, _ = madd2(m, p[0], t0, 0)
+	c, t0 = madd2(m, p[1], t1, c)
+	c, t1 = madd2(m, p[2], t2, c)
+	c, t2 = madd2(m, p[3], t3, c)
+	t3, _ = bits.Add64(t4, c, 0)
+
+	return Element{t0, t1, t2, t3}
+}

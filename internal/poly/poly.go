@@ -15,6 +15,7 @@ package poly
 
 import (
 	"fmt"
+	"sync"
 
 	"zaatar/internal/field"
 )
@@ -157,9 +158,76 @@ func nextPow2(n int) int {
 	return k
 }
 
+// nttPlan holds the precomputed twiddle factors for one (field, size,
+// direction) transform: the per-level power rows w^0..w^(half-1), flattened
+// level after level (n-1 elements total), plus the 1/n scaling for the
+// inverse direction. Plans are cached process-wide — the prover runs many
+// same-size transforms per proof (interpolate A, B, C; multiply; divide by
+// D(t)) — which removes both the per-call f.Inv of the root and the serial
+// wj-update multiply that used to run once per butterfly (half the NTT's
+// multiplication count).
+type nttPlan struct {
+	tw   []field.Element // concatenated twiddle rows, canonical form
+	nInv field.Element   // 1/n (inverse transforms only)
+}
+
+type nttPlanKey struct {
+	f      *field.Field
+	logn   uint
+	invert bool
+}
+
+// nttPlanCache caches plans up to nttPlanCacheMax points; larger transforms
+// build their rows per call (still amortized across that call's butterflies).
+var nttPlanCache sync.Map // nttPlanKey → *nttPlan
+
+// nttPlanCacheMax bounds cached plan memory: 2^18 points is 8 MB of
+// twiddles per (field, direction) pair.
+const nttPlanCacheMax = 1 << 18
+
+func newNTTPlan(f *field.Field, logn uint, n int, invert bool) *nttPlan {
+	root := f.RootOfUnity(logn)
+	if invert {
+		root = f.Inv(root)
+	}
+	p := &nttPlan{tw: make([]field.Element, 0, n-1)}
+	for length := 2; length <= n; length <<= 1 {
+		// w is a primitive length-th root of unity.
+		w := root
+		for l := n; l > length; l >>= 1 {
+			w = f.Mul(w, w)
+		}
+		wj := f.One()
+		for j := 0; j < length>>1; j++ {
+			p.tw = append(p.tw, wj)
+			wj = f.Mul(wj, w)
+		}
+	}
+	if invert {
+		p.nInv = f.Inv(f.FromUint64(uint64(n)))
+	}
+	return p
+}
+
+func nttPlanFor(f *field.Field, logn uint, n int, invert bool) *nttPlan {
+	if n > nttPlanCacheMax {
+		return newNTTPlan(f, logn, n, invert)
+	}
+	key := nttPlanKey{f: f, logn: logn, invert: invert}
+	if p, ok := nttPlanCache.Load(key); ok {
+		return p.(*nttPlan)
+	}
+	p, _ := nttPlanCache.LoadOrStore(key, newNTTPlan(f, logn, n, invert))
+	return p.(*nttPlan)
+}
+
 // NTT computes the in-place radix-2 number-theoretic transform of a, whose
 // length must be a power of two not exceeding 2^(field 2-adicity). With
 // invert set it computes the inverse transform (including the 1/n scaling).
+//
+// The butterflies run in the field's lazy domain [0, 2p): one multiply and
+// one 2p-reduction each, with the exact reduction deferred to a single final
+// pass (folded into the 1/n scaling for inverse transforms).
 func NTT(f *field.Field, a []field.Element, invert bool) {
 	n := len(a)
 	if n&(n-1) != 0 {
@@ -183,33 +251,32 @@ func NTT(f *field.Field, a []field.Element, invert bool) {
 			a[i], a[j] = a[j], a[i]
 		}
 	}
-	root := f.RootOfUnity(logn)
-	if invert {
-		root = f.Inv(root)
-	}
+	plan := nttPlanFor(f, logn, n, invert)
+	tw := plan.tw
 	for length := 2; length <= n; length <<= 1 {
-		// w is a primitive length-th root of unity.
-		w := root
-		for l := n; l > length; l >>= 1 {
-			w = f.Mul(w, w)
-		}
 		half := length >> 1
+		row := tw[:half]
+		tw = tw[half:]
 		for start := 0; start < n; start += length {
-			wj := f.One()
 			for j := 0; j < half; j++ {
 				u := a[start+j]
-				v := f.Mul(a[start+j+half], wj)
-				a[start+j] = f.Add(u, v)
-				a[start+j+half] = f.Sub(u, v)
-				wj = f.Mul(wj, w)
+				v := f.MulLazy(a[start+j+half], row[j])
+				a[start+j] = f.AddLazy(u, v)
+				a[start+j+half] = f.SubLazy(u, v)
 			}
 		}
 	}
 	if invert {
-		nInv := f.Inv(f.FromUint64(uint64(n)))
+		// The strict multiply accepts lazy-domain inputs and returns the
+		// canonical representative, so the scaling pass doubles as the
+		// final exact reduction.
 		for i := range a {
-			a[i] = f.Mul(a[i], nInv)
+			a[i] = f.Mul(a[i], plan.nInv)
 		}
+		return
+	}
+	for i := range a {
+		a[i] = f.Reduce(a[i])
 	}
 }
 

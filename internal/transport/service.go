@@ -421,7 +421,13 @@ func (s *Service) serveBatch(ctx context.Context, cc *timedCodec, prover *vc.Pro
 		return 0, err
 	}
 	if batch.Req != nil {
-		prover.HandleCommitRequest(batch.Req)
+		// The request was gob-decoded from the peer: reject malformed group
+		// parameters or ciphertexts here, as a protocol error the client
+		// sees, rather than panicking inside the commitment kernels.
+		if err := prover.HandleCommitRequest(batch.Req); err != nil {
+			_ = cc.send(CommitmentsMsg{Err: err.Error()})
+			return 0, err
+		}
 	} else if batchIdx == 0 {
 		err := fmt.Errorf("%w: first batch carries no commit request", ErrMalformedHello)
 		_ = cc.send(CommitmentsMsg{Err: err.Error()})

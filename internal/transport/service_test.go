@@ -129,7 +129,9 @@ func recordingProver(server net.Conn, onBatch func(BatchMsg), onDecommit func(De
 			onBatch(b)
 		}
 		if b.Req != nil {
-			prover.HandleCommitRequest(b.Req)
+			if err := prover.HandleCommitRequest(b.Req); err != nil {
+				return err
+			}
 		}
 		n := len(b.Instances)
 		states := make([]*vc.InstanceState, n)
@@ -161,6 +163,80 @@ func recordingProver(server net.Conn, onBatch func(BatchMsg), onDecommit func(De
 		if err := enc.Encode(resp); err != nil {
 			return err
 		}
+	}
+}
+
+// TestServiceRejectsMaliciousCommitRequest replays the crash a hostile
+// client used to cause: a commit request whose ciphertext carries a
+// component ≡ 0 mod P reached the Montgomery batch inversion and panicked
+// the whole multi-tenant service. The server must instead answer with a
+// protocol error, count a session error, and keep serving honest sessions.
+func TestServiceRejectsMaliciousCommitRequest(t *testing.T) {
+	g, err := elgamal.GenerateGroup(field.F128().Modulus(), 320, prg.NewFromSeed([]byte("mal-g"), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := Hello{Source: sessionSrc, RhoLin: 1, Rho: 1}
+	prog, err := compiler.Compile(hello.fieldOf(), hello.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hello.config(1, []byte("mal-seed"), hello.offered()[0])
+	cfg.Group = g
+	ver, err := vc.NewVerifier(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ver.Setup()
+	req.EncR1[0].A = big.NewInt(0)
+
+	svc, reg := testService(ServiceOptions{Workers: 2})
+	client, errCh := servicePipe(svc)
+	cc := newTimedCodec(client, 5*time.Second)
+	if err := cc.send(hello); err != nil {
+		t.Fatal(err)
+	}
+	var ack HelloAck
+	if err := cc.recv(&ack); err != nil || ack.Err != "" {
+		t.Fatalf("hello failed: %v %q", err, ack.Err)
+	}
+	if err := cc.send(BatchMsg{Req: req, Instances: instances(4)}); err != nil {
+		t.Fatal(err)
+	}
+	var cms CommitmentsMsg
+	if err := cc.recv(&cms); err != nil {
+		t.Fatalf("server dropped the connection instead of answering: %v", err)
+	}
+	if cms.Err == "" {
+		t.Fatal("server accepted a ciphertext component ≡ 0 mod P")
+	}
+	client.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("server reported success for a malicious session")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server goroutine never returned")
+	}
+	if got := reg.Counter(MetricSessionErrors).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricSessionErrors, got)
+	}
+
+	// The same service still runs an honest committed session end to end.
+	client2, errCh2 := servicePipe(svc)
+	sess, err := NewSession(context.Background(), []net.Conn{client2}, hello, ClientOptions{Seed: []byte("ok"), Group: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.RunBatch(context.Background(), instances(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBatch(t, res, []int64{5})
+	sess.Close()
+	if err := <-errCh2; err != nil {
+		t.Fatalf("honest follow-up session: %v", err)
 	}
 }
 

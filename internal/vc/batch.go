@@ -145,7 +145,9 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 	if err != nil {
 		return nil, err
 	}
-	prover.HandleCommitRequest(verifier.Setup())
+	if err := prover.HandleCommitRequest(verifier.Setup()); err != nil {
+		return nil, err
+	}
 	setupTr.End()
 	setupSpan.End()
 

@@ -3,11 +3,13 @@ package vc
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/big"
 	"time"
 
 	"zaatar/internal/commit"
 	"zaatar/internal/compiler"
+	"zaatar/internal/elgamal"
 	"zaatar/internal/field"
 	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
@@ -35,6 +37,11 @@ type Prover struct {
 	bk  pcp.Backend
 	pre pcp.Precomputed
 	req *CommitRequest
+
+	// prepR1/prepR2 cache the Montgomery preparation of the batch's Enc(r)
+	// vectors (commit.Prepare): built once per HandleCommitRequest, reused
+	// by every instance's Commit.
+	prepR1, prepR2 *elgamal.PreparedVector
 
 	// kernelWorkers shards the homomorphic inner product inside each
 	// Commit call. It defaults to 1 because batch drivers already run one
@@ -118,9 +125,36 @@ func NewProverPre(prog *compiler.Program, cfg Config, pre *Precomputation) (*Pro
 	return &Prover{Prog: prog, Cfg: cfg, bk: pre.bk, pre: pre.pre}, nil
 }
 
-// HandleCommitRequest stores the batch's encrypted commitment vectors.
-func (p *Prover) HandleCommitRequest(req *CommitRequest) {
+// HandleCommitRequest stores the batch's encrypted commitment vectors and
+// prepares them for the per-instance commitments. The request may come from
+// an untrusted verifier over the wire, so the group parameters and every
+// ciphertext component are checked before they reach the Montgomery kernels
+// (whose preconditions are enforced by panic); a malformed request is
+// rejected with an error and leaves the prover with no open batch.
+func (p *Prover) HandleCommitRequest(req *CommitRequest) error {
+	p.req, p.prepR1, p.prepR2 = nil, nil, nil
+	if req != nil && (len(req.EncR1) > 0 || len(req.EncR2) > 0) {
+		if req.PK == nil {
+			return errors.New("vc: commit request carries ciphertexts but no public key")
+		}
+		group := req.PK.Group
+		if err := group.Validate(); err != nil {
+			return fmt.Errorf("vc: commit request: %w", err)
+		}
+		if group.Q.Cmp(p.Prog.Field.Modulus()) != 0 {
+			return errors.New("vc: commit request group order does not match the program field")
+		}
+		if err := group.CheckCiphertexts(req.EncR1); err != nil {
+			return fmt.Errorf("vc: commit request Enc(r1): %w", err)
+		}
+		if err := group.CheckCiphertexts(req.EncR2); err != nil {
+			return fmt.Errorf("vc: commit request Enc(r2): %w", err)
+		}
+		p.prepR1 = commit.Prepare(group, req.EncR1)
+		p.prepR2 = commit.Prepare(group, req.EncR2)
+	}
 	p.req = req
+	return nil
 }
 
 // Commit executes the computation on one instance's inputs and commits to
@@ -175,13 +209,13 @@ func (p *Prover) Commit(ctx context.Context, inputs []*big.Int) (*Commitment, *I
 			kw = 1
 		}
 		k1 := trace.Start(cctx, "kernel.multiexp").WithArg("n", int64(len(p.req.EncR1)))
-		cm.C1, err = commit.CommitParallel(group, f, p.req.EncR1, st.U1, kw)
+		cm.C1, err = commit.CommitPrepared(group, f, p.prepR1, st.U1, kw)
 		k1.End()
 		if err != nil {
 			return nil, nil, err
 		}
 		k2 := trace.Start(cctx, "kernel.multiexp").WithArg("n", int64(len(p.req.EncR2)))
-		cm.C2, err = commit.CommitParallel(group, f, p.req.EncR2, st.U2, kw)
+		cm.C2, err = commit.CommitPrepared(group, f, p.prepR2, st.U2, kw)
 		k2.End()
 		if err != nil {
 			return nil, nil, err

@@ -204,6 +204,75 @@ func TestPhaseViolations(t *testing.T) {
 	}
 }
 
+// TestHandleCommitRequestRejectsMalformed feeds the prover the commit
+// requests a malicious verifier could ship over the wire: ciphertext
+// components ≡ 0 mod P (which used to panic the signed-digit batch
+// inversion), out-of-range, negative, and nil components, a missing public
+// key, and broken or mismatched group parameters. Each must surface as an
+// error — never a panic — and leave the prover with no open batch.
+func TestHandleCommitRequestRejectsMalformed(t *testing.T) {
+	prog, cfg := testSetup(t, Zaatar, false)
+	v, err := NewVerifier(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProver(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := v.Setup()
+	g := honest.PK.Group
+	// Setup shares its slices with the verifier's key, so each case mutates
+	// a fresh copy.
+	clone := func() *CommitRequest {
+		c := *honest
+		c.EncR1 = append([]elgamal.Ciphertext(nil), honest.EncR1...)
+		c.EncR2 = append([]elgamal.Ciphertext(nil), honest.EncR2...)
+		return &c
+	}
+	cases := map[string]*CommitRequest{
+		"zero component":       clone(),
+		"multiple of P":        clone(),
+		"component >= P":       clone(),
+		"nil component":        clone(),
+		"negative component":   clone(),
+		"missing public key":   clone(),
+		"nil group":            clone(),
+		"even group modulus":   clone(),
+		"group order mismatch": clone(),
+	}
+	cases["zero component"].EncR1[0].A = big.NewInt(0)
+	cases["multiple of P"].EncR2[0].B = new(big.Int).Lsh(g.P, 1)
+	cases["component >= P"].EncR1[1].B = new(big.Int).Add(g.P, big.NewInt(2))
+	cases["nil component"].EncR1[0].B = nil
+	cases["negative component"].EncR2[1].A = big.NewInt(-5)
+	cases["missing public key"].PK = nil
+	cases["nil group"].PK = &elgamal.PublicKey{H: honest.PK.H}
+	cases["even group modulus"].PK = &elgamal.PublicKey{
+		Group: &elgamal.Group{P: new(big.Int).Add(g.P, big.NewInt(1)), G: g.G, Q: g.Q},
+		H:     honest.PK.H,
+	}
+	cases["group order mismatch"].PK = &elgamal.PublicKey{
+		Group: &elgamal.Group{P: g.P, G: g.G, Q: big.NewInt(3)},
+		H:     honest.PK.H,
+	}
+	for name, req := range cases {
+		if err := p.HandleCommitRequest(req); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if _, _, err := p.Commit(context.Background(), inputsFor(1, 2, 3, 4)); err == nil {
+			t.Errorf("%s: Commit succeeded after a rejected request", name)
+		}
+	}
+	// The honest request still opens the batch.
+	if err := p.HandleCommitRequest(v.Setup()); err != nil {
+		t.Fatalf("honest request rejected: %v", err)
+	}
+	if _, _, err := p.Commit(context.Background(), inputsFor(1, 2, 3, 4)); err != nil {
+		t.Fatalf("Commit after honest request: %v", err)
+	}
+}
+
 func TestEmptyBatchRejected(t *testing.T) {
 	prog, cfg := testSetup(t, Zaatar, true)
 	if _, err := RunBatch(context.Background(), prog, cfg, nil); err == nil {
