@@ -92,6 +92,7 @@ func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, er
 		IOTimeout: o.ioTo,
 		Obs:       o.cfg.Obs,
 		Program:   prog,
+		Logger:    o.logger,
 	}
 	var dialer net.Dialer
 	var conns []net.Conn

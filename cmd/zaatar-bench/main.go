@@ -9,6 +9,13 @@
 //	zaatar-bench -exp fig8 -nocrypto      # scaling shape without ElGamal
 //	zaatar-bench -exp fig6 -beta 16 -workers 1,2,4,8
 //
+// The bench-regression gate diffs two -exp baseline -json snapshots with
+// per-metric noise thresholds and exits nonzero if anything degraded beyond
+// them (the CI mode; see docs/PROTOCOL.md §7.1 for reading the report):
+//
+//	zaatar-bench -compare BENCH_old.json bench-new.json
+//	zaatar-bench -threshold 2.0 -compare BENCH_old.json bench-new.json
+//
 // Scales: small (seconds), default (minutes), paper (the paper's §5.2
 // input sizes; hours for the prover, as it was for the authors' C++
 // prover).
@@ -17,6 +24,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -38,8 +47,40 @@ func main() {
 		seed    = flag.Int64("seed", 1, "randomness seed for reproducible runs")
 		calReps = flag.Int("calreps", 1000, "microbenchmark calibration repetitions")
 		jsonOut = flag.String("json", "", "with -exp baseline: also write the machine-readable baseline to this file ('-' for stdout)")
+		compare = flag.Bool("compare", false, "compare two baseline snapshots (old.json new.json as positional args) and exit nonzero on regression")
+		thresh  = flag.Float64("threshold", 1.0, "with -compare: scale every per-metric noise allowance (e.g. 2.0 for loose CI gating)")
+		pprofOn = flag.String("pprof", "", "address to serve net/http/pprof on for the run's lifetime (empty disables)")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("-compare wants exactly two baseline files, got %d args", flag.NArg())
+		}
+		oldB, err := experiments.LoadBaseline(flag.Arg(0))
+		check(err)
+		newB, err := experiments.LoadBaseline(flag.Arg(1))
+		check(err)
+		r := experiments.CompareBaselines(oldB, newB, experiments.CompareOptions{Threshold: *thresh})
+		experiments.RenderCompare(os.Stdout, r)
+		if r.Regressions > 0 {
+			fatalf("%d metric(s) regressed beyond threshold vs %s", r.Regressions, flag.Arg(0))
+		}
+		return
+	}
+
+	if *pprofOn != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofOn, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "zaatar-bench: pprof endpoint:", err)
+			}
+		}()
+	}
 
 	o := experiments.DefaultOptions()
 	o.Scale = experiments.Scale(*scale)

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"zaatar"
+	"zaatar/internal/obs"
 	"zaatar/internal/obs/trace"
 )
 
@@ -47,6 +48,8 @@ func main() {
 		batches  = flag.Int("batches", 1, "how many times to run the batch over the kept-alive session")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file covering both sides of the session")
 		pprofOn  = flag.String("pprof", "", "address to serve net/http/pprof on for the session's lifetime (empty disables)")
+		metrics  = flag.String("metrics", "", "address for the HTTP metrics endpoint for the session's lifetime: /metrics and /metrics/prometheus (empty disables)")
+		logFmt   = flag.String("log-format", "", "emit structured session logs to stderr: text or json (empty disables)")
 	)
 	flag.Parse()
 	if *srcPath == "" || *inputs == "" {
@@ -58,6 +61,16 @@ func main() {
 	batch, err := parseBatch(*inputs)
 	check(err)
 
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", zaatar.Metrics().Handler())
+		mux.Handle("/metrics/prometheus", zaatar.Metrics().PrometheusHandler())
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "zaatar-client: metrics endpoint:", err)
+			}
+		}()
+	}
 	if *pprofOn != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
@@ -87,6 +100,9 @@ func main() {
 		zaatar.WithParams(*rhoLin, *rho),
 		zaatar.WithWorkers(*workers),
 		zaatar.WithIOTimeout(*timeout),
+	}
+	if *logFmt != "" {
+		opts = append(opts, zaatar.WithLogger(obs.NewLogger(os.Stderr, *logFmt)))
 	}
 	if *f220 {
 		opts = append(opts, zaatar.WithField220())

@@ -49,6 +49,7 @@ func run() int {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto / chrome://tracing)")
+		metrOut  = flag.String("metrics-out", "", "write the run's metrics in Prometheus exposition form to this file on exit ('-' for stdout)")
 	)
 	flag.Parse()
 	if *srcPath == "" || *inputs == "" {
@@ -124,6 +125,9 @@ func run() int {
 	}
 	res, err := zaatar.RunContext(ctx, prog, batch, opts...)
 	check(err)
+	if *metrOut != "" {
+		check(writeMetrics(*metrOut))
+	}
 	if tc != nil {
 		params := zaatar.DefaultParams()
 		if *quick {
@@ -163,6 +167,22 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// writeMetrics dumps the default registry — where the run's counters,
+// labeled series, and phase histograms accumulated — in Prometheus
+// exposition form, for scraping into CI artifacts.
+func writeMetrics(path string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return zaatar.Metrics().WritePrometheus(w)
 }
 
 // phaseComparison is one row of the trace summary: a measured phase next to

@@ -10,12 +10,18 @@
 // (-timeout), drains in-flight sessions on SIGINT/SIGTERM before exiting,
 // and can expose its metrics registry over HTTP (-metrics): /metrics is the
 // expvar-style text form, /metrics/prometheus the Prometheus exposition
-// format, and -pprof additionally mounts net/http/pprof under /debug/pprof/
-// on the same address.
+// format (including the per-tenant labeled series and the transport.slo.*
+// gauges), /healthz liveness, /readyz readiness (-slo-p99 flips it to 503
+// while the rolling p99 batch latency is over budget), and -pprof
+// additionally mounts net/http/pprof under /debug/pprof/ on the same
+// address. With -log-format text|json the server emits one structured
+// session record per negotiation/batch/close to stderr, carrying the
+// session id, backend, program hash, and trace correlation ids.
 //
 // Usage:
 //
 //	zaatar-server -listen :7001 -workers 8 -maxsessions 16 -timeout 2m -metrics :7002 -pprof
+//	zaatar-server -listen :7001 -log-format json -metrics :7002 -slo-p99 500ms
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 
 	"zaatar"
 	"zaatar/internal/obs"
+	"zaatar/internal/transport"
 )
 
 func main() {
@@ -51,6 +58,8 @@ func main() {
 		idleTimeout = flag.Duration("idletimeout", 0, "reap keep-alive connections idle this long between batches (0 = 2m, <0 disables)")
 		metrics     = flag.String("metrics", "", "address for the HTTP metrics endpoint (empty disables)")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -metrics address")
+		logFormat   = flag.String("log-format", "", "emit structured session logs to stderr: text or json (empty disables)")
+		sloP99      = flag.Duration("slo-p99", 0, "readiness SLO: /readyz reports 503 while the rolling p99 batch latency exceeds this (0 disables)")
 		drain       = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight sessions on shutdown")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file (covers the whole server lifetime)")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on shutdown")
@@ -90,6 +99,17 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
 		mux.Handle("/metrics/prometheus", reg.PrometheusHandler())
+		mux.Handle("/healthz", obs.HealthHandler())
+		mux.Handle("/readyz", obs.ReadyHandler(func() error {
+			if *sloP99 <= 0 {
+				return nil
+			}
+			p99, ok := reg.GaugeValue(transport.MetricSLOPrefix + obs.SLOGaugeP99)
+			if ok && p99 > sloP99.Seconds() {
+				return fmt.Errorf("rolling p99 %.0fms exceeds SLO %v", p99*1e3, *sloP99)
+			}
+			return nil
+		}))
 		if *pprofOn {
 			mux.HandleFunc("/debug/pprof/", httppprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
@@ -136,6 +156,9 @@ func main() {
 		zaatar.WithIdleTimeout(*idleTimeout),
 		zaatar.WithServerMetrics(reg),
 		zaatar.WithServerLogf(log.Printf),
+	}
+	if *logFormat != "" {
+		srvOpts = append(srvOpts, zaatar.WithServerLogger(obs.NewLogger(os.Stderr, *logFormat)))
 	}
 	if *backends != "" {
 		var names []string

@@ -287,10 +287,15 @@ func (k *kernels) run(mb []uint64, n int, sc *scalars, algo multiExpAlgo, t []ui
 	return k.pippenger(mb, n, sc, uw, t)
 }
 
-func recordMultiExp(n int) obs.Span {
+// recordMultiExp counts one kernel invocation: the plain counters stay the
+// aggregate view, while the labeled vector breaks calls out by entry point
+// (op ∈ auto, straus, pippenger, signed, parallel, inner_product,
+// prepared) so an operator can see which code path drives the kernel load.
+func recordMultiExp(op string, n int) obs.Span {
 	reg := obs.Default()
 	reg.Counter(MetricMultiExpCalls).Inc()
 	reg.Counter(MetricMultiExpBases).Add(int64(n))
+	reg.CounterVec(MetricMultiExpCalls, "op").With(op).Inc()
 	return reg.StartSpan(MetricMultiExpSpan)
 }
 
@@ -302,7 +307,7 @@ func (g *Group) MultiExp(bases, exps []*big.Int) *big.Int {
 	if len(bases) != len(exps) {
 		panic("elgamal: MultiExp length mismatch")
 	}
-	defer recordMultiExp(len(bases)).End()
+	defer recordMultiExp("auto", len(bases)).End()
 	sc := g.reduceScalars(exps)
 	return g.multiExp(bases, &sc, algoAuto)
 }
@@ -312,7 +317,7 @@ func (g *Group) MultiExpStraus(bases, exps []*big.Int) *big.Int {
 	if len(bases) != len(exps) {
 		panic("elgamal: MultiExp length mismatch")
 	}
-	defer recordMultiExp(len(bases)).End()
+	defer recordMultiExp("straus", len(bases)).End()
 	sc := g.reduceScalars(exps)
 	return g.multiExp(bases, &sc, algoStraus)
 }
@@ -322,7 +327,7 @@ func (g *Group) MultiExpPippenger(bases, exps []*big.Int) *big.Int {
 	if len(bases) != len(exps) {
 		panic("elgamal: MultiExp length mismatch")
 	}
-	defer recordMultiExp(len(bases)).End()
+	defer recordMultiExp("pippenger", len(bases)).End()
 	sc := g.reduceScalars(exps)
 	return g.multiExp(bases, &sc, algoPippenger)
 }
@@ -335,7 +340,7 @@ func (g *Group) MultiExpSigned(bases, exps []*big.Int) *big.Int {
 	if len(bases) != len(exps) {
 		panic("elgamal: MultiExp length mismatch")
 	}
-	defer recordMultiExp(len(bases)).End()
+	defer recordMultiExp("signed", len(bases)).End()
 	sc := g.reduceScalars(exps)
 	return g.multiExp(bases, &sc, algoPippengerSigned)
 }
@@ -372,7 +377,7 @@ func (g *Group) MultiExpParallel(bases, exps []*big.Int, workers int) *big.Int {
 	if workers <= 1 {
 		return g.MultiExp(bases, exps)
 	}
-	defer recordMultiExp(n).End()
+	defer recordMultiExp("parallel", n).End()
 	sc := g.reduceScalars(exps)
 	k := g.kern()
 	partials := make([][]uint64, workers)
@@ -426,7 +431,7 @@ func (g *Group) innerProduct(cts []Ciphertext, f *field.Field, u []field.Element
 			B: g.MultiExpParallel(bs, exps, workers),
 		}, nil
 	}
-	defer recordMultiExp(2 * len(exps)).End()
+	defer recordMultiExp("inner_product", 2*len(exps)).End()
 	sc := g.reduceScalars(exps)
 	return Ciphertext{
 		A: g.multiExp(as, &sc, algoAuto),

@@ -223,7 +223,7 @@ func (g *Group) InnerProductPrepared(pv *PreparedVector, f *field.Field, u []fie
 	if pv.n == 0 {
 		return g.One(), nil
 	}
-	defer recordMultiExp(2 * pv.n).End()
+	defer recordMultiExp("prepared", 2*pv.n).End()
 	exps := make([]*big.Int, len(u))
 	for i := range u {
 		exps[i] = f.ToBig(u[i])

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Bench-regression gate: diff two baseline snapshots (zaatar-bench -json
+// output) with per-metric noise thresholds, so CI can answer "did this PR
+// regress the BENCH_*.json trajectory?" mechanically. The comparison is
+// deliberately conservative about what it compares: wall-clock sections
+// are only diffed when the two snapshots ran the same configuration
+// (scale, repetitions, crypto, batch size, workers) — a smoke-scale run
+// against a full-scale baseline compares only the scale-independent
+// calibration constants and says so in Notes, rather than fabricating
+// regressions from incomparable numbers.
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Threshold scales every per-metric noise allowance; 1.0 (the default)
+	// applies the built-in allowances, 2.0 doubles them (the loose CI
+	// setting for 1-vCPU runners where only a >2× blowup is signal).
+	Threshold float64
+}
+
+// Per-metric noise allowances: the ratio new/old a metric may reach before
+// it counts as a regression at Threshold 1.0. Wall-clock sections get 30%,
+// tail quantiles 50% (they are the noisiest), calibration constants 50%
+// (microbenchmarks, but per-op so comparable across scales).
+const (
+	noiseWall        = 1.30
+	noiseTail        = 1.50
+	noiseKernel      = 1.30
+	noiseCalibration = 1.50
+)
+
+// CompareRow is one metric's old-vs-new verdict.
+type CompareRow struct {
+	Section string  `json:"section"` // calibration | benchmark | phase | kernel
+	Name    string  `json:"name"`
+	Unit    string  `json:"unit"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	// Ratio is new/old oriented so that >1 means worse (throughput metrics
+	// are inverted before the ratio).
+	Ratio     float64 `json:"ratio"`
+	Limit     float64 `json:"limit"` // ratio beyond which the row regresses
+	Regressed bool    `json:"regressed"`
+}
+
+// CompareResult is the full diff: every compared row, the sections that
+// were skipped as incomparable, and the regression tally that decides the
+// exit code.
+type CompareResult struct {
+	Rows         []CompareRow `json:"rows"`
+	Notes        []string     `json:"notes"`
+	Regressions  int          `json:"regressions"`
+	Improvements int          `json:"improvements"`
+}
+
+// LoadBaseline reads one zaatar-bench -json snapshot.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("experiments: parsing baseline %s: %w", path, err)
+	}
+	if b.Schema == 0 || len(b.Benchmarks) == 0 && b.Calibration == (Baseline{}).Calibration {
+		return nil, fmt.Errorf("experiments: %s does not look like a baseline snapshot", path)
+	}
+	return &b, nil
+}
+
+// configKey captures everything that makes wall-clock sections comparable
+// between two snapshots.
+func configKey(b *Baseline) string {
+	return fmt.Sprintf("scale=%s rholin=%d rho=%d crypto=%v beta=%d workers=%d",
+		b.Scale, b.RhoLin, b.Rho, b.Crypto, b.Beta, b.Workers)
+}
+
+// add appends one compared metric. Values ≤ 0 on the old side are
+// uncomparable (a zero denominator is a measurement artifact, not a
+// baseline) and are skipped. higherIsBetter inverts the ratio so that >1
+// is always "worse".
+func (r *CompareResult) add(section, name, unit string, oldV, newV, noise, threshold float64, higherIsBetter bool) {
+	if oldV <= 0 || newV < 0 {
+		return
+	}
+	ratio := newV / oldV
+	if higherIsBetter {
+		if newV == 0 {
+			return
+		}
+		ratio = oldV / newV
+	}
+	limit := noise * threshold
+	row := CompareRow{
+		Section: section, Name: name, Unit: unit,
+		Old: oldV, New: newV, Ratio: ratio, Limit: limit,
+		Regressed: ratio > limit,
+	}
+	if row.Regressed {
+		r.Regressions++
+	} else if ratio < 1/limit {
+		r.Improvements++
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// CompareBaselines diffs new against old. Regressions in the result count
+// metrics that degraded beyond their (threshold-scaled) noise allowance;
+// callers gate on Regressions > 0.
+func CompareBaselines(oldB, newB *Baseline, opts CompareOptions) *CompareResult {
+	thr := opts.Threshold
+	if thr <= 0 {
+		thr = 1.0
+	}
+	r := &CompareResult{}
+	if oldB.Schema != newB.Schema {
+		r.Notes = append(r.Notes, fmt.Sprintf("schema differs (%d vs %d); comparing shared sections only", oldB.Schema, newB.Schema))
+	}
+
+	// Calibration constants are per-operation microbenchmarks — comparable
+	// across scales, though not across machines; the threshold is the only
+	// guard there.
+	for _, c := range []struct {
+		name     string
+		old, new float64
+	}{
+		{"e_encrypt", oldB.Calibration.E, newB.Calibration.E},
+		{"d_decrypt", oldB.Calibration.D, newB.Calibration.D},
+		{"h_cipher_op", oldB.Calibration.H, newB.Calibration.H},
+		{"f_field_op", oldB.Calibration.F, newB.Calibration.F},
+		{"f_lazy_op", oldB.Calibration.FLazy, newB.Calibration.FLazy},
+		{"f_div_op", oldB.Calibration.FDiv, newB.Calibration.FDiv},
+		{"c_commit_op", oldB.Calibration.C, newB.Calibration.C},
+	} {
+		r.add("calibration", c.name, "s/op", c.old, c.new, noiseCalibration, thr, false)
+	}
+
+	if configKey(oldB) != configKey(newB) {
+		r.Notes = append(r.Notes,
+			fmt.Sprintf("wall-clock sections skipped: configs differ (old %s; new %s)", configKey(oldB), configKey(newB)))
+		return r
+	}
+
+	// Benchmarks, matched by name (and instance count, which the config key
+	// already pins via scale+beta).
+	newBench := make(map[string]BaselineBench, len(newB.Benchmarks))
+	for _, b := range newB.Benchmarks {
+		newBench[b.Name] = b
+	}
+	for _, ob := range oldB.Benchmarks {
+		nb, ok := newBench[ob.Name]
+		if !ok {
+			r.Notes = append(r.Notes, fmt.Sprintf("benchmark %q absent from new snapshot", ob.Name))
+			continue
+		}
+		if nb.Instances != ob.Instances {
+			r.Notes = append(r.Notes, fmt.Sprintf("benchmark %q skipped: %d vs %d instances", ob.Name, ob.Instances, nb.Instances))
+			continue
+		}
+		pre := ob.Name + "/"
+		r.add("benchmark", pre+"commit", "ms", ob.CommitMs, nb.CommitMs, noiseWall, thr, false)
+		r.add("benchmark", pre+"respond", "ms", ob.RespondMs, nb.RespondMs, noiseWall, thr, false)
+		r.add("benchmark", pre+"verify", "ms", ob.VerifyMs, nb.VerifyMs, noiseWall, thr, false)
+		r.add("benchmark", pre+"total", "ms", ob.TotalMs, nb.TotalMs, noiseWall, thr, false)
+		r.add("benchmark", pre+"prover_e2e", "ms", ob.ProverE2EMs, nb.ProverE2EMs, noiseWall, thr, false)
+	}
+
+	// Phase histograms: mean and p99 per phase.
+	phaseNames := make([]string, 0, len(oldB.Phases))
+	for name := range oldB.Phases {
+		phaseNames = append(phaseNames, name)
+	}
+	sort.Strings(phaseNames)
+	for _, name := range phaseNames {
+		oq := oldB.Phases[name]
+		nq, ok := newB.Phases[name]
+		if !ok {
+			r.Notes = append(r.Notes, fmt.Sprintf("phase %q absent from new snapshot", name))
+			continue
+		}
+		r.add("phase", name+"/avg", "ms", oq.AvgMs, nq.AvgMs, noiseWall, thr, false)
+		r.add("phase", name+"/p99", "ms", oq.P99Ms, nq.P99Ms, noiseTail, thr, false)
+	}
+
+	// Kernels: throughput (higher is better) and mean call latency.
+	kernelNames := make([]string, 0, len(oldB.Kernels))
+	for name := range oldB.Kernels {
+		kernelNames = append(kernelNames, name)
+	}
+	sort.Strings(kernelNames)
+	for _, name := range kernelNames {
+		ok_, found := newB.Kernels[name]
+		if !found {
+			r.Notes = append(r.Notes, fmt.Sprintf("kernel %q absent from new snapshot", name))
+			continue
+		}
+		oldK := oldB.Kernels[name]
+		r.add("kernel", name+"/items_per_sec", "items/s", oldK.ItemsPerSec, ok_.ItemsPerSec, noiseKernel, thr, true)
+		r.add("kernel", name+"/avg_call", "ms", oldK.AvgCallMs, ok_.AvgCallMs, noiseKernel, thr, false)
+	}
+	return r
+}
+
+// RenderCompare prints the diff as the human table CI logs show: one row
+// per compared metric, regressions flagged, then the notes and the tally.
+func RenderCompare(w io.Writer, r *CompareResult) {
+	fmt.Fprintf(w, "%-12s %-34s %12s %12s %7s %7s  %s\n",
+		"section", "metric", "old", "new", "ratio", "limit", "verdict")
+	for _, row := range r.Rows {
+		verdict := "ok"
+		switch {
+		case row.Regressed:
+			verdict = "REGRESSED"
+		case row.Ratio < 1/row.Limit:
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-12s %-34s %12.4g %12.4g %6.2fx %6.2fx  %s\n",
+			row.Section, row.Name, row.Old, row.New, row.Ratio, row.Limit, verdict)
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+	fmt.Fprintf(w, "compared %d metrics: %d regressed, %d improved\n",
+		len(r.Rows), r.Regressions, r.Improvements)
+}

@@ -125,9 +125,15 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
-// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) from the
-// power-of-two buckets: the top of the bucket holding the q-th observation,
-// so the true quantile is within a factor of two below the returned value.
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the power-of-two
+// buckets by linear interpolation within the bucket holding the q-th
+// observation: bucket i spans [2^(i−1), 2^i−1], and the rank's position
+// among the bucket's observations places the estimate inside that span
+// (assuming a uniform spread), clamped to the observed [Min, Max]. A
+// histogram of identical observations therefore reports every quantile
+// exactly; mixed distributions are off by at most the bucket width —
+// strictly tighter than the pre-interpolation behavior of returning the
+// bucket's upper edge.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0
@@ -138,17 +144,25 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	}
 	var seen int64
 	for i, n := range s.Buckets {
-		seen += n
-		if seen >= rank {
-			if i == 0 {
-				return 0
-			}
-			ub := time.Duration(int64(1)<<uint(i)) - 1
-			if ub > s.Max {
-				ub = s.Max
-			}
-			return ub
+		if seen+n < rank {
+			seen += n
+			continue
 		}
+		if i == 0 {
+			return 0 // bucket 0 holds only zero-valued observations
+		}
+		lo := int64(1) << uint(i-1)
+		hi := int64(1)<<uint(i) - 1
+		// Interpolate at the rank's midpoint-free position within the
+		// bucket: rank-seen of n observations → fraction in (0, 1].
+		v := lo + int64(float64(hi-lo)*float64(rank-seen)/float64(n))
+		if mx := int64(s.Max); v > mx {
+			v = mx
+		}
+		if mn := int64(s.Min); v < mn {
+			v = mn
+		}
+		return time.Duration(v)
 	}
 	return s.Max
 }
@@ -166,13 +180,18 @@ type SinkFunc func(name string, d time.Duration)
 // Span calls f.
 func (f SinkFunc) Span(name string, d time.Duration) { f(name, d) }
 
-// Registry is a named collection of counters and histograms with an
-// optional event sink. The zero value is not usable; call NewRegistry.
+// Registry is a named collection of counters, histograms, labeled metric
+// vectors (labels.go), and scrape-time gauges, with an optional event
+// sink. The zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	hists    map[string]*Histogram
-	sink     atomic.Value // sinkHolder
+	mu        sync.RWMutex
+	counters  map[string]*Counter
+	hists     map[string]*Histogram
+	cvecs     map[string]*CounterVec
+	hvecs     map[string]*HistogramVec
+	gauges    map[string]func() float64
+	maxSeries int
+	sink      atomic.Value // sinkHolder
 }
 
 type sinkHolder struct{ s Sink }
@@ -180,8 +199,12 @@ type sinkHolder struct{ s Sink }
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		hists:     make(map[string]*Histogram),
+		cvecs:     make(map[string]*CounterVec),
+		hvecs:     make(map[string]*HistogramVec),
+		gauges:    make(map[string]func() float64),
+		maxSeries: DefaultMaxSeries,
 	}
 }
 
@@ -256,9 +279,27 @@ func (s Span) End() time.Duration {
 	return d
 }
 
+// histLines renders one histogram snapshot's expvar-style lines; suffix
+// (the text-form label set, or "") follows each sub-metric name.
+func histLines(lines []string, name, suffix string, s HistogramSnapshot) []string {
+	return append(lines,
+		fmt.Sprintf("%s.count%s %d", name, suffix, s.Count),
+		fmt.Sprintf("%s.sum_ns%s %d", name, suffix, int64(s.Sum)),
+		fmt.Sprintf("%s.min_ns%s %d", name, suffix, int64(s.Min)),
+		fmt.Sprintf("%s.max_ns%s %d", name, suffix, int64(s.Max)),
+		fmt.Sprintf("%s.avg_ns%s %d", name, suffix, int64(s.Mean())),
+		fmt.Sprintf("%s.p50_ns%s %d", name, suffix, int64(s.Quantile(0.50))),
+		fmt.Sprintf("%s.p90_ns%s %d", name, suffix, int64(s.Quantile(0.90))),
+		fmt.Sprintf("%s.p99_ns%s %d", name, suffix, int64(s.Quantile(0.99))),
+	)
+}
+
 // WriteText renders every metric as expvar-style "name value" lines,
 // sorted by name. Counters render as a single line; each histogram renders
 // count, sum, min, max, avg, and approximate p50/p90/p99 (nanoseconds).
+// Labeled vectors render one line (or histogram block) per series with a
+// `{k=v,...}` suffix plus an unlabeled total line for counter vectors;
+// registered gauges render as "name value" with a float value.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.RLock()
 	counters := make(map[string]*Counter, len(r.counters))
@@ -269,6 +310,18 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	cvecs := make(map[string]*CounterVec, len(r.cvecs))
+	for k, v := range r.cvecs {
+		cvecs[k] = v
+	}
+	hvecs := make(map[string]*HistogramVec, len(r.hvecs))
+	for k, v := range r.hvecs {
+		hvecs[k] = v
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
 	r.mu.RUnlock()
 
 	lines := make([]string, 0, len(counters)+8*len(hists))
@@ -276,17 +329,23 @@ func (r *Registry) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
 	}
 	for name, h := range hists {
-		s := h.Snapshot()
-		lines = append(lines,
-			fmt.Sprintf("%s.count %d", name, s.Count),
-			fmt.Sprintf("%s.sum_ns %d", name, int64(s.Sum)),
-			fmt.Sprintf("%s.min_ns %d", name, int64(s.Min)),
-			fmt.Sprintf("%s.max_ns %d", name, int64(s.Max)),
-			fmt.Sprintf("%s.avg_ns %d", name, int64(s.Mean())),
-			fmt.Sprintf("%s.p50_ns %d", name, int64(s.Quantile(0.50))),
-			fmt.Sprintf("%s.p90_ns %d", name, int64(s.Quantile(0.90))),
-			fmt.Sprintf("%s.p99_ns %d", name, int64(s.Quantile(0.99))),
-		)
+		lines = histLines(lines, name, "", h.Snapshot())
+	}
+	for name, v := range cvecs {
+		for _, s := range v.snapshot() {
+			lines = append(lines, fmt.Sprintf("%s%s %d", name, labelString(v.keys, s.vals), s.t.Value()))
+		}
+		if _, dup := counters[name]; !dup && v.Len() > 0 {
+			lines = append(lines, fmt.Sprintf("%s %d", name, v.Total()))
+		}
+	}
+	for name, v := range hvecs {
+		for _, s := range v.snapshot() {
+			lines = histLines(lines, name, labelString(v.keys, s.vals), s.t.Snapshot())
+		}
+	}
+	for name, fn := range gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, fn()))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {

@@ -48,6 +48,49 @@ func TestHistogramAggregates(t *testing.T) {
 	}
 }
 
+// TestQuantileInterpolation pins p50/p90/p99 for known distributions. The
+// power-of-two buckets interpolate within the bucket holding the rank, so
+// a uniform 1..1000ns distribution lands its median exactly on 500ns
+// (the pre-interpolation behavior returned the bucket's upper edge, 511ns),
+// and identical observations report every quantile exactly.
+func TestQuantileInterpolation(t *testing.T) {
+	uniform := newHistogram()
+	for i := 1; i <= 1000; i++ {
+		uniform.Observe(time.Duration(i))
+	}
+	constant := newHistogram()
+	for i := 0; i < 100; i++ {
+		constant.Observe(700 * time.Nanosecond)
+	}
+	single := newHistogram()
+	single.Observe(5 * time.Nanosecond)
+
+	cases := []struct {
+		name          string
+		h             *Histogram
+		p50, p90, p99 time.Duration
+	}{
+		// rank 500 falls in bucket [256,511] at position 245/256 → 500ns.
+		// rank 900 falls in bucket [512,1023] at 389/489 → 918ns (the
+		// bucket spans past the observed range; Max clamps p99 to 1000ns).
+		{"uniform-1..1000ns", uniform, 500, 918, 1000},
+		{"constant-700ns", constant, 700, 700, 700},
+		{"single-5ns", single, 5, 5, 5},
+	}
+	for _, tc := range cases {
+		s := tc.h.Snapshot()
+		if got := s.Quantile(0.50); got != tc.p50 {
+			t.Errorf("%s: p50 = %v, want %v", tc.name, got, tc.p50)
+		}
+		if got := s.Quantile(0.90); got != tc.p90 {
+			t.Errorf("%s: p90 = %v, want %v", tc.name, got, tc.p90)
+		}
+		if got := s.Quantile(0.99); got != tc.p99 {
+			t.Errorf("%s: p99 = %v, want %v", tc.name, got, tc.p99)
+		}
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	s := newHistogram().Snapshot()
 	if s.Min != 0 || s.Max != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {

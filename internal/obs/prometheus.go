@@ -12,8 +12,10 @@ import (
 // Prometheus text-exposition rendering for the registry: counters map to
 // prometheus counters (name_total), histograms map to prometheus
 // histograms in seconds with cumulative `le` buckets derived from the
-// power-of-two nanosecond buckets. Metric names are prefixed with
-// "zaatar_" and dots become underscores, so `vc.verify` renders as
+// power-of-two nanosecond buckets, labeled vectors render one series per
+// label set with escaped label values, and registered gauges render as
+// prometheus gauges. Metric names are prefixed with "zaatar_" and dots
+// become underscores, so `vc.verify` renders as
 // `zaatar_vc_verify_seconds_bucket{le="..."}` lines plus _sum and _count.
 
 // promName sanitizes a registry metric name into a prometheus one.
@@ -36,9 +38,64 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// promEscaper escapes a label value per the text exposition format:
+// backslash, double quote, and line feed.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promLabels renders `k1="v1",k2="v2"` (no braces) for a series' label
+// values, escaped. Empty key set renders as "".
+func promLabels(keys []string, vals labelKey) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(k)[len("zaatar_"):]) // sanitize key, drop prefix
+		b.WriteString(`="`)
+		b.WriteString(promEscaper.Replace(vals[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// writePromHist renders one histogram's bucket/sum/count lines. labels is
+// the pre-rendered, escaped `k="v",...` pair list (or "") shared by every
+// line of the series.
+func writePromHist(w io.Writer, pn, labels string, s HistogramSnapshot) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	// Bucket i of the snapshot counts observations with nanosecond bit
+	// length i, so the cumulative count through bucket i covers durations
+	// ≤ 2^i − 1 ns. The last bucket is a catch-all and folds into +Inf.
+	var cum int64
+	for i := 0; i < numBuckets-1; i++ {
+		cum += s.Buckets[i]
+		le := float64(int64(1)<<uint(i)-1) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", pn, labels, sep, promFloat(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", pn, labels, sep, s.Count); err != nil {
+		return err
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", pn, suffix, promFloat(s.Sum.Seconds()), pn, suffix, s.Count)
+	return err
+}
+
 // WritePrometheus renders every metric in the prometheus text exposition
 // format (version 0.0.4), sorted by name for stable scrapes and golden
-// tests.
+// tests. When a plain metric and a labeled vector share a name, the two
+// render under a single # TYPE header: the unlabeled aggregate first, then
+// the labeled series.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	counters := make(map[string]*Counter, len(r.counters))
@@ -49,17 +106,46 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	cvecs := make(map[string]*CounterVec, len(r.cvecs))
+	for k, v := range r.cvecs {
+		cvecs[k] = v
+	}
+	hvecs := make(map[string]*HistogramVec, len(r.hvecs))
+	for k, v := range r.hvecs {
+		hvecs[k] = v
+	}
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
 	r.mu.RUnlock()
 
-	names := make([]string, 0, len(counters))
+	names := make([]string, 0, len(counters)+len(cvecs))
 	for name := range counters {
 		names = append(names, name)
+	}
+	for name := range cvecs {
+		if _, dup := counters[name]; !dup {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		pn := promName(name) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name].Value()); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
 			return err
+		}
+		if c, ok := counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", pn, c.Value()); err != nil {
+				return err
+			}
+		}
+		if v, ok := cvecs[name]; ok {
+			for _, s := range v.snapshot() {
+				if _, err := fmt.Fprintf(w, "%s{%s} %d\n", pn, promLabels(v.keys, s.vals), s.t.Value()); err != nil {
+					return err
+				}
+			}
 		}
 	}
 
@@ -67,29 +153,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name := range hists {
 		names = append(names, name)
 	}
+	for name := range hvecs {
+		if _, dup := hists[name]; !dup {
+			names = append(names, name)
+		}
+	}
 	sort.Strings(names)
 	for _, name := range names {
-		s := hists[name].Snapshot()
 		pn := promName(name) + "_seconds"
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
 			return err
 		}
-		// Bucket i of the snapshot counts observations with nanosecond bit
-		// length i, so the cumulative count through bucket i covers
-		// durations ≤ 2^i − 1 ns. The last bucket is a catch-all and folds
-		// into +Inf.
-		var cum int64
-		for i := 0; i < numBuckets-1; i++ {
-			cum += s.Buckets[i]
-			le := float64(int64(1)<<uint(i)-1) / 1e9
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(le), cum); err != nil {
+		if h, ok := hists[name]; ok {
+			if err := writePromHist(w, pn, "", h.Snapshot()); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, s.Count); err != nil {
-			return err
+		if v, ok := hvecs[name]; ok {
+			for _, s := range v.snapshot() {
+				if err := writePromHist(w, pn, promLabels(v.keys, s.vals), s.t.Snapshot()); err != nil {
+					return err
+				}
+			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(s.Sum.Seconds()), pn, s.Count); err != nil {
+	}
+
+	names = names[:0]
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(gauges[name]())); err != nil {
 			return err
 		}
 	}

@@ -24,6 +24,17 @@ func TestWritePrometheusGolden(t *testing.T) {
 	for _, d := range []time.Duration{0, time.Nanosecond, time.Microsecond, 2 * time.Microsecond, time.Millisecond} {
 		h.Observe(d)
 	}
+	// A plain counter and a vector sharing one name must merge under a
+	// single # TYPE block: the unlabeled aggregate then the labeled series.
+	r.Counter("transport.batches").Add(5)
+	bv := r.CounterVec("transport.batches", "backend", "program_hash")
+	bv.With("zaatar", "a1b2c3d4e5f6").Add(3)
+	bv.With("ginger", "ffeeddccbbaa").Add(2)
+	// Label values with exposition-format metacharacters must escape.
+	r.CounterVec("transport.errors", "kind").With("say \"no\"\\\n").Inc()
+	pv := r.HistogramVec("vc.phase", "phase", "backend")
+	pv.With("commit", "zaatar").Observe(2 * time.Microsecond)
+	r.RegisterGauge("transport.slo.p99_seconds", func() float64 { return 0.125 })
 
 	var buf bytes.Buffer
 	if err := r.WritePrometheus(&buf); err != nil {

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SLO tracking: error rate and latency quantiles over a rolling time
+// window, the substrate behind the server's /readyz endpoint and the
+// transport.slo.* gauges. Unlike the cumulative Histogram, the SLO window
+// forgets: a latency spike ages out after the window passes, so readiness
+// recovers without a process restart.
+//
+// The window is a ring of fixed-duration slots; observing stamps the
+// current slot (lazily resetting slots whose epoch has passed), and a
+// snapshot aggregates only slots still inside the window. Everything is
+// guarded by one mutex — observation rate here is per-request, not
+// per-instruction, so a lock is cheap relative to the work being measured.
+
+// sloSlots is the ring size; the window is divided evenly across slots, so
+// aging granularity is window/sloSlots.
+const sloSlots = 16
+
+// sloSlot aggregates one time slice. Latency fields cover successful
+// requests only; errors are counted but not timed, so a burst of instant
+// failures cannot drag p99 toward zero.
+type sloSlot struct {
+	epoch   int64 // slot index since the unix epoch; stale slots reset lazily
+	ok      int64
+	errs    int64
+	sum     int64
+	min     int64 // math.MaxInt64 when the slot holds no successes
+	max     int64
+	buckets [numBuckets]int64
+}
+
+// SLO is a rolling-window error-rate and latency tracker. Create with
+// NewSLO; all methods are safe for concurrent use.
+type SLO struct {
+	mu      sync.Mutex
+	slotDur time.Duration
+	slots   [sloSlots]sloSlot
+	now     func() time.Time // test seam
+}
+
+// NewSLO returns a tracker whose snapshot covers approximately the given
+// window (minimum one slot of 1ms granularity).
+func NewSLO(window time.Duration) *SLO {
+	slotDur := window / sloSlots
+	if slotDur < time.Millisecond {
+		slotDur = time.Millisecond
+	}
+	return &SLO{slotDur: slotDur, now: time.Now}
+}
+
+// DefaultSLOWindow is the rolling window the transport service uses when
+// not configured otherwise.
+const DefaultSLOWindow = time.Minute
+
+// slot returns the live slot for epoch e, resetting it if it still holds
+// an older epoch's data. Callers hold s.mu.
+func (s *SLO) slot(e int64) *sloSlot {
+	sl := &s.slots[((e%sloSlots)+sloSlots)%sloSlots]
+	if sl.epoch != e {
+		*sl = sloSlot{epoch: e, min: math.MaxInt64}
+	}
+	return sl
+}
+
+// Observe records one request outcome: its latency when it succeeded, or
+// an error (untimed) when it failed.
+func (s *SLO) Observe(d time.Duration, isErr bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := s.slot(s.now().UnixNano() / int64(s.slotDur))
+	if isErr {
+		sl.errs++
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	sl.ok++
+	sl.sum += ns
+	sl.buckets[bucketOf(ns)]++
+	if ns < sl.min {
+		sl.min = ns
+	}
+	if ns > sl.max {
+		sl.max = ns
+	}
+}
+
+// SLOSnapshot aggregates the window's current contents.
+type SLOSnapshot struct {
+	Requests  int64 // successes + errors inside the window
+	Errors    int64
+	ErrorRate float64 // Errors / Requests; 0 when the window is empty
+	P50       time.Duration
+	P99       time.Duration
+	Window    time.Duration
+}
+
+// Snapshot aggregates the slots still inside the window.
+func (s *SLO) Snapshot() SLOSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.now().UnixNano() / int64(s.slotDur)
+	var hs HistogramSnapshot
+	mn := int64(math.MaxInt64)
+	var mx, errs int64
+	for i := range s.slots {
+		sl := &s.slots[i]
+		if sl.epoch <= cur-sloSlots || sl.epoch > cur {
+			continue // aged out (or clock skew); lazily reset on next write
+		}
+		hs.Count += sl.ok
+		hs.Sum += time.Duration(sl.sum)
+		errs += sl.errs
+		if sl.ok > 0 {
+			if sl.min < mn {
+				mn = sl.min
+			}
+			if sl.max > mx {
+				mx = sl.max
+			}
+		}
+		for b := range hs.Buckets {
+			hs.Buckets[b] += sl.buckets[b]
+		}
+	}
+	if mn != math.MaxInt64 {
+		hs.Min = time.Duration(mn)
+	}
+	hs.Max = time.Duration(mx)
+	out := SLOSnapshot{
+		Requests: hs.Count + errs,
+		Errors:   errs,
+		Window:   s.slotDur * sloSlots,
+	}
+	if out.Requests > 0 {
+		out.ErrorRate = float64(errs) / float64(out.Requests)
+	}
+	if hs.Count > 0 {
+		out.P50 = hs.Quantile(0.50)
+		out.P99 = hs.Quantile(0.99)
+	}
+	return out
+}
+
+// SLO gauge metric names, registered by ExposeSLO under a component prefix
+// (the transport service uses "transport.slo").
+const (
+	SLOGaugeRequests  = ".requests"
+	SLOGaugeErrorRate = ".error_rate"
+	SLOGaugeP99       = ".p99_seconds"
+)
+
+// ExposeSLO registers the tracker's aggregates as scrape-time gauges named
+// prefix+".requests", prefix+".error_rate", and prefix+".p99_seconds".
+// Readiness checks read them back via Registry.GaugeValue.
+func ExposeSLO(r *Registry, prefix string, s *SLO) {
+	r.RegisterGauge(prefix+SLOGaugeRequests, func() float64 {
+		return float64(s.Snapshot().Requests)
+	})
+	r.RegisterGauge(prefix+SLOGaugeErrorRate, func() float64 {
+		return s.Snapshot().ErrorRate
+	})
+	r.RegisterGauge(prefix+SLOGaugeP99, func() float64 {
+		return s.Snapshot().P99.Seconds()
+	})
+}
+
+// HealthHandler answers liveness probes: 200 as long as the process can
+// serve HTTP at all.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyHandler answers readiness probes: 200 when check returns nil, 503
+// with the error text otherwise. A nil check is always ready.
+func ReadyHandler(check func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_, _ = w.Write([]byte("not ready: " + err.Error() + "\n"))
+				return
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	})
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock drives an SLO deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestSLO(window time.Duration) (*SLO, *fakeClock) {
+	s := NewSLO(window)
+	c := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	s.now = c.now
+	return s, c
+}
+
+func TestSLOWindow(t *testing.T) {
+	s, clk := newTestSLO(16 * time.Second) // 1s slots
+	for i := 0; i < 99; i++ {
+		s.Observe(10*time.Millisecond, false)
+	}
+	s.Observe(time.Second, false) // the tail latency
+	s.Observe(0, true)            // one error
+
+	snap := s.Snapshot()
+	if snap.Requests != 101 || snap.Errors != 1 {
+		t.Fatalf("Requests/Errors = %d/%d, want 101/1", snap.Requests, snap.Errors)
+	}
+	if want := 1.0 / 101.0; snap.ErrorRate != want {
+		t.Fatalf("ErrorRate = %v, want %v", snap.ErrorRate, want)
+	}
+	// p99 of 100 successes: rank 99 is the last 10ms observation; p50 well
+	// below the 1s outlier. Errors are untimed so they cannot skew either.
+	if snap.P99 < 8*time.Millisecond || snap.P99 > 20*time.Millisecond {
+		t.Fatalf("P99 = %v, want ~10ms", snap.P99)
+	}
+	if snap.P50 > snap.P99 {
+		t.Fatalf("P50 %v > P99 %v", snap.P50, snap.P99)
+	}
+
+	// Half a window later the observations are still visible...
+	clk.advance(8 * time.Second)
+	if snap := s.Snapshot(); snap.Requests != 101 {
+		t.Fatalf("mid-window Requests = %d, want 101", snap.Requests)
+	}
+	// ...a full window later they have aged out entirely.
+	clk.advance(17 * time.Second)
+	if snap := s.Snapshot(); snap.Requests != 0 || snap.ErrorRate != 0 || snap.P99 != 0 {
+		t.Fatalf("aged-out snapshot not empty: %+v", snap)
+	}
+
+	// New observations land in recycled slots without inheriting old data.
+	s.Observe(5*time.Millisecond, false)
+	if snap := s.Snapshot(); snap.Requests != 1 || snap.Errors != 0 {
+		t.Fatalf("post-recycle snapshot wrong: %+v", snap)
+	}
+}
+
+func TestSLOTailLatencyDominatesP99(t *testing.T) {
+	s, _ := newTestSLO(16 * time.Second)
+	for i := 0; i < 9; i++ {
+		s.Observe(time.Millisecond, false)
+	}
+	s.Observe(time.Second, false)
+	if p99 := s.Snapshot().P99; p99 < 500*time.Millisecond {
+		t.Fatalf("P99 = %v, want the 1s tail to dominate", p99)
+	}
+}
+
+func TestExposeSLO(t *testing.T) {
+	r := NewRegistry()
+	s, _ := newTestSLO(16 * time.Second)
+	ExposeSLO(r, "transport.slo", s)
+	s.Observe(100*time.Millisecond, false)
+	s.Observe(0, true)
+
+	if v, ok := r.GaugeValue("transport.slo.requests"); !ok || v != 2 {
+		t.Fatalf("requests gauge = %v, %v", v, ok)
+	}
+	if v, ok := r.GaugeValue("transport.slo.error_rate"); !ok || v != 0.5 {
+		t.Fatalf("error_rate gauge = %v, %v", v, ok)
+	}
+	if v, ok := r.GaugeValue("transport.slo.p99_seconds"); !ok || v <= 0 || v > 1 {
+		t.Fatalf("p99 gauge = %v, %v", v, ok)
+	}
+}
+
+func TestHealthAndReadyHandlers(t *testing.T) {
+	rec := httptest.NewRecorder()
+	HealthHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	ReadyHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("readyz(nil check) = %d", rec.Code)
+	}
+
+	fail := errors.New("p99 over threshold")
+	var err error
+	h := ReadyHandler(func() error { return err })
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("readyz(ok) = %d", rec.Code)
+	}
+	err = fail
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "p99 over threshold") {
+		t.Fatalf("readyz(fail) = %d %q", rec.Code, rec.Body.String())
+	}
+	// Readiness recovers when the condition clears — no restart needed.
+	err = nil
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("readyz(recovered) = %d", rec.Code)
+	}
+}

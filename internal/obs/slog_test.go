@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"zaatar/internal/obs/trace"
+)
+
+func TestLoggerTraceCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "json")
+	tc := trace.New(trace.NewRecorder(64), "verifier")
+	ctx := trace.NewContext(context.Background(), tc)
+
+	logger.InfoContext(ctx, "batch done", "backend", "zaatar", "session", 7)
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	want := TraceIDString(uint64(tc.TraceID()))
+	if rec["trace_id"] != want {
+		t.Fatalf("trace_id = %v, want %v", rec["trace_id"], want)
+	}
+	if _, ok := rec["span_id"]; !ok {
+		t.Fatalf("span_id missing: %v", rec)
+	}
+	if rec["backend"] != "zaatar" || rec["msg"] != "batch done" {
+		t.Fatalf("record fields wrong: %v", rec)
+	}
+	if len(want) != 16 {
+		t.Fatalf("trace id render %q not 16 hex chars (must match the Perfetto export form)", want)
+	}
+}
+
+func TestLoggerTextFormatAndNoTrace(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, "text")
+	// No trace in the context: no correlation attrs, no panic.
+	logger.Info("hello", "k", "v")
+	out := buf.String()
+	if !strings.Contains(out, "msg=hello") || strings.Contains(out, "trace_id") {
+		t.Fatalf("text record wrong: %q", out)
+	}
+	// WithAttrs/WithGroup must preserve the trace decoration.
+	buf.Reset()
+	child := logger.With("session", 3).WithGroup("vc")
+	tc := trace.New(trace.NewRecorder(64), "prover")
+	child.InfoContext(trace.NewContext(context.Background(), tc), "x", "phase", "commit")
+	if !strings.Contains(buf.String(), "trace_id="+TraceIDString(uint64(tc.TraceID()))) {
+		t.Fatalf("derived logger lost trace decoration: %q", buf.String())
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := NopLogger()
+	l.Info("dropped", "k", "v") // must not panic or write anywhere
+	l.With("a", 1).WithGroup("g").Error("also dropped")
+	if OrNop(nil) == nil {
+		t.Fatal("OrNop(nil) returned nil")
+	}
+	if got := OrNop(l); got != l {
+		t.Fatal("OrNop did not pass through a non-nil logger")
+	}
+}

@@ -18,8 +18,8 @@ func TestNilSafety(t *testing.T) {
 	if sp != nil {
 		t.Fatal("nil Ctx.Start returned a span")
 	}
-	sp.End()         // must not panic
-	_ = sp.Ctx()     // must not panic
+	sp.End()     // must not panic
+	_ = sp.Ctx() // must not panic
 	if c.Import(nil) != 0 {
 		t.Fatal("nil Ctx.Import imported")
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"runtime"
@@ -64,6 +65,15 @@ type ServiceOptions struct {
 	// Logf, when non-nil, receives one line per failed session from Serve's
 	// accept loop.
 	Logf func(format string, args ...any)
+	// Logger receives structured per-session records (session start/end,
+	// batches served, failures), each carrying session/backend/program_hash
+	// attributes plus trace correlation when the client sent a trace. Nil
+	// disables structured logging.
+	Logger *slog.Logger
+	// SLOWindow is the rolling window over which the service tracks its
+	// error rate and latency quantiles, exposed as transport.slo.* gauges.
+	// Defaults to obs.DefaultSLOWindow.
+	SLOWindow time.Duration
 }
 
 // Service is a long-lived multi-tenant prover: it owns a cross-session LRU
@@ -82,11 +92,21 @@ type Service struct {
 	idleTimeout time.Duration
 	backends    []string
 	logf        func(format string, args ...any)
+	log         *slog.Logger
 
-	reg    *obs.Registry
-	sem    chan struct{}
-	active atomic.Int64
-	conns  atomic.Int64
+	reg     *obs.Registry
+	slo     *obs.SLO
+	sem     chan struct{}
+	active  atomic.Int64
+	conns   atomic.Int64
+	sessSeq atomic.Int64
+
+	// Labeled (per-tenant) views of the session/batch/instance counters;
+	// the plain counters of the same names remain the unlabeled aggregates.
+	sessionsVec  *obs.CounterVec
+	batchesVec   *obs.CounterVec
+	instancesVec *obs.CounterVec
+	phasesVec    *obs.HistogramVec
 
 	mu    sync.Mutex
 	cache *programCache
@@ -133,18 +153,30 @@ func NewService(opts ServiceOptions) *Service {
 	if backends == nil {
 		backends = pcp.Names()
 	}
+	window := opts.SLOWindow
+	if window <= 0 {
+		window = obs.DefaultSLOWindow
+	}
+	slo := obs.NewSLO(window)
+	obs.ExposeSLO(reg, MetricSLOPrefix, slo)
 	return &Service{
-		workers:     workers,
-		maxSessions: maxSessions,
-		maxBatch:    maxBatch,
-		maxConns:    maxConns,
-		ioTimeout:   opts.IOTimeout,
-		idleTimeout: idle,
-		backends:    backends,
-		logf:        opts.Logf,
-		reg:         reg,
-		sem:         make(chan struct{}, maxSessions),
-		cache:       newProgramCache(cacheSize, reg),
+		workers:      workers,
+		maxSessions:  maxSessions,
+		maxBatch:     maxBatch,
+		maxConns:     maxConns,
+		ioTimeout:    opts.IOTimeout,
+		idleTimeout:  idle,
+		backends:     backends,
+		logf:         opts.Logf,
+		log:          obs.OrNop(opts.Logger),
+		reg:          reg,
+		slo:          slo,
+		sem:          make(chan struct{}, maxSessions),
+		sessionsVec:  reg.CounterVec(MetricSessions, LabelBackend),
+		batchesVec:   reg.CounterVec(MetricServedBatches, LabelBackend, LabelProgramHash),
+		instancesVec: reg.CounterVec(MetricServedInstance, LabelBackend, LabelProgramHash),
+		phasesVec:    reg.HistogramVec(vc.MetricPhase, vc.LabelPhase, vc.LabelBackend),
+		cache:        newProgramCache(cacheSize, reg),
 	}
 }
 
@@ -267,12 +299,19 @@ func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
 	defer conn.Close()
 	defer watch(ctx, conn)()
 	s.reg.Counter(MetricSessions).Inc()
+	logger := s.log.With("session", s.sessSeq.Add(1), "remote", fmt.Sprint(conn.RemoteAddr()))
 	span := s.reg.StartSpan(MetricSpanSession)
 	defer func() {
 		span.End()
 		err = ctxErr(ctx, err)
 		if err != nil {
 			s.reg.Counter(MetricSessionErrors).Inc()
+			// Failed sessions count against the SLO error rate; successful
+			// batches were already observed with their latency.
+			s.slo.Observe(0, true)
+			logger.ErrorContext(ctx, "session failed", "err", err.Error())
+		} else {
+			logger.InfoContext(ctx, "session closed")
 		}
 	}()
 	cc := newTimedCodec(conn, s.ioTimeout)
@@ -333,6 +372,10 @@ func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
 		return err
 	}
 	s.reg.Counter(MetricBackendSessions + backend).Inc()
+	phash := ProgramHash(hello.Source)
+	s.sessionsVec.With(backend).Inc()
+	logger = logger.With(LabelBackend, backend, LabelProgramHash, phash)
+	logger.InfoContext(ctx, "session negotiated", "version", version, "workers", workers)
 	ack := HelloAck{NumInputs: prog.NumInputs(), NumOutputs: prog.NumOutputs(), Version: version, Backend: backend}
 	if err := cc.send(ack); err != nil {
 		return err
@@ -393,12 +436,19 @@ func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
 			}
 			admitted = true
 		}
+		t0 := time.Now()
 		n, err := s.serveBatch(ctx, cc, prover, batch, batches, workers, ship)
 		if err != nil {
 			return err
 		}
+		dur := time.Since(t0)
+		s.slo.Observe(dur, false)
+		s.phasesVec.With("batch", backend).Observe(dur)
 		s.reg.Counter(MetricServedBatches).Inc()
 		s.reg.Counter(MetricServedInstance).Add(int64(n))
+		s.batchesVec.With(backend, phash).Inc()
+		s.instancesVec.With(backend, phash).Add(int64(n))
+		logger.InfoContext(ctx, "batch served", "batch", batches, "instances", n, "dur_ms", dur.Milliseconds())
 		if version < ProtocolV2 {
 			return nil
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/big"
 	"net"
 	"sync"
@@ -41,6 +42,10 @@ type ClientOptions struct {
 	// Obs receives the client's counters and spans; nil uses
 	// obs.Default().
 	Obs *obs.Registry
+	// Logger receives structured records for the session lifecycle and each
+	// batch, carrying backend/program_hash attributes plus trace correlation
+	// when the caller's context carries a trace. Nil disables logging.
+	Logger *slog.Logger
 }
 
 func (o ClientOptions) registry() *obs.Registry {
@@ -84,6 +89,7 @@ type Session struct {
 	tc       *trace.Ctx
 	sessTr   *trace.Span
 	obsSpan  obs.Span
+	log      *slog.Logger
 	batches  int
 	closed   bool
 }
@@ -122,6 +128,7 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 		tc:      tc,
 		sessTr:  sessTr,
 		obsSpan: reg.StartSpan(MetricSpanClient),
+		log:     obs.OrNop(opts.Logger).With(LabelProgramHash, ProgramHash(hello.Source)),
 	}
 	s = sess
 	defer func() {
@@ -220,6 +227,9 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 	if err != nil {
 		return nil, err
 	}
+	reg.CounterVec(MetricClientSessions, LabelBackend).With(s.backend).Inc()
+	s.log = s.log.With(LabelBackend, s.backend)
+	s.log.InfoContext(tctx, "session negotiated", "version", s.version, "provers", int64(len(conns)))
 	return s, nil
 }
 
@@ -391,12 +401,15 @@ func (s *Session) RunBatch(ctx context.Context, batch [][]*big.Int) (res *Sessio
 		Reasons:  make([]string, len(items)),
 		Outputs:  make([][]*big.Int, len(items)),
 	}
+	phases := s.reg.HistogramVec(vc.MetricPhase, vc.LabelPhase, vc.LabelBackend)
 	verifyTr, verifyCtx := trace.Child(ctx, "vc.verify_stage")
 	defer verifyTr.End()
 	if err := vc.ForEach(ctx, len(items), s.opts.Workers, func(i int) error {
 		vsp := trace.Start(verifyCtx, "vc.verify").WithArg("instance", int64(i))
 		defer vsp.End()
+		t0 := time.Now()
 		ok, reason := s.verifier.VerifyInstance(ctx, items[i].in, items[i].cm, items[i].resp)
+		phases.With("verify", s.backend).Observe(time.Since(t0))
 		out.Accepted[i] = ok
 		out.Reasons[i] = reason
 		out.Outputs[i] = items[i].cm.Output
@@ -405,6 +418,13 @@ func (s *Session) RunBatch(ctx context.Context, batch [][]*big.Int) (res *Sessio
 		return nil, err
 	}
 	verifyTr.End()
+	accepted := 0
+	for _, ok := range out.Accepted {
+		if ok {
+			accepted++
+		}
+	}
+	s.log.InfoContext(ctx, "batch verified", "batch", s.batches, "instances", len(items), "accepted", accepted)
 	s.batches++
 	return out, nil
 }

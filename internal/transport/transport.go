@@ -37,7 +37,9 @@ package transport
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/big"
@@ -137,7 +139,35 @@ const (
 	// full series name is the prefix plus the negotiated backend name,
 	// e.g. "pcp.backend.sessions.sumcheck".
 	MetricBackendSessions = "pcp.backend.sessions."
+
+	// MetricSLOPrefix prefixes the service's rolling-window SLO gauges
+	// (".requests", ".error_rate", ".p99_seconds" — see obs.ExposeSLO).
+	MetricSLOPrefix = "transport.slo"
 )
+
+// Label keys for the labeled (per-tenant) views of the transport metrics.
+// transport.sessions breaks out by {backend}; transport.batches and
+// transport.instances by {backend, program_hash}. The label schema —
+// allowed keys, cardinality bounds, and the program-hash truncation rule —
+// is documented in docs/PROTOCOL.md §7.1.
+const (
+	LabelBackend     = "backend"
+	LabelProgramHash = "program_hash"
+)
+
+// ProgramHashLen is how many hex characters of the program's SHA-256 a
+// metric label carries: 48 bits — enough to tell tenants' programs apart,
+// short enough to keep series names readable.
+const ProgramHashLen = 12
+
+// ProgramHash derives the metric-label identity of a program source: the
+// first ProgramHashLen hex characters of its SHA-256. The full digest
+// remains the cache key (cache.go); the label is deliberately truncated
+// since metric labels need distinguishability, not collision resistance.
+func ProgramHash(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])[:ProgramHashLen]
+}
 
 // Hello opens a session: the verifier ships the computation and protocol
 // parameters (everything except its secret randomness).

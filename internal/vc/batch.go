@@ -58,10 +58,21 @@ const (
 	MetricSpanRespond  = "vc.respond"   // histogram: stage-3 wall per batch
 	MetricSpanVerify   = "vc.verify"    // histogram: per-instance verification
 	MetricSpanBatch    = "vc.batch"     // histogram: whole batch wall
+	// MetricPhase is the labeled per-phase histogram vector: one series per
+	// {phase, backend} pair, phase ∈ {setup, commit, decommit, respond,
+	// verify, batch}. The unlabeled vc.* histograms above remain the
+	// aggregate views.
+	MetricPhase = "vc.phase"
 	// MetricBackendBatches prefixes a per-backend batch counter; the full
 	// series name is the prefix plus the backend name, e.g.
 	// "pcp.backend.batches.sumcheck".
 	MetricBackendBatches = "pcp.backend.batches."
+)
+
+// Label keys of the MetricPhase vector (see docs/PROTOCOL.md §7.1).
+const (
+	LabelPhase   = "phase"
+	LabelBackend = "backend"
 )
 
 // BatchResult aggregates one batch's outcomes and measurements.
@@ -149,7 +160,11 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		return nil, err
 	}
 	setupTr.End()
-	setupSpan.End()
+	// The labeled per-phase view: same wall-clock numbers as the vc.* span
+	// histograms, broken out by {phase, backend} for per-tenant attribution.
+	phases := reg.HistogramVec(MetricPhase, LabelPhase, LabelBackend)
+	backend := verifier.Backend()
+	phases.With("setup", backend).Observe(setupSpan.End())
 
 	workers := cfg.Workers
 	if workers < 1 {
@@ -195,6 +210,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 	}
 	commitTr.End()
 	res.Metrics.Commit = commitSpan.End()
+	phases.With("commit", backend).Observe(res.Metrics.Commit)
 
 	// Stage 2: the verifier reveals queries only after all commitments.
 	if testHookPreDecommit != nil {
@@ -212,6 +228,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 	}
 	decommitTr.End()
 	res.Metrics.Decommit = decommitSpan.End()
+	phases.With("decommit", backend).Observe(res.Metrics.Decommit)
 
 	// Stages 3+4: answer queries and verify. The pipelined path streams
 	// each responded instance through a bounded channel into a parallel
@@ -239,6 +256,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		ok, reason := verifier.VerifyInstance(ctx, inputs[i], commitments[i], responses[i])
 		d := time.Since(t0)
 		reg.Histogram(MetricSpanVerify).Observe(d)
+		phases.With("verify", backend).Observe(d)
 		atomic.AddInt64((*int64)(&res.Metrics.VerifyTotal), int64(d))
 		res.Accepted[i] = ok
 		res.Reasons[i] = reason
@@ -252,6 +270,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		}
 		respondTr.End()
 		res.Metrics.Respond = respondSpan.End()
+		phases.With("respond", backend).Observe(res.Metrics.Respond)
 		res.Metrics.ProverWall = time.Since(proverStart)
 		for i := range inputs {
 			verifyOne(i)
@@ -285,6 +304,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		})
 		respondTr.End()
 		res.Metrics.Respond = respondSpan.End()
+		phases.With("respond", backend).Observe(res.Metrics.Respond)
 		res.Metrics.ProverWall = time.Since(proverStart)
 		close(ready)
 		vwg.Wait()
@@ -301,6 +321,7 @@ func RunBatch(ctx context.Context, prog *compiler.Program, cfg Config, inputs []
 		res.ProverTimes[i] = states[i].Times
 	}
 	res.Metrics.Total = batchSpan.End()
+	phases.With("batch", backend).Observe(res.Metrics.Total)
 	reg.Counter(MetricBatches).Inc()
 	reg.Counter(MetricBackendBatches + verifier.Backend()).Inc()
 	reg.Counter(MetricInstances).Add(int64(beta))

@@ -2,6 +2,7 @@ package zaatar
 
 import (
 	"context"
+	"log/slog"
 	"net"
 	"time"
 
@@ -86,6 +87,24 @@ func WithServerMetrics(r *obs.Registry) ServerOption {
 // from the accept loop (e.g. log.Printf). By default failures are silent.
 func WithServerLogf(logf func(format string, args ...any)) ServerOption {
 	return func(o *serverOptions) { o.svc.Logf = logf }
+}
+
+// WithServerLogger installs a structured logger on the service: one record
+// per session event (negotiation, each batch served, session close)
+// carrying the session id, negotiated backend, program hash, and — when the
+// client's hello carries a trace — trace_id/span_id fields joinable against
+// the exported Perfetto trace. Composes with WithServerLogf, which keeps
+// receiving the accept-loop failure lines. By default the service emits no
+// structured records.
+func WithServerLogger(l *slog.Logger) ServerOption {
+	return func(o *serverOptions) { o.svc.Logger = l }
+}
+
+// WithSLOWindow sets the rolling window over which the service aggregates
+// its SLO gauges (transport.slo.requests, .error_rate, .p99_seconds).
+// Defaults to one minute.
+func WithSLOWindow(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.svc.SLOWindow = d }
 }
 
 // Serve runs a long-lived multi-tenant prover service on ln until ctx is

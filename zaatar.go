@@ -38,6 +38,7 @@ package zaatar
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/big"
 	"time"
 
@@ -98,6 +99,7 @@ type options struct {
 	fieldSet bool
 	cfg      vc.Config
 	ioTo     time.Duration
+	logger   *slog.Logger
 }
 
 // bothOption implements Option; runOption implements only RunOption.
@@ -229,6 +231,16 @@ func WithMetrics(r *obs.Registry) RunOption {
 // client's connections; in-process runs ignore it.
 func WithIOTimeout(d time.Duration) RunOption {
 	return runOption(func(o *options) { o.ioTo = d })
+}
+
+// WithLogger installs a structured logger on a Dial'ed client: one record
+// per session event (negotiation, each batch) carrying the negotiated
+// backend, the program hash, and — when the context carries a trace (see
+// zaatar-client -trace) — trace_id/span_id fields that join the exported
+// Perfetto trace. In-process runs ignore it. By default the client is
+// silent.
+func WithLogger(l *slog.Logger) RunOption {
+	return runOption(func(o *options) { o.logger = l })
 }
 
 // Metrics returns the process-wide metrics registry that protocol runs
