@@ -38,8 +38,8 @@ func TestServeAndDial(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if got := client.WireVersion(); got != 2 {
-		t.Fatalf("wire version %d, want 2", got)
+	if got := client.WireVersion(); got != transport.MaxProtocolVersion {
+		t.Fatalf("wire version %d, want %d", got, transport.MaxProtocolVersion)
 	}
 	if client.Program().NumInputs() != 1 {
 		t.Fatalf("program shape: %d inputs", client.Program().NumInputs())
@@ -70,6 +70,77 @@ func TestServeAndDial(t *testing.T) {
 	}
 	if got := reg.Counter(transport.MetricServedBatches).Value(); got != 2 {
 		t.Fatalf("server batches = %d, want 2", got)
+	}
+}
+
+// TestServeWithStoreWarmRestart drives the public artifact-store surface:
+// a server started with WithStore compiles once and persists the bundle;
+// a second server over the same directory (a "restart") serves a returning
+// client off disk — one store hit, no compile cache miss beyond the load,
+// and the v3 client never uploads its source.
+func TestServeWithStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	src := `input x : int32; output y : int32; y = x - 3;`
+
+	serve := func(reg *obs.Registry) (addr string, stop func(*testing.T)) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			done <- Serve(ctx, ln, WithServerWorkers(2), WithStore(dir), WithServerMetrics(reg))
+		}()
+		return ln.Addr().String(), func(t *testing.T) {
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("Serve: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Serve did not return after cancel")
+			}
+		}
+	}
+
+	runOnce := func(addr string, seed string) {
+		client, err := Dial(context.Background(), addr, src,
+			WithParams(2, 2), WithoutCommitment(), WithSeed([]byte(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		res, err := client.RunBatch(context.Background(), [][]*big.Int{{big.NewInt(8)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllAccepted() {
+			t.Fatalf("rejected: %v", res.Reasons)
+		}
+	}
+
+	reg1 := obs.NewRegistry()
+	addr, stop := serve(reg1)
+	runOnce(addr, "cold")
+	stop(t) // Serve's return waits for the async bundle write-back
+	if got := reg1.Counter(transport.MetricStoreMisses).Value(); got != 1 {
+		t.Fatalf("cold run store misses = %d, want 1", got)
+	}
+
+	reg2 := obs.NewRegistry()
+	addr, stop = serve(reg2)
+	runOnce(addr, "warm")
+	stop(t)
+	if got := reg2.Counter(transport.MetricStoreHits).Value(); got != 1 {
+		t.Fatalf("restart store hits = %d, want 1", got)
+	}
+	if got := reg2.Counter(transport.MetricHelloSourceSkipped).Value(); got != 1 {
+		t.Fatalf("restart source uploads skipped = %d, want 1", got)
+	}
+	if got := reg2.Counter(transport.MetricStoreBytesSaved).Value(); got != int64(len(src)) {
+		t.Fatalf("restart bytes saved = %d, want %d", got, len(src))
 	}
 }
 

@@ -17,6 +17,7 @@
 //	BenchmarkAblationHPipeline — fast (NTT/subproduct-tree) vs naive O(n²)
 //	                             construction of H(t)
 //	BenchmarkAblationPolyMul   — NTT vs schoolbook multiplication
+//	BenchmarkAblationMLEFold   — single-mul vs two-mul sum-check table fold
 //	BenchmarkAblationCommitment — prover cost with and without ElGamal
 package zaatar
 
@@ -437,6 +438,32 @@ func BenchmarkAblationPolyMul(b *testing.B) {
 	b.Run("naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			poly.MulNaive(f, x, y)
+		}
+	})
+}
+
+// BenchmarkAblationMLEFold compares the sum-check prover's round fold in
+// its specialized single-multiplication form (the table is padded to a
+// power of two, so R[2k] + r·(R[2k+1]−R[2k]) covers it with no tail)
+// against the textbook two-multiplication fold, at a GKR-layer-sized
+// table.
+func BenchmarkAblationMLEFold(b *testing.B) {
+	f := field.F128()
+	rnd := prg.NewFromSeed([]byte("mle-fold"), 0)
+	const size = 1 << 16
+	tbl := f.RandVector(size, rnd)
+	r := f.Rand(rnd)
+	scratch := make([]field.Element, size)
+	b.Run("onemul", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(scratch, tbl)
+			pcp.FoldMLE(f, scratch, r)
+		}
+	})
+	b.Run("twomul", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(scratch, tbl)
+			pcp.FoldMLETwoMul(f, scratch, r)
 		}
 	})
 }

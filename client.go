@@ -96,6 +96,7 @@ func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, er
 	}
 	var dialer net.Dialer
 	var conns []net.Conn
+	var addrs []string
 	for _, a := range strings.Split(addr, ",") {
 		a = strings.TrimSpace(a)
 		if a == "" {
@@ -109,9 +110,17 @@ func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, er
 			return nil, fmt.Errorf("zaatar: dialing %s: %w", a, err)
 		}
 		conns = append(conns, conn)
+		addrs = append(addrs, a)
 	}
 	if len(conns) == 0 {
 		return nil, fmt.Errorf("zaatar: no prover address in %q", addr)
+	}
+	// Knowing the addresses lets the session retry a prover on a fresh
+	// connection, which unlocks the v3 hash-first hello: the source rides
+	// only when a server actually needs it, and a pre-v3 server that drops
+	// the hash-first hello gets a full-source redial at its own dialect.
+	copts.Redial = func(ctx context.Context, i int) (net.Conn, error) {
+		return dialer.DialContext(ctx, "tcp", addrs[i])
 	}
 	sess, err := transport.NewSession(ctx, conns, hello, copts)
 	if err != nil {
@@ -135,8 +144,9 @@ func (c *Client) RunBatch(ctx context.Context, batch [][]*big.Int) (*SessionResu
 func (c *Client) Program() *Program { return c.sess.Program() }
 
 // WireVersion reports the negotiated wire protocol version (the minimum
-// across prover connections): 2 for keep-alive sessions, 1 when any peer
-// only speaks the legacy one-batch dialect.
+// across prover connections): 3 for hash-first sessions, 2 for keep-alive
+// peers that predate the artifact exchange, 1 when any peer only speaks
+// the legacy one-batch dialect.
 func (c *Client) WireVersion() int { return c.sess.WireVersion() }
 
 // Backend reports the proof backend the session negotiated (every prover

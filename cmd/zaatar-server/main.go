@@ -2,9 +2,11 @@
 // accepts verifier sessions over TCP: each session receives a computation
 // and batches of inputs, executes them, and produces the
 // verified-computation argument. Compiled programs are cached across
-// sessions (-cache), concurrent sessions share the kernel pool under a
-// bounded admission semaphore (-maxsessions), and wire protocol v2 lets one
-// connection carry many batches.
+// sessions (-cache) and, with -store, persisted to disk as content-addressed
+// bundles that survive restarts; concurrent sessions share the kernel pool
+// under a bounded admission semaphore (-maxsessions), wire protocol v2 lets
+// one connection carry many batches, and v3 lets a returning client name its
+// program by hash instead of re-uploading the source.
 //
 // The server installs a per-message I/O deadline on every connection
 // (-timeout), drains in-flight sessions on SIGINT/SIGTERM before exiting,
@@ -53,6 +55,8 @@ func main() {
 		maxBatch    = flag.Int("maxbatch", 4096, "maximum batch size per session")
 		maxConns    = flag.Int("maxconns", 0, "open connections kept at once, idle included (0 = 16*maxsessions, <0 unlimited)")
 		cacheSize   = flag.Int("cache", 32, "compiled programs kept in the cross-session LRU")
+		storeDir    = flag.String("store", "", "directory for the persistent artifact store: compiled programs survive restarts as content-addressed bundles (empty disables)")
+		maxSource   = flag.Int("maxsource", 0, "largest program source accepted, in bytes (0 = 1 MiB)")
 		backends    = flag.String("backends", "", "comma-separated proof backends to serve (empty = all compiled in)")
 		timeout     = flag.Duration("timeout", 2*time.Minute, "per-message read/write deadline (0 disables)")
 		idleTimeout = flag.Duration("idletimeout", 0, "reap keep-alive connections idle this long between batches (0 = 2m, <0 disables)")
@@ -159,6 +163,13 @@ func main() {
 	}
 	if *logFormat != "" {
 		srvOpts = append(srvOpts, zaatar.WithServerLogger(obs.NewLogger(os.Stderr, *logFormat)))
+	}
+	if *storeDir != "" {
+		srvOpts = append(srvOpts, zaatar.WithStore(*storeDir))
+		log.Printf("zaatar-server: artifact store at %s", *storeDir)
+	}
+	if *maxSource != 0 {
+		srvOpts = append(srvOpts, zaatar.WithMaxSourceBytes(*maxSource))
 	}
 	if *backends != "" {
 		var names []string

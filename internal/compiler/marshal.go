@@ -1,0 +1,161 @@
+package compiler
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+
+	"zaatar/internal/constraint"
+	"zaatar/internal/field"
+)
+
+// Gob serialization of a compiled Program, so program bundles (internal/
+// store) and pre-baked artifacts (zaatar-compile -bundle) can restore one
+// without re-running the compiler. The unexported solver state is mirrored
+// into exported wire structs; the field is recorded by name and modulus and
+// resolved back to the process-wide instance on decode.
+
+type wireRef struct {
+	IsConst bool
+	C       *big.Int
+	Wire    int
+}
+
+type wireInstr struct {
+	Op     int
+	Dst    int
+	Aux    []int
+	A, B   wireRef
+	C2     wireRef
+	N      int
+	Srcs   []wireRef
+	Coeffs []*big.Int
+}
+
+type wireRange struct{ Lo, Hi *big.Int }
+
+type wireProgram struct {
+	FieldName   string
+	ModulusHex  string
+	Source      string
+	Ginger      *constraint.GingerSystem
+	Quad        *constraint.QuadSystem
+	InputNames  []string
+	OutputNames []string
+
+	NumWires    int
+	Instrs      []wireInstr
+	InWires     []int
+	OutWires    []int
+	InputRanges []wireRange
+
+	RawGinger  *constraint.GingerSystem
+	RawQuad    *constraint.QuadSystem
+	GingerPerm constraint.Permutation
+	QuadPerm   constraint.Permutation
+}
+
+func refOut(r ref) wireRef { return wireRef{IsConst: r.isConst, C: r.c, Wire: r.wire} }
+func refIn(r wireRef) ref  { return ref{isConst: r.IsConst, c: r.C, wire: r.Wire} }
+
+// MarshalBinary serializes the program, including the solver's straight-line
+// instruction stream and both raw constraint systems, so the decoded value
+// is behaviorally identical (Execute/SolveGinger/SolveQuad all work).
+func (p *Program) MarshalBinary() ([]byte, error) {
+	wp := wireProgram{
+		FieldName:   p.Field.Name(),
+		ModulusHex:  p.Field.Modulus().Text(16),
+		Source:      p.Source,
+		Ginger:      p.Ginger,
+		Quad:        p.Quad,
+		InputNames:  p.InputNames,
+		OutputNames: p.OutputNames,
+		NumWires:    p.numWires,
+		InWires:     p.inWires,
+		OutWires:    p.outWires,
+		RawGinger:   p.rawGinger,
+		RawQuad:     p.rawQuad,
+		GingerPerm:  p.gingerPerm,
+		QuadPerm:    p.quadPerm,
+	}
+	wp.Instrs = make([]wireInstr, len(p.instrs))
+	for i, in := range p.instrs {
+		wi := wireInstr{
+			Op: int(in.op), Dst: in.dst, Aux: in.aux,
+			A: refOut(in.a), B: refOut(in.b), C2: refOut(in.c2),
+			N: in.n, Coeffs: in.coeffs,
+		}
+		if in.srcs != nil {
+			wi.Srcs = make([]wireRef, len(in.srcs))
+			for k, s := range in.srcs {
+				wi.Srcs[k] = refOut(s)
+			}
+		}
+		wp.Instrs[i] = wi
+	}
+	wp.InputRanges = make([]wireRange, len(p.inputRanges))
+	for i, d := range p.inputRanges {
+		wp.InputRanges[i] = wireRange{Lo: d.lo, Hi: d.hi}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wp); err != nil {
+		return nil, fmt.Errorf("compiler: encode program: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalProgram restores a program serialized by MarshalBinary. The
+// field is resolved through field.Resolve, so programs over the built-in
+// parameters share the process-wide Field instances.
+func UnmarshalProgram(data []byte) (*Program, error) {
+	var wp wireProgram
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wp); err != nil {
+		return nil, fmt.Errorf("compiler: decode program: %w", err)
+	}
+	f, err := field.Resolve(wp.FieldName, wp.ModulusHex)
+	if err != nil {
+		return nil, fmt.Errorf("compiler: decode program: %w", err)
+	}
+	if wp.Ginger == nil || wp.Quad == nil || wp.RawGinger == nil || wp.RawQuad == nil {
+		return nil, fmt.Errorf("compiler: decode program: missing constraint systems")
+	}
+	p := &Program{
+		Field:       f,
+		Source:      wp.Source,
+		Ginger:      wp.Ginger,
+		Quad:        wp.Quad,
+		InputNames:  wp.InputNames,
+		OutputNames: wp.OutputNames,
+		numWires:    wp.NumWires,
+		inWires:     wp.InWires,
+		outWires:    wp.OutWires,
+		rawGinger:   wp.RawGinger,
+		rawQuad:     wp.RawQuad,
+		gingerPerm:  wp.GingerPerm,
+		quadPerm:    wp.QuadPerm,
+	}
+	p.instrs = make([]instr, len(wp.Instrs))
+	for i, wi := range wp.Instrs {
+		in := instr{
+			op: opcode(wi.Op), dst: wi.Dst, aux: wi.Aux,
+			a: refIn(wi.A), b: refIn(wi.B), c2: refIn(wi.C2),
+			n: wi.N, coeffs: wi.Coeffs,
+		}
+		if wi.Srcs != nil {
+			in.srcs = make([]ref, len(wi.Srcs))
+			for k, s := range wi.Srcs {
+				in.srcs[k] = refIn(s)
+			}
+		}
+		p.instrs[i] = in
+	}
+	p.inputRanges = make([]inputRange, len(wp.InputRanges))
+	for i, d := range wp.InputRanges {
+		if d.Lo == nil || d.Hi == nil {
+			return nil, fmt.Errorf("compiler: decode program: input range %d missing bounds", i)
+		}
+		p.inputRanges[i] = inputRange{lo: d.Lo, hi: d.Hi}
+	}
+	return p, nil
+}

@@ -1,0 +1,98 @@
+package compiler
+
+import (
+	"math/big"
+	"testing"
+
+	"zaatar/internal/field"
+)
+
+const marshalSrc = `
+input x, y : int32;
+output q, m, d : int64;
+var a : int64;
+a = x * x;
+q = a / 7;
+m = a % 7;
+if (x != y) { d = x - y; } else { d = x + y; }
+`
+
+func TestProgramMarshalRoundTrip(t *testing.T) {
+	orig, err := Compile(field.F128(), marshalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalProgram(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Field != orig.Field {
+		t.Fatal("field did not resolve to the shared instance")
+	}
+	if got.Source != orig.Source {
+		t.Fatal("source changed")
+	}
+	if got.NumInputs() != orig.NumInputs() || got.NumOutputs() != orig.NumOutputs() {
+		t.Fatalf("io arity changed: (%d,%d) vs (%d,%d)",
+			got.NumInputs(), got.NumOutputs(), orig.NumInputs(), orig.NumOutputs())
+	}
+	if got.Stats() != orig.Stats() {
+		t.Fatalf("encoding stats changed: %+v vs %+v", got.Stats(), orig.Stats())
+	}
+
+	// The decoded program must execute and solve identically, including the
+	// solver-only opcodes (divmod, neq) and input range checks.
+	cases := [][]*big.Int{
+		{big.NewInt(100), big.NewInt(3)},
+		{big.NewInt(5), big.NewInt(5)},
+		{big.NewInt(-20), big.NewInt(7)},
+	}
+	for _, in := range cases {
+		wantOut, err := orig.Execute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOut, err := got.Execute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range wantOut {
+			if wantOut[j].Cmp(gotOut[j]) != 0 {
+				t.Fatalf("inputs %v output %d: got %v want %v", in, j, gotOut[j], wantOut[j])
+			}
+		}
+		_, w0, err := orig.SolveQuad(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, w1, err := got.SolveQuad(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(w0) != len(w1) {
+			t.Fatalf("witness length %d vs %d", len(w1), len(w0))
+		}
+		for j := range w0 {
+			if w0[j] != w1[j] {
+				t.Fatalf("witness wire %d differs after round trip", j)
+			}
+		}
+	}
+	// Range enforcement must survive: int32 input out of range still errors.
+	if _, err := got.Execute([]*big.Int{new(big.Int).Lsh(big.NewInt(1), 40), big.NewInt(0)}); err == nil {
+		t.Fatal("decoded program accepted an out-of-range input")
+	}
+}
+
+func TestUnmarshalProgramRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalProgram(nil); err == nil {
+		t.Fatal("nil blob decoded")
+	}
+	if _, err := UnmarshalProgram([]byte("not a gob stream")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

@@ -19,8 +19,10 @@ import (
 // batches-per-connection curve); schema 3 added the backend-comparison
 // section (Zaatar commitment lane vs sum-check transcript lane on the
 // layered matmul-chain workload); schema 4 added the commit-throughput
-// scaling curve (workers → commits/s).
-const BaselineSchema = 4
+// scaling curve (workers → commits/s); schema 5 added the artifact-store
+// section (cold vs disk-warm-restart vs memory-warm session open, and the
+// hash-first hello's wire savings).
+const BaselineSchema = 5
 
 // Baseline is the machine-readable benchmark snapshot zaatar-bench -json
 // emits: per-phase wall times and latency percentiles for each §5
@@ -60,6 +62,11 @@ type Baseline struct {
 	// (schema ≥ 4). Interpret it against NumCPU: workers beyond the
 	// visible cores measure sharding overhead, not speedup.
 	Scaling *ScalingResult `json:"scaling,omitempty"`
+
+	// Store is the artifact-store experiment (schema ≥ 5): session-open
+	// latency across the cold / disk-warm-restart / memory-warm tiers and
+	// the hash-first hello's wire savings.
+	Store *StoreResult `json:"store,omitempty"`
 }
 
 // BaselineBench is one benchmark's measured batch.
@@ -203,6 +210,12 @@ func RunBaseline(o Options, beta int) (*Baseline, error) {
 	}
 	b.Backend = backend
 
+	storeRes, err := RunStore(o, beta)
+	if err != nil {
+		return nil, err
+	}
+	b.Store = storeRes
+
 	if o.Crypto {
 		scaling, err := RunScaling(o, nil)
 		if err != nil {
@@ -253,6 +266,10 @@ func RenderBaseline(w io.Writer, b *Baseline) {
 	if b.Backend != nil {
 		fmt.Fprintln(w)
 		RenderBackend(w, b.Backend)
+	}
+	if b.Store != nil {
+		fmt.Fprintln(w)
+		RenderStore(w, b.Store)
 	}
 	if b.Scaling != nil {
 		fmt.Fprintln(w)

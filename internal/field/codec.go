@@ -1,0 +1,85 @@
+package field
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ElementBytes is the fixed wire size of one Element: Limbs little-endian
+// 64-bit words. Elements are serialized in Montgomery form verbatim — the
+// representation is canonical (always reduced into [0, p)), so raw limbs
+// round-trip exactly and decoding performs no conversion work. A serialized
+// element is only meaningful next to the Field that produced it; bundle
+// formats record the field name and modulus alongside (see internal/store).
+const ElementBytes = Limbs * 8
+
+// AppendElement appends the raw little-endian limbs of e to dst.
+func AppendElement(dst []byte, e Element) []byte {
+	for i := 0; i < Limbs; i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, e[i])
+	}
+	return dst
+}
+
+// DecodeElement reads one Element from the front of b.
+func DecodeElement(b []byte) (Element, []byte, error) {
+	if len(b) < ElementBytes {
+		return Element{}, nil, fmt.Errorf("field: truncated element (%d of %d bytes)", len(b), ElementBytes)
+	}
+	var e Element
+	for i := 0; i < Limbs; i++ {
+		e[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return e, b[ElementBytes:], nil
+}
+
+// AppendElements appends a uvarint length prefix followed by the raw limbs
+// of every element.
+func AppendElements(dst []byte, els []Element) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(els)))
+	for _, e := range els {
+		dst = AppendElement(dst, e)
+	}
+	return dst
+}
+
+// DecodeElements reads a length-prefixed element slice from the front of b,
+// returning the slice and the remaining bytes. A zero-length prefix decodes
+// to a nil slice.
+func DecodeElements(b []byte) ([]Element, []byte, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("field: bad element-slice length prefix")
+	}
+	b = b[used:]
+	if n == 0 {
+		return nil, b, nil
+	}
+	if n > uint64(len(b)/ElementBytes) {
+		return nil, nil, fmt.Errorf("field: truncated element slice (%d declared, %d bytes left)", n, len(b))
+	}
+	out := make([]Element, n)
+	for i := range out {
+		var err error
+		out[i], b, err = DecodeElement(b)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, b, nil
+}
+
+// Validate reports whether e is a canonical Montgomery representative, i.e.
+// its limbs are below the modulus. Deserialization paths use this to reject
+// corrupt bundle data before it reaches arithmetic.
+func (f *Field) Validate(e Element) bool {
+	for i := Limbs - 1; i >= 0; i-- {
+		switch {
+		case e[i] < f.p[i]:
+			return true
+		case e[i] > f.p[i]:
+			return false
+		}
+	}
+	return false // e == p
+}

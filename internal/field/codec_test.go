@@ -1,0 +1,80 @@
+package field
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestElementCodecRoundTrip(t *testing.T) {
+	f := F128()
+	r := rand.New(rand.NewSource(7))
+	els := make([]Element, 33)
+	for i := range els {
+		els[i] = f.FromUint64(r.Uint64())
+	}
+	els[0] = f.Zero()
+	els[1] = f.One()
+
+	buf := AppendElements([]byte{0xAA}, els)
+	if buf[0] != 0xAA {
+		t.Fatal("AppendElements clobbered the prefix")
+	}
+	got, rest, err := DecodeElements(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if len(got) != len(els) {
+		t.Fatalf("got %d elements, want %d", len(got), len(els))
+	}
+	for i := range els {
+		if got[i] != els[i] {
+			t.Fatalf("element %d: got %v, want %v", i, got[i], els[i])
+		}
+	}
+}
+
+func TestElementCodecEmpty(t *testing.T) {
+	buf := AppendElements(nil, nil)
+	got, rest, err := DecodeElements(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil || len(rest) != 0 {
+		t.Fatalf("empty slice decoded to %v, rest %d", got, len(rest))
+	}
+}
+
+func TestElementCodecTruncation(t *testing.T) {
+	f := FTest()
+	buf := AppendElements(nil, []Element{f.One(), f.FromUint64(42)})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, _, err := DecodeElements(buf[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", cut)
+		}
+	}
+	// A declared length far beyond the buffer must fail fast, not allocate.
+	huge := AppendElements(nil, nil)
+	huge[0] = 0xFF // uvarint continuation byte making the prefix bogus/huge
+	if _, _, err := DecodeElements(huge); err == nil {
+		t.Fatal("bogus length prefix decoded without error")
+	}
+}
+
+func TestValidateRejectsNonCanonical(t *testing.T) {
+	f := FTiny() // p = 12289, single limb in use
+	if !f.Validate(f.Zero()) || !f.Validate(f.One()) {
+		t.Fatal("canonical elements rejected")
+	}
+	var p Element
+	copyLimbs((*[Limbs]uint64)(&p), f.Modulus())
+	if f.Validate(p) {
+		t.Fatal("modulus itself accepted as canonical")
+	}
+	p[Limbs-1] = ^uint64(0)
+	if f.Validate(p) {
+		t.Fatal("huge limb accepted as canonical")
+	}
+}

@@ -1,6 +1,7 @@
 package field
 
 import (
+	"fmt"
 	"math/big"
 	"sync"
 )
@@ -66,4 +67,26 @@ func FTiny() *Field {
 func FTest() *Field {
 	ftstOnce.Do(func() { ftst = MustNew("FTest", mustHex(PTestHex)) })
 	return ftst
+}
+
+// Resolve returns the field named by (name, modulusHex), reusing the shared
+// built-in instances when both match so deserialized programs share NTT and
+// Montgomery constants with everything else in the process. Unknown
+// name/modulus pairs construct a fresh Field.
+func Resolve(name, modulusHex string) (*Field, error) {
+	switch {
+	case name == "F128" && modulusHex == P128Hex:
+		return F128(), nil
+	case name == "F220" && modulusHex == P220Hex:
+		return F220(), nil
+	case name == "FTiny" && modulusHex == PTinyHex:
+		return FTiny(), nil
+	case name == "FTest" && modulusHex == PTestHex:
+		return FTest(), nil
+	}
+	v, ok := new(big.Int).SetString(modulusHex, 16)
+	if !ok {
+		return nil, fmt.Errorf("field: bad modulus hex %q for field %q", modulusHex, name)
+	}
+	return New(name, v)
 }

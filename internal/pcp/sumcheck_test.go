@@ -239,3 +239,30 @@ func FuzzSumcheckRound(f *testing.F) {
 		}
 	})
 }
+
+// TestFoldMLEEquivalence pins the single-multiplication fold to the
+// textbook two-multiplication form on random power-of-two tables, across
+// sizes and challenge values (including the 0/1 endpoints).
+func TestFoldMLEEquivalence(t *testing.T) {
+	f := field.F128()
+	rnd := prg.NewFromSeed([]byte("fold-equiv"), 1)
+	for _, size := range []int{2, 4, 64, 1 << 10} {
+		for i, r := range []field.Element{f.Zero(), f.One(), f.Rand(rnd), f.Rand(rnd)} {
+			tbl := f.RandVector(size, rnd)
+			a := make([]field.Element, size)
+			b := make([]field.Element, size)
+			copy(a, tbl)
+			copy(b, tbl)
+			got := FoldMLE(f, a, r)
+			want := FoldMLETwoMul(f, b, r)
+			if len(got) != size/2 || len(want) != size/2 {
+				t.Fatalf("size %d: fold lengths %d/%d, want %d", size, len(got), len(want), size/2)
+			}
+			for k := range got {
+				if !f.Equal(got[k], want[k]) {
+					t.Fatalf("size %d, challenge %d: entry %d differs", size, i, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package poly
+
+import (
+	"fmt"
+
+	"zaatar/internal/field"
+)
+
+// Binary serialization for the two preprocessed polynomial structures a
+// program bundle persists: the subproduct tree (whose NTT-built layers are
+// the dominant cost of qap.New) and fixed divisors (whose Newton inverse
+// series is the other). Lazy caches — per-node divisors, barycentric
+// weights — are intentionally not serialized: they are cheap to rebuild and
+// keeping them out makes the format independent of access patterns.
+
+// AppendBinary appends the tree's points and layers to dst. The layer
+// structure is fully determined by the point count, but node coefficient
+// slices are written with explicit length prefixes so corruption is caught
+// as a decode error rather than a misaligned read.
+func (t *SubproductTree) AppendBinary(dst []byte) []byte {
+	dst = field.AppendElements(dst, t.points)
+	for _, layer := range t.layers {
+		for _, node := range layer {
+			dst = field.AppendElements(dst, node)
+		}
+	}
+	return dst
+}
+
+// UnmarshalSubproductTree reads a tree serialized by AppendBinary from the
+// front of b. The layer shape is recomputed from the point count and every
+// node slice checked against it.
+func UnmarshalSubproductTree(f *field.Field, b []byte) (*SubproductTree, []byte, error) {
+	points, b, err := field.DecodeElements(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("poly: tree points: %w", err)
+	}
+	t := &SubproductTree{f: f, points: points}
+	if len(points) == 0 {
+		return t, b, nil
+	}
+	for width := len(points); ; width = (width + 1) / 2 {
+		layer := make([][]field.Element, width)
+		for i := range layer {
+			layer[i], b, err = field.DecodeElements(b)
+			if err != nil {
+				return nil, nil, fmt.Errorf("poly: tree layer node: %w", err)
+			}
+		}
+		t.layers = append(t.layers, layer)
+		if width == 1 {
+			break
+		}
+	}
+	// Sanity: leaves must be the monic linear factors of the points.
+	for i, u := range t.points {
+		leaf := t.layers[0][i]
+		if len(leaf) != 2 || !f.IsOne(leaf[1]) || leaf[0] != f.Neg(u) {
+			return nil, nil, fmt.Errorf("poly: tree leaf %d does not match its point", i)
+		}
+	}
+	return t, b, nil
+}
+
+// AppendBinary appends the divisor polynomial and its precomputed reversed
+// inverse series to dst.
+func (d *Divisor) AppendBinary(dst []byte) []byte {
+	dst = field.AppendElements(dst, d.b)
+	dst = field.AppendElements(dst, d.invRev)
+	return dst
+}
+
+// UnmarshalDivisor reads a Divisor serialized by AppendBinary from the
+// front of b.
+func UnmarshalDivisor(f *field.Field, b []byte) (*Divisor, []byte, error) {
+	bp, b, err := field.DecodeElements(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("poly: divisor poly: %w", err)
+	}
+	inv, b, err := field.DecodeElements(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("poly: divisor inverse series: %w", err)
+	}
+	if len(Trim(f, bp)) == 0 {
+		return nil, nil, fmt.Errorf("poly: divisor decodes to the zero polynomial")
+	}
+	return &Divisor{b: bp, invRev: inv}, b, nil
+}

@@ -1,0 +1,97 @@
+package qap
+
+import (
+	"bytes"
+	"testing"
+
+	"zaatar/internal/field"
+	"zaatar/internal/poly"
+)
+
+func TestQAPMarshalRoundTrip(t *testing.T) {
+	f := field.FTest()
+	qs, witness := buildSquareChain(t, f, 6)
+	orig, err := New(f, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalQAP(f, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NC != orig.NC || got.N != orig.N || got.NZ != orig.NZ || got.NNZ() != orig.NNZ() {
+		t.Fatalf("dimensions changed: got (%d,%d,%d,%d) want (%d,%d,%d,%d)",
+			got.NC, got.N, got.NZ, got.NNZ(), orig.NC, orig.N, orig.NZ, orig.NNZ())
+	}
+
+	// The decoded QAP must be behaviorally identical: same H(t) for a
+	// satisfying witness, same divisor evaluations, and the fast pipeline
+	// (tree interpolation + precomputed divisor) must agree with the
+	// original's on fresh inputs.
+	w := witness(3)
+	h0, err := orig.BuildH(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := got.BuildH(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h0) != len(h1) {
+		t.Fatalf("H length %d vs %d", len(h1), len(h0))
+	}
+	for i := range h0 {
+		if h0[i] != h1[i] {
+			t.Fatalf("H[%d] differs after round trip", i)
+		}
+	}
+	tau := f.FromUint64(987654)
+	if got.EvalD(tau) != orig.EvalD(tau) {
+		t.Fatal("D(τ) differs after round trip")
+	}
+	// Interpolation through the restored tree must still invert EvalMulti.
+	vals := make([]field.Element, got.NC+1)
+	for i := range vals {
+		vals[i] = f.FromUint64(uint64(i*i + 1))
+	}
+	vals[0] = f.Zero()
+	p := got.tree.Interpolate(vals)
+	for j := 1; j <= got.NC; j++ {
+		if poly.Eval(f, p, f.FromUint64(uint64(j))) != vals[j] {
+			t.Fatalf("restored tree interpolation wrong at σ_%d", j)
+		}
+	}
+
+	// A non-witness must still be rejected.
+	bad := append([]field.Element(nil), w...)
+	bad[len(bad)-1] = f.Add(bad[len(bad)-1], f.One())
+	if _, err := got.BuildH(bad); err == nil {
+		t.Fatal("decoded QAP accepted a non-satisfying assignment")
+	}
+}
+
+func TestUnmarshalQAPRejectsCorruption(t *testing.T) {
+	f := field.FTest()
+	qs, _ := buildSquareChain(t, f, 4)
+	orig, err := New(f, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalQAP(f, blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated blob decoded without error")
+	}
+	if _, err := UnmarshalQAP(f, append(bytes.Clone(blob), 0x01)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+	if _, err := UnmarshalQAP(f, nil); err == nil {
+		t.Fatal("empty blob decoded without error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 
 	"zaatar/internal/compiler"
 	"zaatar/internal/obs"
@@ -24,7 +25,23 @@ type cacheKey struct {
 }
 
 func keyOf(h Hello, backend string) cacheKey {
-	return cacheKey{source: sha256.Sum256([]byte(h.Source)), field: h.fieldOf().Name(), backend: backend}
+	key := cacheKey{field: h.fieldOf().Name(), backend: backend}
+	if h.hashFirst() {
+		// v3 hash-first hello: the client sent only the digest. validate
+		// guarantees that when both fields are present they agree, so keying
+		// on the hash is keying on the source.
+		copy(key.source[:], h.SourceHash)
+		return key
+	}
+	key.source = sha256.Sum256([]byte(h.Source))
+	return key
+}
+
+// labelHash is the metric program_hash label for a key — identical to
+// ProgramHash(source), but derivable when the source never crossed the
+// wire.
+func (k cacheKey) labelHash() string {
+	return hex.EncodeToString(k.source[:])[:ProgramHashLen]
 }
 
 // cacheEntry is one cached program plus its prover-side precomputation.
@@ -96,6 +113,14 @@ func (c *programCache) drop(key cacheKey, e *cacheEntry) {
 		delete(c.entries, key)
 		c.reg.Counter(MetricCacheEntries).Add(-1)
 	}
+}
+
+// finish resolves an entry without compiling — from a disk-store bundle, or
+// with the error that kept the source from arriving — and closes ready.
+// Exactly one of finish and build runs, by the lookup winner.
+func (e *cacheEntry) finish(prog *compiler.Program, pre *vc.Precomputation, err error) {
+	e.prog, e.pre, e.err = prog, pre, err
+	close(e.ready)
 }
 
 // build compiles the program and its prover precomputation into e and

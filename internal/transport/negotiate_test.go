@@ -194,22 +194,22 @@ func TestHelloBackendsValidation(t *testing.T) {
 	for i := range tooMany.Backends {
 		tooMany.Backends[i] = "b"
 	}
-	if err := tooMany.validate(); !errors.Is(err, ErrMalformedHello) {
+	if err := tooMany.validate(0); !errors.Is(err, ErrMalformedHello) {
 		t.Fatalf("oversized offer: %v", err)
 	}
 	empty := base
 	empty.Backends = []string{""}
-	if err := empty.validate(); !errors.Is(err, ErrMalformedHello) {
+	if err := empty.validate(0); !errors.Is(err, ErrMalformedHello) {
 		t.Fatalf("empty name: %v", err)
 	}
 	long := base
 	long.Backends = []string{strings.Repeat("x", maxBackendBytes+1)}
-	if err := long.validate(); !errors.Is(err, ErrMalformedHello) {
+	if err := long.validate(0); !errors.Is(err, ErrMalformedHello) {
 		t.Fatalf("long name: %v", err)
 	}
 	ok := base
 	ok.Backends = []string{pcp.BackendSumcheck, pcp.BackendZaatar}
-	if err := ok.validate(); err != nil {
+	if err := ok.validate(0); err != nil {
 		t.Fatalf("valid offer rejected: %v", err)
 	}
 }

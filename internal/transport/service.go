@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"zaatar/internal/obs"
 	"zaatar/internal/obs/trace"
 	"zaatar/internal/pcp"
+	"zaatar/internal/store"
 	"zaatar/internal/vc"
 )
 
@@ -54,6 +57,22 @@ type ServiceOptions struct {
 	// CacheSize is the number of compiled programs kept in the LRU shared
 	// across sessions. Defaults to 32.
 	CacheSize int
+	// Store, when non-nil, is the on-disk artifact store backing the memory
+	// cache: programs fall back to a bundle load before compiling, and
+	// freshly compiled programs are written back asynchronously. This is
+	// what makes restarts warm — a new process with the same store serves
+	// known programs without a single compile or preprocess — and lets v3
+	// hash-first clients open sessions without uploading the source.
+	Store *store.Store
+	// MaxSourceBytes bounds the program source a client may send (in the
+	// hello or a v3 source upload). Zero means DefaultMaxSourceBytes.
+	MaxSourceBytes int
+	// MaxWireVersion caps the wire dialect this service speaks (0 means
+	// MaxProtocolVersion). A pinned service behaves exactly like an older
+	// build: hellos offering more are rejected with the cap in the error
+	// ack, which is what triggers the client's downgrade redial. Tests use
+	// this to exercise v3↔v1/v2 interop within one binary.
+	MaxWireVersion int
 	// Backends restricts the proof backends this service negotiates, in no
 	// particular order (the client's preference order decides ties). Nil
 	// means every backend registered in internal/pcp. Tests use this to
@@ -88,9 +107,13 @@ type Service struct {
 	maxSessions int
 	maxBatch    int
 	maxConns    int
+	maxSource   int
+	maxVersion  int
 	ioTimeout   time.Duration
 	idleTimeout time.Duration
 	backends    []string
+	store       *store.Store
+	storeWG     sync.WaitGroup
 	logf        func(format string, args ...any)
 	log         *slog.Logger
 
@@ -107,6 +130,8 @@ type Service struct {
 	batchesVec   *obs.CounterVec
 	instancesVec *obs.CounterVec
 	phasesVec    *obs.HistogramVec
+	storeHitsVec *obs.CounterVec
+	skippedVec   *obs.CounterVec
 
 	mu    sync.Mutex
 	cache *programCache
@@ -153,6 +178,14 @@ func NewService(opts ServiceOptions) *Service {
 	if backends == nil {
 		backends = pcp.Names()
 	}
+	maxSource := opts.MaxSourceBytes
+	if maxSource <= 0 {
+		maxSource = DefaultMaxSourceBytes
+	}
+	maxVersion := opts.MaxWireVersion
+	if maxVersion <= 0 || maxVersion > MaxProtocolVersion {
+		maxVersion = MaxProtocolVersion
+	}
 	window := opts.SLOWindow
 	if window <= 0 {
 		window = obs.DefaultSLOWindow
@@ -164,9 +197,12 @@ func NewService(opts ServiceOptions) *Service {
 		maxSessions:  maxSessions,
 		maxBatch:     maxBatch,
 		maxConns:     maxConns,
+		maxSource:    maxSource,
+		maxVersion:   maxVersion,
 		ioTimeout:    opts.IOTimeout,
 		idleTimeout:  idle,
 		backends:     backends,
+		store:        opts.Store,
 		logf:         opts.Logf,
 		log:          obs.OrNop(opts.Logger),
 		reg:          reg,
@@ -176,6 +212,8 @@ func NewService(opts ServiceOptions) *Service {
 		batchesVec:   reg.CounterVec(MetricServedBatches, LabelBackend, LabelProgramHash),
 		instancesVec: reg.CounterVec(MetricServedInstance, LabelBackend, LabelProgramHash),
 		phasesVec:    reg.HistogramVec(vc.MetricPhase, vc.LabelPhase, vc.LabelBackend),
+		storeHitsVec: reg.CounterVec(MetricStoreHits, LabelBackend, LabelProgramHash),
+		skippedVec:   reg.CounterVec(MetricHelloSourceSkipped, LabelProgramHash),
 		cache:        newProgramCache(cacheSize, reg),
 	}
 }
@@ -187,6 +225,7 @@ func NewService(opts ServiceOptions) *Service {
 // reported through ServiceOptions.Logf, not returned.
 func (s *Service) Serve(ctx context.Context, ln net.Listener) error {
 	defer context.AfterFunc(ctx, func() { _ = ln.Close() })()
+	defer s.storeWG.Wait() // drain artifact write-backs before returning
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -251,17 +290,27 @@ func (s *Service) releaseSlot() {
 	<-s.sem
 }
 
-// program resolves the session's compiled program and prover
-// precomputation through the shared LRU. Exactly one session builds each
-// entry; concurrent sessions for the same program wait for that build. The
-// prover.compile trace span exists only on the building (miss) path.
-func (s *Service) program(ctx context.Context, hello Hello, backend string) (*cacheEntry, error) {
-	key := keyOf(hello, backend)
+// storeKeyOf maps the memory cache key onto the artifact store's — they are
+// the same triple by construction.
+func storeKeyOf(key cacheKey) store.Key {
+	return store.Key{SourceHash: key.source, Field: key.field, Backend: key.backend}
+}
+
+// program resolves the session's compiled program and prover precomputation
+// through the two-tier cache: the in-memory LRU, then (on a miss) the disk
+// artifact store, then a compile. Exactly one session per key runs the miss
+// path — concurrent sessions wait on the same entry, so the store load and
+// the compile are both collapsed by the singleflight entry. A hash-first
+// hello whose program both tiers miss triggers the SourceNeeded exchange on
+// cc, filling hello.Source before compiling. The prover.compile trace span
+// exists only on the compile path; a disk hit has a prover.store.load span
+// instead, which is how a warm restart is observed.
+func (s *Service) program(ctx context.Context, cc *timedCodec, hello *Hello, key cacheKey, backend string, version int) (*cacheEntry, error) {
 	s.mu.Lock()
 	entry, build := s.cache.lookup(key)
 	s.mu.Unlock()
 	if build {
-		entry.build(ctx, hello, backend)
+		s.buildEntry(ctx, cc, hello, key, backend, version, entry)
 		if entry.err != nil {
 			s.mu.Lock()
 			s.cache.drop(key, entry)
@@ -272,6 +321,85 @@ func (s *Service) program(ctx context.Context, hello Hello, backend string) (*ca
 		return nil, err
 	}
 	return entry, nil
+}
+
+// buildEntry runs the miss path for one cache entry: disk store, then
+// compile (requesting the source from a hash-first client when needed),
+// then an asynchronous write-back of the fresh artifact.
+func (s *Service) buildEntry(ctx context.Context, cc *timedCodec, hello *Hello, key cacheKey, backend string, version int, entry *cacheEntry) {
+	if s.store != nil {
+		loadTr := trace.Start(ctx, "prover.store.load")
+		b, err := s.store.Load(storeKeyOf(key))
+		loadTr.End()
+		if err == nil {
+			s.reg.Counter(MetricStoreHits).Inc()
+			s.storeHitsVec.With(backend, key.labelHash()).Inc()
+			entry.finish(b.Prog, b.Pre, nil)
+			return
+		}
+		// Anything short of a clean not-found is a damaged or incompatible
+		// bundle: log it, fall through to a compile (whose write-back
+		// atomically replaces the bad file), never fail the session over it.
+		if !errors.Is(err, store.ErrNotFound) && s.logf != nil {
+			s.logf("store: %v (recompiling)", err)
+		}
+		s.reg.Counter(MetricStoreMisses).Inc()
+	}
+	if hello.Source == "" {
+		src, err := s.requestSource(cc, key, version)
+		if err != nil {
+			entry.finish(nil, nil, err)
+			return
+		}
+		hello.Source = src
+	}
+	entry.build(ctx, *hello, backend)
+	if entry.err == nil && s.store != nil {
+		s.writeBack(key, entry)
+	}
+}
+
+// requestSource runs the v3 SourceNeeded exchange: an interim ack asking
+// the client to upload, then the SourceMsg, verified against the size limit
+// and the hash the hello claimed.
+func (s *Service) requestSource(cc *timedCodec, key cacheKey, version int) (string, error) {
+	if err := cc.send(HelloAck{SourceNeeded: true, Version: version}); err != nil {
+		return "", err
+	}
+	var src SourceMsg
+	if err := cc.recv(&src); err != nil {
+		return "", fmt.Errorf("transport: reading source upload: %w", err)
+	}
+	switch {
+	case strings.TrimSpace(src.Source) == "":
+		return "", fmt.Errorf("%w: empty source upload", ErrMalformedHello)
+	case len(src.Source) > s.maxSource:
+		return "", fmt.Errorf("%w: source is %d bytes (max %d)", ErrSourceTooLarge, len(src.Source), s.maxSource)
+	case sha256.Sum256([]byte(src.Source)) != key.source:
+		return "", fmt.Errorf("%w: uploaded source does not match the hello hash", ErrMalformedHello)
+	}
+	return src.Source, nil
+}
+
+// writeBack persists a freshly built artifact without blocking the session;
+// failures are counted and logged, never surfaced to the client.
+func (s *Service) writeBack(key cacheKey, entry *cacheEntry) {
+	s.storeWG.Add(1)
+	go func() {
+		defer s.storeWG.Done()
+		if _, err := s.store.Save(storeKeyOf(key), entry.prog, entry.pre); err != nil {
+			s.reg.Counter(MetricStoreWriteErrors).Inc()
+			if s.logf != nil {
+				s.logf("store: write-back %s: %v", storeKeyOf(key), err)
+			}
+		}
+	}()
+}
+
+// FlushStore blocks until every pending artifact write-back has finished —
+// for graceful shutdown and for tests that reopen the store directory.
+func (s *Service) FlushStore() {
+	s.storeWG.Wait()
 }
 
 // cleanHangup reports a peer hangup at a message boundary — gob sees a bare
@@ -320,11 +448,19 @@ func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
 	if err := cc.recv(&hello); err != nil {
 		return fmt.Errorf("transport: reading hello: %w", err)
 	}
-	if err := hello.validate(); err != nil {
+	if err := hello.validate(s.maxSource); err != nil {
 		_ = cc.send(HelloAck{Err: err.Error(), Version: MaxProtocolVersion})
 		return err
 	}
 	version := hello.version() // ≤ MaxProtocolVersion after validate
+	if version > s.maxVersion {
+		// A service pinned below the client's offer behaves like an older
+		// build: reject, reporting the cap so the client can downgrade.
+		err := &ProtocolVersionError{Version: version, Max: s.maxVersion}
+		_ = cc.send(HelloAck{Err: err.Error(), Version: s.maxVersion})
+		return err
+	}
+	hashFirst := hello.hashFirst()
 
 	// Resolve the session's proof backend once; the cache key, the
 	// prover's configuration, and the ack all use this single value.
@@ -360,7 +496,8 @@ func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
 		}
 	}()
 
-	entry, err := s.program(ctx, hello, backend)
+	key := keyOf(hello, backend)
+	entry, err := s.program(ctx, cc, &hello, key, backend, version)
 	if err != nil {
 		_ = cc.send(HelloAck{Err: err.Error(), Version: version})
 		return err
@@ -371,8 +508,16 @@ func (s *Service) ServeConn(ctx context.Context, conn net.Conn) (err error) {
 		_ = cc.send(HelloAck{Err: err.Error(), Version: version})
 		return err
 	}
+	if hashFirst && hello.Source == "" {
+		// The session opened without the source ever crossing the wire:
+		// both tiers knew the program (or another session's singleflight
+		// build supplied it).
+		s.reg.Counter(MetricHelloSourceSkipped).Inc()
+		s.skippedVec.With(key.labelHash()).Inc()
+		s.reg.Counter(MetricStoreBytesSaved).Add(int64(len(prog.Source)))
+	}
 	s.reg.Counter(MetricBackendSessions + backend).Inc()
-	phash := ProgramHash(hello.Source)
+	phash := key.labelHash()
 	s.sessionsVec.With(backend).Inc()
 	logger = logger.With(LabelBackend, backend, LabelProgramHash, phash)
 	logger.InfoContext(ctx, "session negotiated", "version", version, "workers", workers)

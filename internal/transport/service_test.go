@@ -68,8 +68,8 @@ func TestKeepAliveMultiBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := sess.WireVersion(); got != ProtocolV2 {
-		t.Fatalf("negotiated v%d, want v%d", got, ProtocolV2)
+	if got := sess.WireVersion(); got != MaxProtocolVersion {
+		t.Fatalf("negotiated v%d, want v%d", got, MaxProtocolVersion)
 	}
 	for b, xs := range [][]int64{{10, -4}, {6}, {1, 2, 3}} {
 		res, err := sess.RunBatch(context.Background(), instances(xs...))
@@ -105,6 +105,18 @@ func recordingProver(server net.Conn, onBatch func(BatchMsg), onDecommit func(De
 	var h Hello
 	if err := dec.Decode(&h); err != nil {
 		return err
+	}
+	if h.Source == "" {
+		// v3 hash-first hello: this bare prover caches nothing, so always
+		// ask for the source.
+		if err := enc.Encode(HelloAck{SourceNeeded: true, Version: ProtocolV2}); err != nil {
+			return err
+		}
+		var src SourceMsg
+		if err := dec.Decode(&src); err != nil {
+			return err
+		}
+		h.Source = src.Source
 	}
 	prog, err := compiler.Compile(h.fieldOf(), h.Source)
 	if err != nil {
@@ -614,7 +626,7 @@ func TestV2ClientLegacyServer(t *testing.T) {
 func TestProtocolVersionErrorTyped(t *testing.T) {
 	h := Hello{Source: sessionSrc, Version: 99}
 	var vErr *ProtocolVersionError
-	if err := h.validate(); !errors.As(err, &vErr) {
+	if err := h.validate(0); !errors.As(err, &vErr) {
 		t.Fatalf("validate: %v, want *ProtocolVersionError", err)
 	} else if vErr.Version != 99 || vErr.Max != MaxProtocolVersion {
 		t.Fatalf("version error: %+v", vErr)

@@ -2,11 +2,13 @@ package transport
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"log/slog"
 	"math/big"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,6 +41,14 @@ type ClientOptions struct {
 	// source to pick its backend offer (see zaatar.WithBackend's auto
 	// mode) skip the second compilation. It must match the hello.
 	Program *compiler.Program
+	// Redial, when non-nil, opens a replacement connection to prover i
+	// after a hash-first (v3) hello is rejected by a pre-v3 server — such a
+	// server answers with its own version in the error ack and closes the
+	// connection, so the downgrade retry (full source, the server's
+	// version) needs a fresh one. With Redial nil the session fails with
+	// the server's rejection instead of downgrading. zaatar.Dial wires this
+	// automatically.
+	Redial func(ctx context.Context, i int) (net.Conn, error)
 	// Obs receives the client's counters and spans; nil uses
 	// obs.Default().
 	Obs *obs.Registry
@@ -106,7 +116,20 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 	if hello.Version == 0 {
 		hello.Version = MaxProtocolVersion
 	}
-	if err := hello.validate(); err != nil {
+	// Hash-first under v3: stamp the digest, and — when Redial makes the
+	// downgrade retry possible — omit the source from the wire copies sent
+	// below, so it leaves this process only if a server asks. Without
+	// Redial the source rides along: a pre-v3 server that rejects the
+	// hash-first form closes the connection, and recovery needs a fresh
+	// one. An empty source is left alone so validation rejects it as
+	// malformed.
+	hashFirst := false
+	if hello.version() >= ProtocolV3 && strings.TrimSpace(hello.Source) != "" {
+		sum := sha256.Sum256([]byte(hello.Source))
+		hello.SourceHash = sum[:]
+		hashFirst = opts.Redial != nil
+	}
+	if err := hello.validate(0); err != nil {
 		return nil, err
 	}
 	reg := opts.registry()
@@ -165,22 +188,50 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 	helloTr := trace.Start(tctx, "wire.hello_exchange")
 	for _, conn := range conns {
 		leg := &sessionLeg{conn: conn, cc: newTimedCodec(conn, opts.IOTimeout)}
-		if err := leg.cc.send(hello); err != nil {
+		wire := hello
+		if hashFirst {
+			wire.Source = ""
+		}
+		if err := leg.cc.send(wire); err != nil {
 			helloTr.End()
 			return nil, err
 		}
 		s.legs = append(s.legs, leg)
 	}
-	for _, leg := range s.legs {
-		var ack HelloAck
-		if err := leg.cc.recv(&ack); err != nil {
+	// Per-leg ack processing runs concurrently: under v3 a prover that
+	// misses the program asks this leg for an upload (or, pre-v3, rejects
+	// and gets a downgrade redial), and when several legs reach one server
+	// the singleflight build winner — the only leg asked to upload — may be
+	// any of them. Serial processing would deadlock waiting on the wrong
+	// leg. Redialed connections get their own ctx watcher for the rest of
+	// the handshake, stopped when NewSession returns like the originals'.
+	acks := make([]HelloAck, len(s.legs))
+	legErrs := make([]error, len(s.legs))
+	stops := make([]func() bool, len(s.legs))
+	defer func() {
+		for _, stop := range stops {
+			if stop != nil {
+				stop()
+			}
+		}
+	}()
+	var hsWG sync.WaitGroup
+	for i := range s.legs {
+		hsWG.Add(1)
+		go func(i int) {
+			defer hsWG.Done()
+			acks[i], stops[i], legErrs[i] = s.handshakeLeg(ctx, i, s.legs[i], hello, hashFirst)
+		}(i)
+	}
+	hsWG.Wait()
+	for _, err := range legErrs {
+		if err != nil {
 			helloTr.End()
 			return nil, err
 		}
-		if ack.Err != "" {
-			helloTr.End()
-			return nil, &RemoteError{Phase: "hello", Msg: ack.Err}
-		}
+	}
+	for i, leg := range s.legs {
+		ack := acks[i]
 		leg.version = ack.Version
 		if leg.version == 0 {
 			leg.version = ProtocolV1 // pre-versioning server
@@ -231,6 +282,67 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 	s.log = s.log.With(LabelBackend, s.backend)
 	s.log.InfoContext(tctx, "session negotiated", "version", s.version, "provers", int64(len(conns)))
 	return s, nil
+}
+
+// handshakeLeg completes one prover's hello exchange: take the ack, answer
+// a SourceNeeded with the program source, and — when a pre-v3 server
+// rejected the hash-first hello — redial and retry with the full source at
+// the server's version. Returns the definitive ack, plus the stop func of
+// the replacement connection's ctx watcher (nil without a redial).
+func (s *Session) handshakeLeg(ctx context.Context, i int, leg *sessionLeg, hello Hello, hashFirst bool) (HelloAck, func() bool, error) {
+	var ack HelloAck
+	rerr := leg.cc.recv(&ack)
+	if rerr == nil && ack.SourceNeeded {
+		// This prover holds the program in neither its memory cache nor its
+		// artifact store: upload the source the hello hashed.
+		if err := leg.cc.send(SourceMsg{Source: hello.Source}); err != nil {
+			return ack, nil, err
+		}
+		ack = HelloAck{}
+		if err := leg.cc.recv(&ack); err != nil {
+			return ack, nil, err
+		}
+	}
+	// A pre-v3 server cannot open a hash-first session: a versioned one
+	// rejects the unknown version in an error ack reporting the highest
+	// version it speaks; a pre-versioning one fails on the empty source,
+	// possibly dropping the connection without a decodable ack. Either way
+	// the connection is done — redial and retry with the full source at the
+	// server's version (v2 on a drop: a pre-versioning server ignores the
+	// field, anything newer would have acked properly).
+	downgrade := hashFirst &&
+		((rerr != nil && ctx.Err() == nil) || (rerr == nil && ack.Err != "" && ack.Version < ProtocolV3))
+	if rerr != nil && !downgrade {
+		return ack, nil, rerr
+	}
+	var stop func() bool
+	if downgrade {
+		conn, derr := s.opts.Redial(ctx, i)
+		if derr != nil {
+			return ack, nil, fmt.Errorf("transport: redial for wire downgrade: %w (hash-first hello failed: %v%s)",
+				derr, rerr, ack.Err)
+		}
+		stop = watch(ctx, conn)
+		_ = leg.conn.Close()
+		leg.conn, leg.cc = conn, newTimedCodec(conn, s.opts.IOTimeout)
+		retry := hello
+		retry.SourceHash = nil
+		retry.Version = ack.Version
+		if retry.Version == 0 {
+			retry.Version = ProtocolV2 // let the reply negotiate lower
+		}
+		if err := leg.cc.send(retry); err != nil {
+			return ack, stop, err
+		}
+		ack = HelloAck{}
+		if err := leg.cc.recv(&ack); err != nil {
+			return ack, stop, err
+		}
+	}
+	if ack.Err != "" {
+		return ack, stop, &RemoteError{Phase: "hello", Msg: ack.Err}
+	}
+	return ack, stop, nil
 }
 
 func slicesContains(list []string, want string) bool {

@@ -5,16 +5,24 @@
 // query material crossing the wire is one encrypted commitment vector, a
 // PRG seed, and the consistency points, rather than full query sets.
 //
-// Two wire dialects are spoken. v1 is the original one-batch-per-connection
-// exchange. v2 adds session keep-alive: after version negotiation in the
-// hello/ack, a connection carries any number of batches, all reusing the
-// negotiated program (and, server-side, its cached compilation and QAP
-// precomputation), so repeat batches skip compilation and negotiation.
-// Each batch still carries its own commit request: the commitment key is
-// per-batch — a decommit reveals a consistency point over the key's secret
-// vector, so a key reused across batches would stop binding. Versioning
-// rides gob's forward-compatible field semantics: a peer that predates the
-// Version fields simply leaves them zero, which both ends treat as v1.
+// Three wire dialects are spoken. v1 is the original
+// one-batch-per-connection exchange. v2 adds session keep-alive: after
+// version negotiation in the hello/ack, a connection carries any number of
+// batches, all reusing the negotiated program (and, server-side, its cached
+// compilation and QAP precomputation), so repeat batches skip compilation
+// and negotiation. Each batch still carries its own commit request: the
+// commitment key is per-batch — a decommit reveals a consistency point over
+// the key's secret vector, so a key reused across batches would stop
+// binding. v3 adds hash-first source exchange: the hello ships
+// sha256(source) instead of the source, the server answers SourceNeeded
+// only when neither its memory cache nor its disk artifact store
+// (internal/store, ServiceOptions.Store) holds the program, and a warm
+// server opens the session with the program never crossing the wire.
+// Versioning rides gob's forward-compatible field semantics: a peer that
+// predates the Version fields simply leaves them zero, which both ends
+// treat as v1; a pre-v3 server rejects a hash-first hello with its own
+// version in the error ack, and the client redials and retries with the
+// full source (ClientOptions.Redial).
 //
 // The prover side is a long-lived multi-tenant Service: compiled programs
 // and their prover precomputations live in an LRU shared across sessions,
@@ -36,6 +44,7 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/gob"
@@ -66,8 +75,14 @@ const (
 	// (each carrying its own commit request and a freshly reseeded query
 	// set) and an explicit Close frame.
 	ProtocolV2 = 2
+	// ProtocolV3 adds hash-first source exchange: the hello carries only
+	// sha256(source); the server answers SourceNeeded when neither its
+	// memory cache nor its artifact store knows the program, and only then
+	// does the client upload the source in a SourceMsg. A warm server opens
+	// a session without the program ever crossing the wire.
+	ProtocolV3 = 3
 	// MaxProtocolVersion is the highest version this build speaks.
-	MaxProtocolVersion = ProtocolV2
+	MaxProtocolVersion = ProtocolV3
 )
 
 // Typed failures. Peer-reported errors are *RemoteError; local validation
@@ -87,6 +102,10 @@ var (
 	// ErrNoCommonBackend reports a hello whose offered proof backends share
 	// no member with the server's supported set.
 	ErrNoCommonBackend = errors.New("transport: no common proof backend")
+	// ErrSourceTooLarge reports a program source beyond the receiving
+	// side's size limit (ServiceOptions.MaxSourceBytes on the server;
+	// DefaultMaxSourceBytes elsewhere).
+	ErrSourceTooLarge = errors.New("transport: source exceeds the size limit")
 )
 
 // RemoteError is a failure the peer reported over the wire, tagged with the
@@ -134,6 +153,13 @@ const (
 	MetricConnsOpen     = "transport.conns.open"     // gauge: connections currently open in Serve
 	MetricConnsRejected = "transport.conns.rejected" // counter: connections refused at the MaxConns cap
 	MetricIdleClosed    = "transport.idle.closed"    // counter: idle keep-alive connections reaped
+
+	MetricStoreHits        = "transport.store.hits"         // counter: programs served from the disk artifact store
+	MetricStoreMisses      = "transport.store.misses"       // counter: store lookups that fell through to a compile
+	MetricStoreBytesSaved  = "transport.store.bytes_saved"  // counter: source bytes never sent thanks to hash-first hellos
+	MetricStoreWriteErrors = "transport.store.write_errors" // counter: failed bundle write-backs (service keeps running)
+
+	MetricHelloSourceSkipped = "transport.hello.source_skipped" // counter: v3 sessions opened without a source upload
 
 	// MetricBackendSessions prefixes a per-backend session counter; the
 	// full series name is the prefix plus the negotiated backend name,
@@ -191,6 +217,14 @@ type Hello struct {
 	// zero fields — means v1.
 	Version int
 
+	// SourceHash is sha256(Source). Under wire v3 a client may send the
+	// hash alone (Source empty): a server that already holds the program —
+	// in its memory cache or its on-disk artifact store — opens the session
+	// without the source ever crossing the wire, and answers
+	// HelloAck.SourceNeeded otherwise. When both fields are present they
+	// must agree; pre-v3 peers leave the hash empty.
+	SourceHash []byte
+
 	// Trace and TraceParent propagate the verifier's trace context so the
 	// prover's spans land in the same trace (under the verifier's session
 	// span). Zero values — also what a pre-tracing peer sends, since gob
@@ -199,23 +233,38 @@ type Hello struct {
 	TraceParent trace.SpanID
 }
 
+// DefaultMaxSourceBytes is the source-size bound applied when no explicit
+// limit is configured (ServiceOptions.MaxSourceBytes).
+const DefaultMaxSourceBytes = 1 << 20
+
 // Sanity bounds on Hello fields; beyond these the message is malformed
 // rather than merely expensive.
 const (
-	maxSourceBytes  = 1 << 20
 	maxRepetitions  = 1 << 12
 	maxBackends     = 8
 	maxBackendBytes = 32
 )
 
-func (h Hello) validate() error {
+// hashFirst reports a v3 hash-only hello: no source, just its digest.
+func (h Hello) hashFirst() bool {
+	return h.Source == "" && h.version() >= ProtocolV3 && len(h.SourceHash) == sha256.Size
+}
+
+// validate checks the hello against maxSource (0 means
+// DefaultMaxSourceBytes).
+func (h Hello) validate(maxSource int) error {
+	if maxSource <= 0 {
+		maxSource = DefaultMaxSourceBytes
+	}
 	switch {
 	case h.Version < 0 || h.Version > MaxProtocolVersion:
 		return &ProtocolVersionError{Version: h.Version, Max: MaxProtocolVersion}
-	case strings.TrimSpace(h.Source) == "":
+	case strings.TrimSpace(h.Source) == "" && !h.hashFirst():
 		return fmt.Errorf("%w: empty source", ErrMalformedHello)
-	case len(h.Source) > maxSourceBytes:
-		return fmt.Errorf("%w: source is %d bytes (max %d)", ErrMalformedHello, len(h.Source), maxSourceBytes)
+	case len(h.Source) > maxSource:
+		return fmt.Errorf("%w: source is %d bytes (max %d)", ErrSourceTooLarge, len(h.Source), maxSource)
+	case len(h.SourceHash) != 0 && len(h.SourceHash) != sha256.Size:
+		return fmt.Errorf("%w: source hash is %d bytes, want %d", ErrMalformedHello, len(h.SourceHash), sha256.Size)
 	case h.RhoLin < 0 || h.Rho < 0 || h.RhoLin > maxRepetitions || h.Rho > maxRepetitions:
 		return fmt.Errorf("%w: PCP repetitions (ρ_lin=%d, ρ=%d) out of range [0, %d]",
 			ErrMalformedHello, h.RhoLin, h.Rho, maxRepetitions)
@@ -225,6 +274,11 @@ func (h Hello) validate() error {
 	for _, name := range h.Backends {
 		if name == "" || len(name) > maxBackendBytes {
 			return fmt.Errorf("%w: bad backend name %q", ErrMalformedHello, name)
+		}
+	}
+	if h.Source != "" && len(h.SourceHash) == sha256.Size {
+		if sum := sha256.Sum256([]byte(h.Source)); !bytes.Equal(sum[:], h.SourceHash) {
+			return fmt.Errorf("%w: source hash does not match the source", ErrMalformedHello)
 		}
 	}
 	return nil
@@ -252,9 +306,16 @@ func (h Hello) version() int {
 }
 
 // HelloAck reports compilation results (or an error) back to the verifier.
+// Under wire v3 a first ack with SourceNeeded set is an interim frame: the
+// server knows neither the program nor a stored bundle for the hello's
+// hash, the client answers with a SourceMsg, and the definitive ack
+// follows.
 type HelloAck struct {
 	Err                   string
 	NumInputs, NumOutputs int
+	// SourceNeeded asks a hash-first client to upload the program source
+	// before the session can open.
+	SourceNeeded bool
 	// Version is the wire version the server selected for the session
 	// (≤ the client's Hello.Version). Zero means a pre-versioning server,
 	// i.e. v1.
@@ -264,6 +325,12 @@ type HelloAck struct {
 	// backend from the legacy Ginger bool; the client then assumes the
 	// same derivation.
 	Backend string
+}
+
+// SourceMsg answers a SourceNeeded ack with the program source whose hash
+// the hello claimed; the server verifies the digest before compiling.
+type SourceMsg struct {
+	Source string
 }
 
 // BatchMsg carries one batch: the per-instance inputs plus that batch's

@@ -1,0 +1,30 @@
+package vc
+
+import (
+	"zaatar/internal/compiler"
+	"zaatar/internal/pcp"
+)
+
+// MarshalBinary serializes the backend-dependent precomputation payload
+// through the backend's pcp.PrecomputedCodec. The backend name is not part
+// of the payload — bundle headers carry it (internal/store keys bundles by
+// source+field+backend, exactly like the transport cache).
+func (p *Precomputation) MarshalBinary() ([]byte, error) {
+	return pcp.EncodePrecomputed(p.bk, p.pre)
+}
+
+// UnmarshalPrecomputation restores a Precomputation for prog under the
+// named backend from a payload written by MarshalBinary. Corrupt or
+// mismatched payloads return an error; callers treat that as a cache miss
+// and fall back to PreprocessBackend.
+func UnmarshalPrecomputation(prog *compiler.Program, backend string, data []byte) (*Precomputation, error) {
+	bk, err := pcp.Lookup(backend)
+	if err != nil {
+		return nil, err
+	}
+	pre, err := pcp.DecodePrecomputed(bk, prog, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Precomputation{Backend: bk.Name(), bk: bk, pre: pre}, nil
+}

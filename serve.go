@@ -2,18 +2,21 @@ package zaatar
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net"
 	"time"
 
 	"zaatar/internal/obs"
+	"zaatar/internal/store"
 	"zaatar/internal/transport"
 )
 
 // serverOptions wraps the service configuration so ServerOption's
 // signature stays free of internal types.
 type serverOptions struct {
-	svc transport.ServiceOptions
+	svc      transport.ServiceOptions
+	storeDir string
 }
 
 // ServerOption configures Serve.
@@ -100,6 +103,28 @@ func WithServerLogger(l *slog.Logger) ServerOption {
 	return func(o *serverOptions) { o.svc.Logger = l }
 }
 
+// WithStore persists compiled programs (with their prover-side
+// precomputations) as content-addressed bundles under dir, keyed by
+// source, field, and backend. A restarted server reloads a known program
+// from disk instead of recompiling it, so a warm restart serves its first
+// session without paying compilation or preprocessing; together with the
+// v3 hash-first hello, repeat clients then also skip uploading the
+// source. The directory is created if missing; a corrupt or
+// version-skewed bundle is treated as a cache miss (the program is
+// recompiled and the bundle rewritten), never a failure. Disk traffic is
+// reported under the transport.store.* metric series.
+func WithStore(dir string) ServerOption {
+	return func(o *serverOptions) { o.storeDir = dir }
+}
+
+// WithMaxSourceBytes bounds the program source a client may submit, in
+// bytes, whether it arrives inline in the hello or as a v3 upload.
+// Oversized sessions fail with a hello-phase error the client sees as a
+// RemoteError. Defaults to 1 MiB.
+func WithMaxSourceBytes(n int) ServerOption {
+	return func(o *serverOptions) { o.svc.MaxSourceBytes = n }
+}
+
 // WithSLOWindow sets the rolling window over which the service aggregates
 // its SLO gauges (transport.slo.requests, .error_rate, .p99_seconds).
 // Defaults to one minute.
@@ -112,14 +137,25 @@ func WithSLOWindow(d time.Duration) ServerOption {
 // Compiled programs are cached across sessions in an LRU keyed by source,
 // field, and protocol — a repeat session for the same program skips
 // compilation — and a bounded admission semaphore shares the kernel pool
-// fairly among concurrent sessions. The service speaks wire protocol v2
-// (session keep-alive: many batches per connection, reusing the program;
-// each batch carries its own commitment key, which soundness keeps
-// per-batch) and transparently falls back to v1 for old peers.
+// fairly among concurrent sessions. The service speaks wire protocol v3
+// (hash-first hellos: a client names its program by digest and uploads the
+// source only when the server holds neither a cached nor a stored copy) on
+// top of v2 session keep-alive (many batches per connection, reusing the
+// program; each batch carries its own commitment key, which soundness
+// keeps per-batch), and transparently falls back to v2 or v1 for old
+// peers. With WithStore, compiled programs additionally persist across
+// server restarts.
 func Serve(ctx context.Context, ln net.Listener, opts ...ServerOption) error {
 	var o serverOptions
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.storeDir != "" {
+		st, err := store.Open(o.storeDir)
+		if err != nil {
+			return fmt.Errorf("zaatar: opening artifact store: %w", err)
+		}
+		o.svc.Store = st
 	}
 	return transport.NewService(o.svc).Serve(ctx, ln)
 }
