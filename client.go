@@ -24,6 +24,18 @@ type SessionResult = transport.SessionResult
 // dial failures.
 type ProtocolVersionError = transport.ProtocolVersionError
 
+// sessionRunner is what a Client drives: a single kept-alive session
+// (*transport.Session) or a farm coordinator (*farm.Farm) scheduling shards
+// over one.
+type sessionRunner interface {
+	RunBatch(ctx context.Context, batch [][]*big.Int) (*transport.SessionResult, error)
+	Program() *compiler.Program
+	WireVersion() int
+	Backend() string
+	SetupDuration() time.Duration
+	Close() error
+}
+
 // Client is the verifier side of a kept-alive session with one or more
 // prover servers. Dial negotiates the wire version and performs the
 // one-time session setup (compilation plus the first batch's key
@@ -33,20 +45,15 @@ type ProtocolVersionError = transport.ProtocolVersionError
 // first skip compilation and negotiation entirely; the commitment key is
 // redrawn per batch (reusing it across decommits would leak its secret
 // vector). A Client is safe for sequential use; RunBatch calls are
-// serialized.
+// serialized. DialFarm returns the same Client over a sharding
+// coordinator instead of a plain session.
 type Client struct {
-	sess *transport.Session
+	sess sessionRunner
 }
 
-// Dial connects to a prover server (or several: addr may be a
-// comma-separated list, in which case every batch is split across the
-// provers — the paper's distributed prover, §5.1) and opens a session for
-// src. The protocol parameters come from opts; WithField220 must match how
-// the embedded source expects to be compiled, and server and client compile
-// the same source independently.
-func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, error) {
-	o := buildRunOptions(opts)
-
+// dialSession dials every addr and opens one (possibly multi-leg) session
+// for src — the shared machinery behind Dial and DialFarm.
+func dialSession(ctx context.Context, addrs []string, src string, o options) (*transport.Session, error) {
 	// Build the backend offer, most preferred first. BackendAuto needs the
 	// compiled program for the cost model, so it compiles here and hands
 	// the program to the session (which would otherwise compile the same
@@ -94,14 +101,10 @@ func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, er
 		Program:   prog,
 		Logger:    o.logger,
 	}
+	copts.Addrs = addrs
 	var dialer net.Dialer
 	var conns []net.Conn
-	var addrs []string
-	for _, a := range strings.Split(addr, ",") {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			continue
-		}
+	for _, a := range addrs {
 		conn, err := dialer.DialContext(ctx, "tcp", a)
 		if err != nil {
 			for _, c := range conns {
@@ -110,10 +113,6 @@ func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, er
 			return nil, fmt.Errorf("zaatar: dialing %s: %w", a, err)
 		}
 		conns = append(conns, conn)
-		addrs = append(addrs, a)
-	}
-	if len(conns) == 0 {
-		return nil, fmt.Errorf("zaatar: no prover address in %q", addr)
 	}
 	// Knowing the addresses lets the session retry a prover on a fresh
 	// connection, which unlocks the v3 hash-first hello: the source rides
@@ -127,6 +126,31 @@ func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, er
 		for _, c := range conns {
 			_ = c.Close()
 		}
+		return nil, err
+	}
+	return sess, nil
+}
+
+// Dial connects to a prover server (or several: addr may be a
+// comma-separated list, in which case every batch is split across the
+// provers — the paper's distributed prover, §5.1) and opens a session for
+// src. The protocol parameters come from opts; WithField220 must match how
+// the embedded source expects to be compiled, and server and client compile
+// the same source independently. To shard batches across workers with
+// failure recovery instead, see DialFarm.
+func Dial(ctx context.Context, addr, src string, opts ...RunOption) (*Client, error) {
+	o := buildRunOptions(opts)
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("zaatar: no prover address in %q", addr)
+	}
+	sess, err := dialSession(ctx, addrs, src, o)
+	if err != nil {
 		return nil, err
 	}
 	return &Client{sess: sess}, nil

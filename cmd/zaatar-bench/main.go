@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: micro, model, fig4, fig5, fig6, fig7, fig8, fig9, cache, backend, scaling, store, baseline, all")
+		exp     = flag.String("exp", "all", "experiment: micro, model, fig4, fig5, fig6, fig7, fig8, fig9, cache, backend, scaling, store, farm, baseline, all")
 		scale   = flag.String("scale", "default", "instance sizes: small, default, paper")
 		rhoLin  = flag.Int("rholin", 0, "linearity test iterations (0 = paper's 20)")
 		rho     = flag.Int("rho", 0, "PCP repetitions (0 = paper's 8)")
@@ -146,6 +146,12 @@ func main() {
 			r, err := experiments.RunStore(so, *beta)
 			check(err)
 			experiments.RenderStore(os.Stdout, r)
+		case "farm":
+			fo := o
+			fo.Workers = workerCounts[0]
+			r, err := experiments.RunFarm(fo, *beta)
+			check(err)
+			experiments.RenderFarm(os.Stdout, r)
 		case "scaling":
 			r, err := experiments.RunScaling(o, workerCounts)
 			check(err)

@@ -50,6 +50,12 @@ func main() {
 		pprofOn  = flag.String("pprof", "", "address to serve net/http/pprof on for the session's lifetime (empty disables)")
 		metrics  = flag.String("metrics", "", "address for the HTTP metrics endpoint for the session's lifetime: /metrics and /metrics/prometheus (empty disables)")
 		logFmt   = flag.String("log-format", "", "emit structured session logs to stderr: text or json (empty disables)")
+
+		farmOn      = flag.Bool("farm", false, "treat the -connect list as a prover farm: shard each batch across the workers with requeue on worker death (DialFarm)")
+		shardSize   = flag.Int("shard-size", 0, "farm: instances per shard (0 = auto-size to about two shards per worker)")
+		shardRetry  = flag.Int("shard-retries", 0, "farm: max requeues per shard after a worker death (0 = default 2, negative disables)")
+		farmRouting = flag.String("farm-routing", "affinity", "farm: worker ordering for shard placement: affinity|static")
+		farmWide    = flag.Int("farm-wide", 0, "farm: split each instance's commitment across up to k workers when the batch is narrower than the farm (<2 disables)")
 	)
 	flag.Parse()
 	if *srcPath == "" || *inputs == "" {
@@ -116,7 +122,31 @@ func main() {
 	if *noCrypto {
 		opts = append(opts, zaatar.WithoutCommitment())
 	}
-	client, err := zaatar.Dial(ctx, *addr, string(src), opts...)
+	var client *zaatar.Client
+	if *farmOn {
+		routing := zaatar.FarmAffinity
+		switch *farmRouting {
+		case "affinity":
+		case "static":
+			routing = zaatar.FarmStatic
+		default:
+			check(fmt.Errorf("unknown -farm-routing %q (want affinity or static)", *farmRouting))
+		}
+		opts = append(opts,
+			zaatar.WithFarmRouting(routing),
+			zaatar.WithShardRetries(*shardRetry),
+			zaatar.WithFarmShardSize(*shardSize),
+			zaatar.WithFarmWideCommit(*farmWide))
+		var workers []string
+		for _, a := range strings.Split(*addr, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				workers = append(workers, a)
+			}
+		}
+		client, err = zaatar.DialFarm(ctx, workers, string(src), opts...)
+	} else {
+		client, err = zaatar.Dial(ctx, *addr, string(src), opts...)
+	}
 	check(err)
 	defer client.Close()
 	fmt.Fprintf(os.Stderr, "zaatar-client: wire protocol v%d, backend %s, session setup %v\n",

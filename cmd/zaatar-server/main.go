@@ -65,6 +65,7 @@ func main() {
 		logFormat   = flag.String("log-format", "", "emit structured session logs to stderr: text or json (empty disables)")
 		sloP99      = flag.Duration("slo-p99", 0, "readiness SLO: /readyz reports 503 while the rolling p99 batch latency exceeds this (0 disables)")
 		drain       = flag.Duration("drain", 30*time.Second, "how long to wait for in-flight sessions on shutdown")
+		workerMode  = flag.Bool("worker", false, "run as a prover-farm worker: identical service, plus the farm.worker.up gauge for farm monitoring (see zaatar-client -farm)")
 		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file (covers the whole server lifetime)")
 		memProf     = flag.String("memprofile", "", "write a heap profile to this file on shutdown")
 	)
@@ -180,7 +181,12 @@ func main() {
 		}
 		srvOpts = append(srvOpts, zaatar.WithServerBackends(names...))
 	}
-	if err := zaatar.Serve(ctx, ln, srvOpts...); err != nil {
+	serve := zaatar.Serve
+	if *workerMode {
+		serve = zaatar.ServeWorker
+		log.Printf("zaatar-server: farm worker mode")
+	}
+	if err := serve(ctx, ln, srvOpts...); err != nil {
 		log.Fatalf("zaatar-server: %v", err)
 	}
 	log.Printf("zaatar-server: drained, exiting")

@@ -1,9 +1,9 @@
 // MapReduce-style outsourcing: the paper's motivating scenario (§1, §7) —
 // data-parallel work whose "computation structure precisely matches the
 // batching requirement of Zaatar's verifier". A map phase (word-histogram
-// over fixed-size shards) runs as one batch across several prover machines
-// (transport.RunSessionDistributed); the verifier checks every shard's
-// argument and then reduces the verified partial histograms locally.
+// over fixed-size shards) runs as one batch sharded across a small prover
+// farm (zaatar.DialFarm); the verifier checks every shard's argument and
+// then reduces the verified partial histograms locally.
 //
 // Run with:
 //
@@ -18,7 +18,7 @@ import (
 	"math/rand"
 	"net"
 
-	"zaatar/internal/transport"
+	"zaatar"
 )
 
 // The "map" computation: count symbol occurrences in a shard of N tokens
@@ -40,30 +40,21 @@ const (
 	shards   = 6
 	nTokens  = 24
 	nSymbols = 4
-	provers  = 3
+	workers  = 3
 )
 
 func main() {
-	// Spin up three in-process "prover machines" on loopback TCP.
-	var conns []net.Conn
-	for i := 0; i < provers; i++ {
+	// Spin up three in-process farm workers on loopback TCP — each is a
+	// full prover service, identical to `zaatar-server -worker`.
+	ctx := context.Background()
+	var addrs []string
+	for i := 0; i < workers; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
-		go func(ln net.Listener) {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			_ = transport.ServeConn(context.Background(), conn, transport.ServerOptions{Workers: 2})
-		}(ln)
-		conn, err := net.Dial("tcp", ln.Addr().String())
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer conn.Close()
-		conns = append(conns, conn)
+		go func() { _ = zaatar.ServeWorker(ctx, ln, zaatar.WithServerWorkers(2)) }()
+		addrs = append(addrs, ln.Addr().String())
 	}
 
 	// The dataset: six shards of 24 tokens.
@@ -79,10 +70,15 @@ func main() {
 		}
 	}
 
-	// Map phase: one verified batch across the three provers. Reduced PCP
-	// repetitions keep the demo snappy; use 20/8 for production soundness.
-	hello := transport.Hello{Source: mapSrc, RhoLin: 2, Rho: 2}
-	res, err := transport.RunSessionDistributed(context.Background(), conns, hello, transport.ClientOptions{}, batch)
+	// Map phase: one verified batch, sharded across the farm with requeue
+	// if a worker dies mid-batch. Reduced PCP repetitions keep the demo
+	// snappy; use 20/8 for production soundness.
+	client, err := zaatar.DialFarm(ctx, addrs, mapSrc, zaatar.WithParams(2, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	res, err := client.RunBatch(ctx, batch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,5 +100,5 @@ func main() {
 			log.Fatalf("verified reduction disagrees with ground truth at symbol %d", k)
 		}
 	}
-	fmt.Println("matches ground truth ✓ (map phase proved by 3 provers, reduce done locally)")
+	fmt.Println("matches ground truth ✓ (map phase proved by a 3-worker farm, reduce done locally)")
 }

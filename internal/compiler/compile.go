@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"zaatar/internal/constraint"
 	"zaatar/internal/field"
@@ -363,6 +364,11 @@ func (g *codegen) compileIf(s *IfStmt) error {
 	// the else-side result; the then-side value is thenVals[name][k] when
 	// the then-branch wrote it, and otherwise the pre-if original (recorded
 	// in jElse, since only the else-branch wrote it).
+	// Merge in sorted order: muxValue allocates wires, so iteration order
+	// is wire numbering. Ranging the maps directly would compile the same
+	// source to a different (if equivalent) constraint system each run,
+	// which breaks anything that needs both ends of a wire to agree on the
+	// QAP — the prover farm, the distributed prover, the artifact store.
 	names := make(map[string]bool, len(jThen)+len(jElse))
 	for name := range jThen {
 		names[name] = true
@@ -370,7 +376,12 @@ func (g *codegen) compileIf(s *IfStmt) error {
 	for name := range jElse {
 		names[name] = true
 	}
+	sortedNames := make([]string, 0, len(names))
 	for name := range names {
+		sortedNames = append(sortedNames, name)
+	}
+	sort.Strings(sortedNames)
+	for _, name := range sortedNames {
 		b := g.env[name]
 		idx := map[int]bool{}
 		for k := range jThen[name] {
@@ -379,7 +390,12 @@ func (g *codegen) compileIf(s *IfStmt) error {
 		for k := range jElse[name] {
 			idx[k] = true
 		}
+		sortedIdx := make([]int, 0, len(idx))
 		for k := range idx {
+			sortedIdx = append(sortedIdx, k)
+		}
+		sort.Ints(sortedIdx)
+		for _, k := range sortedIdx {
 			orig, inThen := jThen[name][k]
 			if !inThen {
 				orig = jElse[name][k]

@@ -21,8 +21,9 @@ import (
 // layered matmul-chain workload); schema 4 added the commit-throughput
 // scaling curve (workers → commits/s); schema 5 added the artifact-store
 // section (cold vs disk-warm-restart vs memory-warm session open, and the
-// hash-first hello's wire savings).
-const BaselineSchema = 5
+// hash-first hello's wire savings); schema 6 added the prover-farm section
+// (coordinator overhead vs a single-prover reference, with shard counters).
+const BaselineSchema = 6
 
 // Baseline is the machine-readable benchmark snapshot zaatar-bench -json
 // emits: per-phase wall times and latency percentiles for each §5
@@ -67,6 +68,11 @@ type Baseline struct {
 	// latency across the cold / disk-warm-restart / memory-warm tiers and
 	// the hash-first hello's wire savings.
 	Store *StoreResult `json:"store,omitempty"`
+
+	// Farm is the prover-farm experiment (schema ≥ 6): the same batch
+	// through a single prover and a two-worker farm coordinator, isolating
+	// the coordinator's overhead on core-starved hosts.
+	Farm *FarmResult `json:"farm,omitempty"`
 }
 
 // BaselineBench is one benchmark's measured batch.
@@ -216,6 +222,12 @@ func RunBaseline(o Options, beta int) (*Baseline, error) {
 	}
 	b.Store = storeRes
 
+	farmRes, err := RunFarm(o, beta)
+	if err != nil {
+		return nil, err
+	}
+	b.Farm = farmRes
+
 	if o.Crypto {
 		scaling, err := RunScaling(o, nil)
 		if err != nil {
@@ -274,5 +286,9 @@ func RenderBaseline(w io.Writer, b *Baseline) {
 	if b.Scaling != nil {
 		fmt.Fprintln(w)
 		RenderScaling(w, b.Scaling)
+	}
+	if b.Farm != nil {
+		fmt.Fprintln(w)
+		RenderFarm(w, b.Farm)
 	}
 }

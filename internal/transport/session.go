@@ -49,6 +49,12 @@ type ClientOptions struct {
 	// the server's rejection instead of downgrading. zaatar.Dial wires this
 	// automatically.
 	Redial func(ctx context.Context, i int) (net.Conn, error)
+	// Addrs, when non-empty, names the prover behind each connection
+	// (index-aligned with the conns given to NewSession). The names label
+	// leg failures (*FarmError.Addr) so a caller can tell which worker
+	// died; legs beyond the list fall back to the connection's remote
+	// address. zaatar.Dial and zaatar.DialFarm fill this in.
+	Addrs []string
 	// Obs receives the client's counters and spans; nil uses
 	// obs.Default().
 	Obs *obs.Registry
@@ -70,6 +76,12 @@ type sessionLeg struct {
 	conn    net.Conn
 	cc      *timedCodec
 	version int
+	addr    string // worker name for failure attribution
+	idx     int    // position within Session.legs
+	// mu serializes the wire exchange of one shard on this leg when the
+	// farm drives legs independently (RunBatch instead holds Session.mu and
+	// touches every leg from one goroutine).
+	mu sync.Mutex
 	// per-batch scratch
 	chunk [][]*big.Int
 	cms   []*vc.Commitment
@@ -102,6 +114,7 @@ type Session struct {
 	log      *slog.Logger
 	batches  int
 	closed   bool
+	multi    bool // more than one prover connection: leg errors carry worker attribution
 }
 
 // NewSession opens a verifier session over the given prover connections:
@@ -147,6 +160,7 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 		hello:   hello,
 		opts:    opts,
 		reg:     reg,
+		multi:   len(conns) > 1,
 		version: MaxProtocolVersion,
 		tc:      tc,
 		sessTr:  sessTr,
@@ -186,15 +200,22 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 	offered := hello.offered()
 
 	helloTr := trace.Start(tctx, "wire.hello_exchange")
-	for _, conn := range conns {
-		leg := &sessionLeg{conn: conn, cc: newTimedCodec(conn, opts.IOTimeout)}
+	for i, conn := range conns {
+		addr := ""
+		if i < len(opts.Addrs) {
+			addr = opts.Addrs[i]
+		} else if ra := conn.RemoteAddr(); ra != nil {
+			addr = ra.String()
+		}
+		leg := &sessionLeg{conn: conn, cc: newTimedCodec(conn, opts.IOTimeout), addr: addr, idx: i}
 		wire := hello
 		if hashFirst {
 			wire.Source = ""
 		}
 		if err := leg.cc.send(wire); err != nil {
 			helloTr.End()
-			return nil, err
+			s.legs = append(s.legs, leg)
+			return nil, s.legError(len(s.legs)-1, err)
 		}
 		s.legs = append(s.legs, leg)
 	}
@@ -224,10 +245,10 @@ func NewSession(ctx context.Context, conns []net.Conn, hello Hello, opts ClientO
 		}(i)
 	}
 	hsWG.Wait()
-	for _, err := range legErrs {
+	for i, err := range legErrs {
 		if err != nil {
 			helloTr.End()
-			return nil, err
+			return nil, s.legError(i, err)
 		}
 	}
 	for i, leg := range s.legs {
@@ -446,19 +467,19 @@ func (s *Session) RunBatch(ctx context.Context, batch [][]*big.Int) (res *Sessio
 	commitTr := trace.Start(ctx, "wire.commit_exchange")
 	for _, leg := range legs {
 		if err := leg.cc.send(BatchMsg{Req: req, Instances: leg.chunk}); err != nil {
-			return nil, err
+			return nil, s.legError(leg.idx, err)
 		}
 	}
 	for _, leg := range legs {
 		var cms CommitmentsMsg
 		if err := leg.cc.recv(&cms); err != nil {
-			return nil, err
+			return nil, s.legError(leg.idx, err)
 		}
 		if cms.Err != "" {
-			return nil, &RemoteError{Phase: "commit", Msg: cms.Err}
+			return nil, s.legError(leg.idx, &RemoteError{Phase: "commit", Msg: cms.Err})
 		}
 		if len(cms.Items) != len(leg.chunk) {
-			return nil, errors.New("transport: commitment count mismatch")
+			return nil, s.legError(leg.idx, errors.New("transport: commitment count mismatch"))
 		}
 		leg.cms = cms.Items
 	}
@@ -474,19 +495,19 @@ func (s *Session) RunBatch(ctx context.Context, batch [][]*big.Int) (res *Sessio
 	respondTr := trace.Start(ctx, "wire.respond_exchange")
 	for _, leg := range legs {
 		if err := leg.cc.send(DecommitMsg{Req: dreq}); err != nil {
-			return nil, err
+			return nil, s.legError(leg.idx, err)
 		}
 	}
 	for _, leg := range legs {
 		var resp ResponsesMsg
 		if err := leg.cc.recv(&resp); err != nil {
-			return nil, err
+			return nil, s.legError(leg.idx, err)
 		}
 		if resp.Err != "" {
-			return nil, &RemoteError{Phase: "respond", Msg: resp.Err}
+			return nil, s.legError(leg.idx, &RemoteError{Phase: "respond", Msg: resp.Err})
 		}
 		if len(resp.Items) != len(leg.chunk) {
-			return nil, errors.New("transport: response count mismatch")
+			return nil, s.legError(leg.idx, errors.New("transport: response count mismatch"))
 		}
 		leg.resps = resp.Items
 		// Stitch this prover's spans into our timeline (records from any

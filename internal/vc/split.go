@@ -1,0 +1,143 @@
+// Commit-request splitting: the farm's intra-instance parallelism. One
+// verifier's commit request Enc(r) is fractured into k masked shares, one
+// per cooperating prover: share j keeps the true ciphertexts on its
+// contiguous slice of each oracle and replaces every other position with
+// the neutral ciphertext (1,1) = Enc(0) under zero randomness. A prover
+// committing against share j therefore produces Enc(Σ_{i∈slice_j} r_i·u_i),
+// and the component-wise ciphertext product of all k partial commitments is
+// Enc(⟨r, u⟩) — bit-identical to the commitment a single prover would have
+// sent for the same u, so the verifier's consistency test runs unchanged
+// against the combined value. Binding is unaffected: the shares jointly
+// commit the provers (one adversary, however many machines) to a single
+// linear function before the query seed is revealed.
+package vc
+
+import (
+	"errors"
+	"math/big"
+
+	"zaatar/internal/elgamal"
+)
+
+// splitRange returns the half-open slice [lo, hi) that share j of k owns in
+// a vector of length n; shares differ in size by at most one element.
+func splitRange(n, k, j int) (int, int) {
+	return j * n / k, (j + 1) * n / k
+}
+
+// SplitCommitRequest fractures req into k masked shares (see the package
+// comment above). k is clamped to at least 1; a request without ciphertexts
+// (no-commitment lanes) is returned as k aliases, since there is nothing to
+// split. Shares keep the full oracle length — provers detect the masked
+// positions and skip them in the multiexp, so share j pays roughly 1/k of
+// the commitment crypto.
+func SplitCommitRequest(req *CommitRequest, k int) []*CommitRequest {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]*CommitRequest, k)
+	if req == nil || (len(req.EncR1) == 0 && len(req.EncR2) == 0) {
+		for j := range out {
+			out[j] = req
+		}
+		return out
+	}
+	mask := func(src []elgamal.Ciphertext, j int) []elgamal.Ciphertext {
+		lo, hi := splitRange(len(src), k, j)
+		dst := make([]elgamal.Ciphertext, len(src))
+		for i := range dst {
+			if i >= lo && i < hi {
+				dst[i] = src[i]
+			} else {
+				dst[i] = elgamal.Ciphertext{A: big.NewInt(1), B: big.NewInt(1)}
+			}
+		}
+		return dst
+	}
+	for j := range out {
+		out[j] = &CommitRequest{EncR1: mask(req.EncR1, j), EncR2: mask(req.EncR2, j), PK: req.PK}
+	}
+	return out
+}
+
+// CombineCommitments folds the partial commitments returned by k provers
+// that each served one share of a split commit request back into the single
+// commitment the instance's verification consumes: the claimed outputs must
+// agree across all parts, and the ciphertexts multiply component-wise
+// (homomorphic addition of the per-slice inner products). The result equals
+// the single-prover commitment for the same proof vector bit for bit.
+func (v *Verifier) CombineCommitments(parts []*Commitment) (*Commitment, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("vc: no partial commitments to combine")
+	}
+	first := parts[0]
+	for _, p := range parts[1:] {
+		if len(p.Output) != len(first.Output) {
+			return nil, errors.New("vc: cooperating provers disagree on the output shape")
+		}
+		for i := range p.Output {
+			if p.Output[i] == nil || first.Output[i] == nil || p.Output[i].Cmp(first.Output[i]) != 0 {
+				return nil, errors.New("vc: cooperating provers disagree on the claimed outputs")
+			}
+		}
+	}
+	out := &Commitment{Output: first.Output}
+	if v.key1 == nil {
+		// No-commitment lane: nothing cryptographic to fold.
+		out.C1, out.C2 = first.C1, first.C2
+		return out, nil
+	}
+	g := v.key1.Group
+	c1, c2 := g.One(), g.One()
+	for _, p := range parts {
+		if p.C1.A == nil || p.C1.B == nil || p.C2.A == nil || p.C2.B == nil {
+			return nil, errors.New("vc: partial commitment is missing its ciphertext")
+		}
+		c1 = g.Add(c1, p.C1)
+		c2 = g.Add(c2, p.C2)
+	}
+	out.C1, out.C2 = c1, c2
+	return out, nil
+}
+
+// liveIndices lists the positions of cts that are not the neutral masking
+// ciphertext (1,1). It returns nil when every position is live — the dense
+// case, where the caller should use the vector as-is — so that only masked
+// share requests pay the gather.
+func liveIndices(cts []elgamal.Ciphertext) []int {
+	masked := false
+	for i := range cts {
+		if isNeutral(cts[i]) {
+			masked = true
+			break
+		}
+	}
+	if !masked {
+		return nil
+	}
+	live := make([]int, 0, len(cts))
+	for i := range cts {
+		if !isNeutral(cts[i]) {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+func isNeutral(ct elgamal.Ciphertext) bool {
+	return ct.A != nil && ct.B != nil && ct.A.BitLen() == 1 && ct.B.BitLen() == 1 &&
+		ct.A.Bit(0) == 1 && ct.B.Bit(0) == 1
+}
+
+// gatherCiphertexts compacts src down to the live positions; a nil index
+// list returns src unchanged.
+func gatherCiphertexts(src []elgamal.Ciphertext, live []int) []elgamal.Ciphertext {
+	if live == nil {
+		return src
+	}
+	out := make([]elgamal.Ciphertext, len(live))
+	for j, i := range live {
+		out[j] = src[i]
+	}
+	return out
+}

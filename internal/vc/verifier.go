@@ -144,6 +144,24 @@ func (v *Verifier) Reseed(ctx context.Context, seed []byte) error {
 	return nil
 }
 
+// Fork creates an independent verifier sharing this one's compiled program,
+// backend, and precomputation (the expensive, immutable part of setup) but
+// with its own per-batch state: fresh queries from seed (empty = fresh
+// randomness, matching Config.Seed semantics) and a fresh commitment key.
+// Forks are how a farm coordinator keeps several shards in flight at once —
+// each shard is its own batch, so each needs its own key and seed; sharing
+// either across shards would break binding exactly like reusing a key
+// across batches (see Reseed). The receiver is left untouched.
+func (v *Verifier) Fork(ctx context.Context, seed []byte) (*Verifier, error) {
+	start := time.Now()
+	nv := &Verifier{Prog: v.Prog, Cfg: v.Cfg, bk: v.bk, pre: v.pre}
+	if err := nv.Reseed(ctx, seed); err != nil {
+		return nil, err
+	}
+	nv.setupDur = time.Since(start)
+	return nv, nil
+}
+
 // oracleLens returns the two proof-vector lengths |u₁|, |u₂| (zero for
 // transcript lanes, which commit to no linear oracle).
 func (v *Verifier) oracleLens() (int, int) {

@@ -88,6 +88,10 @@ func WithServerMetrics(r *obs.Registry) ServerOption {
 
 // WithServerLogf installs a logger receiving one line per failed session
 // from the accept loop (e.g. log.Printf). By default failures are silent.
+//
+// Deprecated: use WithServerLogger, whose structured records carry the
+// session id, backend, program hash, and trace correlation. WithServerLogf
+// keeps working (the two compose) but receives only the accept-loop lines.
 func WithServerLogf(logf func(format string, args ...any)) ServerOption {
 	return func(o *serverOptions) { o.svc.Logf = logf }
 }

@@ -100,6 +100,12 @@ type options struct {
 	cfg      vc.Config
 	ioTo     time.Duration
 	logger   *slog.Logger
+
+	// farm scheduling (DialFarm only)
+	farmRouting  FarmRouting
+	shardRetries int
+	shardSize    int
+	wideCommit   int
 }
 
 // bothOption implements Option; runOption implements only RunOption.
@@ -323,6 +329,10 @@ const (
 // where Ginger wins are detectable at compile time. Compiler-produced
 // programs always recommend Zaatar; the degenerate cases arise only for
 // hand-written constraint systems with dense degree-2 forms.
+//
+// Deprecated: use RecommendBackend, which additionally considers the
+// sum-check lane and returns a backend name WithBackend accepts directly.
+// Behavior is unchanged for the two legacy encodings.
 func RecommendProtocol(prog *Program) Protocol {
 	return vc.RecommendProtocol(prog.Ginger, prog.Quad)
 }
